@@ -1,0 +1,41 @@
+// Reproduces paper Figure 6: time to factor a 4096 x 4096 *point* (m = 1)
+// Toeplitz matrix on a 16-PE T3D as the number b of adjacent blocks per PE
+// varies (V1 at b = 1, V2 for b > 1).
+//
+// Expected shape: a sharp initial fall (the shift traffic drops by a factor
+// b) to an optimum near b = 16, then a rise as the lost parallelism
+// dominates (paper section 7.1.5).
+#include <iostream>
+
+#include "bst.h"
+
+using namespace bst;
+
+int main(int argc, char** argv) {
+  util::enable_flush_to_zero();
+  util::Cli cli(argc, argv);
+  const la::index_t n = cli.get_int("n", 4096);
+  const int np = static_cast<int>(cli.get_int("np", 16));
+
+  std::cout << "# bench_fig6: " << n << " x " << n << " point Toeplitz (m=1), NP=" << np
+            << " (simulated T3D)\n";
+  util::Table tab("Figure 6: factor time vs b (adjacent blocks per PE)");
+  tab.header({"b", "scheme", "time (s)", "compute (s)", "shift (s)", "barrier idle (s)"});
+  for (la::index_t b : {1, 2, 4, 8, 16, 32, 64}) {
+    simnet::DistOptions opt;
+    opt.np = np;
+    if (b == 1) {
+      opt.layout = simnet::Layout::V1;
+    } else {
+      opt.layout = simnet::Layout::V2;
+      opt.group = b;
+    }
+    simnet::DistResult r = simnet::dist_schur_model(1, n, opt);
+    tab.row({static_cast<long long>(b), std::string(to_string(opt.layout)), r.sim_seconds,
+             r.breakdown.compute / np, r.breakdown.shift / np, r.breakdown.barrier / np});
+  }
+  tab.precision(4);
+  tab.print(std::cout);
+  std::cout << "paper: best time at b = 16; times increase again at b = 32, 64\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces paper Figure 7: 4096 x 4096 block Toeplitz with m = 8 on a
+// 16-PE T3D, across all three data distribution schemes: V3 for b < 1
+// (each block split over 1/b PEs), V1 at b = 1, V2 for b > 1.
+//
+// Expected shape: for moderate block sizes with adequate parallelism
+// (N >> NP), V1 (b = 1) is the fastest scheme (paper section 7.1.6).
+#include <iostream>
+
+#include "bst.h"
+
+using namespace bst;
+
+int main(int argc, char** argv) {
+  util::enable_flush_to_zero();
+  util::Cli cli(argc, argv);
+  const la::index_t m = cli.get_int("m", 8);
+  const la::index_t n = cli.get_int("n", 4096);
+  const int np = static_cast<int>(cli.get_int("np", 16));
+  const la::index_t p = n / m;
+
+  std::cout << "# bench_fig7: " << n << " x " << n << " block Toeplitz, m=" << m
+            << ", NP=" << np << " (simulated T3D)\n";
+  util::Table tab("Figure 7: factor time vs b across V1/V2/V3");
+  tab.header({"b", "scheme", "time (s)", "compute (s)", "bcast (s)", "shift (s)"});
+
+  auto add = [&](double blabel, simnet::DistOptions opt) {
+    simnet::DistResult r = simnet::dist_schur_model(m, p, opt);
+    tab.row({blabel, std::string(to_string(opt.layout)), r.sim_seconds,
+             r.breakdown.compute / np, r.breakdown.broadcast, r.breakdown.shift / np});
+  };
+
+  for (la::index_t spread : {4, 2}) {  // b = 1/4, 1/2
+    simnet::DistOptions opt;
+    opt.np = np;
+    opt.layout = simnet::Layout::V3;
+    opt.spread = spread;
+    add(1.0 / static_cast<double>(spread), opt);
+  }
+  {
+    simnet::DistOptions opt;
+    opt.np = np;
+    opt.layout = simnet::Layout::V1;
+    add(1.0, opt);
+  }
+  for (la::index_t b : {2, 4, 8, 16}) {
+    simnet::DistOptions opt;
+    opt.np = np;
+    opt.layout = simnet::Layout::V2;
+    opt.group = b;
+    add(static_cast<double>(b), opt);
+  }
+  tab.precision(4);
+  tab.print(std::cout);
+  std::cout << "paper: for moderate m with N >> NP, V1 (b = 1) gives the fastest "
+               "factorization\n";
+  return 0;
+}

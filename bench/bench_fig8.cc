@@ -1,0 +1,46 @@
+// Reproduces paper Figure 8: 4096 x 4096 block Toeplitz with m = 32 on a
+// 64-PE T3D, V1 vs V3 with varying spread (number of PEs per block).
+//
+// Expected shape: with only p = 128 blocks on 64 PEs, V1 leaves most PEs
+// idle; splitting each block over `spread` PEs buys parallelism until the
+// extra broadcasts win -- optimum spread ~ 8 (paper section 7.1.7).
+#include <iostream>
+
+#include "bst.h"
+
+using namespace bst;
+
+int main(int argc, char** argv) {
+  util::enable_flush_to_zero();
+  util::Cli cli(argc, argv);
+  const la::index_t m = cli.get_int("m", 32);
+  const la::index_t n = cli.get_int("n", 4096);
+  const int np = static_cast<int>(cli.get_int("np", 64));
+  const la::index_t p = n / m;
+
+  std::cout << "# bench_fig8: " << n << " x " << n << " block Toeplitz, m=" << m
+            << ", NP=" << np << " (simulated T3D)\n";
+  util::Table tab("Figure 8: factor time vs spread (PEs per block)");
+  tab.header({"spread", "scheme", "time (s)", "compute (s)", "bcast (s)", "barrier idle (s)"});
+  {
+    simnet::DistOptions opt;
+    opt.np = np;
+    opt.layout = simnet::Layout::V1;
+    simnet::DistResult r = simnet::dist_schur_model(m, p, opt);
+    tab.row({1LL, std::string("V1"), r.sim_seconds, r.breakdown.compute / np,
+             r.breakdown.broadcast, r.breakdown.barrier / np});
+  }
+  for (la::index_t spread : {2, 4, 8, 16, 32}) {
+    simnet::DistOptions opt;
+    opt.np = np;
+    opt.layout = simnet::Layout::V3;
+    opt.spread = spread;
+    simnet::DistResult r = simnet::dist_schur_model(m, p, opt);
+    tab.row({static_cast<long long>(spread), std::string("V3"), r.sim_seconds,
+             r.breakdown.compute / np, r.breakdown.broadcast, r.breakdown.barrier / np});
+  }
+  tab.precision(4);
+  tab.print(std::cout);
+  std::cout << "paper: optimal spread is 8; larger spreads lose to broadcast cost\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces paper Figure 9: time to factor a 1024 x 1024 block Toeplitz
+// matrix with block sizes m = 2 and m = 4 as the machine size NP grows.
+//
+// Expected shape: m = 4 does ~2x the flops, so it loses on small machines;
+// it halves the number of steps (and hence synchronizations/broadcasts)
+// and updates memory more efficiently (4-word cache lines), so it wins on
+// large machines -- the curves cross (paper section 7.1.7, last paragraph).
+#include <iostream>
+
+#include "bst.h"
+
+using namespace bst;
+
+int main(int argc, char** argv) {
+  util::enable_flush_to_zero();
+  util::Cli cli(argc, argv);
+  const la::index_t n = cli.get_int("n", 1024);
+
+  std::cout << "# bench_fig9: " << n << " x " << n << " block Toeplitz, m = 2 vs 4 "
+            << "(simulated T3D)\n";
+  util::Table tab("Figure 9: factor time vs NP for block sizes 2 and 4");
+  tab.header({"NP", "m=2 (s)", "m=4 (s)", "faster"});
+  for (int np : {1, 2, 4, 8, 16, 32, 64}) {
+    simnet::DistOptions opt;
+    opt.np = np;
+    const double t2 = simnet::dist_schur_model(2, n / 2, opt).sim_seconds;
+    const double t4 = simnet::dist_schur_model(4, n / 4, opt).sim_seconds;
+    tab.row({static_cast<long long>(np), t2, t4,
+             std::string(t2 < t4 ? "m=2" : (t4 < t2 ? "m=4" : "tie"))});
+  }
+  tab.precision(4);
+  tab.print(std::cout);
+  std::cout << "paper: m=4 is slower for small NP, faster for large NP "
+               "(synchronization amortization + cache-line effects)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces the representation-cost comparison of paper section 6
+// (eqs. 25-28: blocking flops; eqs. 29-32: application flops), as both the
+// closed-form models and measurements of the real kernels:
+//   * instrumented flop counts of one build + one application,
+//   * wall time of a full factorization per representation.
+//
+// Expected shape (paper): YTY cheapest to build, VY2 cheapest to apply,
+// the naive accumulated-U scheme far more expensive than any blocked form.
+#include <iostream>
+
+#include "bst.h"
+
+using namespace bst;
+using core::Representation;
+
+namespace {
+
+constexpr Representation kReps[] = {Representation::AccumulatedU, Representation::VY1,
+                                    Representation::VY2, Representation::YTY};
+
+void model_table(la::index_t p) {
+  util::Table build("Blocking flops to form the step reflector (k = m), eqs. 25-28");
+  build.header({"m", "U (eq.25)", "VY1 (eq.26)", "VY2 (eq.27)", "YTY (eq.28)"});
+  for (la::index_t m : {2, 4, 8, 16, 32, 64}) {
+    build.row({static_cast<long long>(m), core::blocking_flops_accumulated_u(m, m),
+               core::blocking_flops_vy1(m, m), core::blocking_flops_vy2(m, m),
+               core::blocking_flops_yty(m, m)});
+  }
+  build.print(std::cout);
+
+  util::Table apply("Application flops to a 2m x mp generator (k = m), eqs. 29-32");
+  apply.header({"m", "p", "U (eq.29)", "VY1 (eq.30)", "VY2 (eq.31)", "YTY (eq.32)"});
+  for (la::index_t m : {2, 4, 8, 16, 32, 64}) {
+    apply.row({static_cast<long long>(m), static_cast<long long>(p),
+               core::application_flops_accumulated_u(m, p, m),
+               core::application_flops_vy1(m, p, m), core::application_flops_vy2(m, p, m),
+               core::application_flops_yty(m, p, m)});
+  }
+  apply.print(std::cout);
+}
+
+void measured_table(la::index_t m, la::index_t p) {
+  toeplitz::BlockToeplitz t =
+      toeplitz::random_spd_block(m, p, 2, /*seed=*/7).with_block_size(m);
+  util::Table tab("Measured: full factorization per representation");
+  tab.header({"rep", "n", "m", "flops (counted)", "time (s)", "MFLOP/s"});
+  for (Representation rep : kReps) {
+    core::SchurOptions opt;
+    opt.rep = rep;
+    const double t0 = util::wall_seconds();
+    core::SchurFactor f = core::block_schur_factor(t, opt);
+    const double dt = util::wall_seconds() - t0;
+    tab.row({std::string(core::to_string(rep)), static_cast<long long>(t.order()),
+             static_cast<long long>(m), static_cast<long long>(f.flops), dt,
+             static_cast<double>(f.flops) / dt / 1e6});
+  }
+  // Sequential (unblocked) reference.
+  {
+    core::SchurOptions opt;
+    opt.rep = Representation::Sequential;
+    const double t0 = util::wall_seconds();
+    core::SchurFactor f = core::block_schur_factor(t, opt);
+    const double dt = util::wall_seconds() - t0;
+    tab.row({std::string("seq"), static_cast<long long>(t.order()), static_cast<long long>(m),
+             static_cast<long long>(f.flops), dt, static_cast<double>(f.flops) / dt / 1e6});
+  }
+  tab.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::enable_flush_to_zero();
+  util::Cli cli(argc, argv);
+  const la::index_t p = cli.get_int("p", 64);
+  std::cout << "# bench_forms: representation tradeoffs (paper section 6)\n";
+  model_table(p);
+  measured_table(cli.get_int("m", 16), p);
+  measured_table(cli.get_int("m2", 32), cli.get_int("p2", 32));
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks of the dense kernel substrate: the
+// shape-dependent BLAS3 rates that drive the paper's block-size tradeoff
+// (section 6.5: "BLAS3 primitives applied to matrices with larger
+// dimensions have sufficient performance advantage...").
+#include <benchmark/benchmark.h>
+
+#include "bst.h"
+
+using namespace bst;
+
+namespace {
+
+const bool kFtz = [] {
+  util::enable_flush_to_zero();
+  return true;
+}();
+
+la::Mat random_matrix(la::index_t r, la::index_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::Mat a(r, c);
+  for (la::index_t j = 0; j < c; ++j)
+    for (la::index_t i = 0; i < r; ++i) a(i, j) = rng.uniform(-1, 1);
+  return a;
+}
+
+// Square gemm: rate vs dimension.
+void BM_GemmSquare(benchmark::State& state) {
+  const la::index_t n = state.range(0);
+  la::Mat a = random_matrix(n, n, 1), b = random_matrix(n, n, 2), c(n, n);
+  for (auto _ : state) {
+    la::gemm(la::Op::None, la::Op::None, 1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["MFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmSquare)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// The algorithm's actual shape: small square (2m x 2m quadrant pieces)
+// times a short-and-wide generator strip -- the "extreme shapes" the paper
+// calls out on the Y-MP.
+void BM_GemmShortWide(benchmark::State& state) {
+  const la::index_t m = state.range(0);
+  const la::index_t width = 4096;
+  la::Mat a = random_matrix(m, m, 3), b = random_matrix(m, width, 4), c(m, width);
+  for (auto _ : state) {
+    la::gemm(la::Op::None, la::Op::None, 1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["MFLOP/s"] = benchmark::Counter(
+      2.0 * m * m * width * state.iterations() / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmShortWide)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Gemv(benchmark::State& state) {
+  const la::index_t n = state.range(0);
+  la::Mat a = random_matrix(n, n, 5);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0), y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    la::gemv(false, 1.0, a.view(), x.data(), 0.0, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["MFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * state.iterations() / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemv)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Cholesky(benchmark::State& state) {
+  const la::index_t n = state.range(0);
+  toeplitz::BlockToeplitz t = toeplitz::kms(n, 0.5);
+  la::Mat dense = t.dense();
+  la::Mat work(n, n);
+  for (auto _ : state) {
+    la::copy(dense.view(), work.view());
+    benchmark::DoNotOptimize(la::cholesky_lower(work.view()));
+  }
+  state.counters["MFLOP/s"] = benchmark::Counter(
+      n * n * n / 3.0 * state.iterations() / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Cholesky)->Arg(128)->Arg(256)->Arg(512);
+
+// One block Schur step: build + apply for the working block size, the
+// kernel mix the representation choice controls.
+void BM_SchurStep(benchmark::State& state) {
+  const la::index_t m = state.range(0);
+  const auto rep = static_cast<core::Representation>(state.range(1));
+  const la::index_t p = 4096 / m;
+  toeplitz::BlockToeplitz t = toeplitz::kms(4096, 0.6).with_block_size(m);
+  core::Generator g0 = core::make_generator_spd(t);
+  core::Generator g = g0;
+  core::SchurOptions opt;
+  opt.rep = rep;
+  for (auto _ : state) {
+    state.PauseTiming();
+    g.a = g0.a;
+    g.b = g0.b;
+    state.ResumeTiming();
+    core::schur_step(g, 1, opt);
+  }
+  state.counters["flops/step"] =
+      core::blocking_flops(rep, m, m) + core::application_flops(rep, m, p - 2, m);
+}
+BENCHMARK(BM_SchurStep)
+    ->Args({8, 2})   // m=8, VY2
+    ->Args({8, 3})   // m=8, YTY
+    ->Args({8, 0})   // m=8, U
+    ->Args({32, 2})
+    ->Args({32, 3})
+    ->Args({32, 0});
+
+void BM_ToeplitzMatvecDirect(benchmark::State& state) {
+  const la::index_t n = state.range(0);
+  toeplitz::BlockToeplitz t = toeplitz::kms(n, 0.5);
+  toeplitz::MatVec op(t, toeplitz::MatVecMode::Direct);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0), y;
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ToeplitzMatvecDirect)->Arg(1024)->Arg(4096);
+
+void BM_ToeplitzMatvecFft(benchmark::State& state) {
+  const la::index_t n = state.range(0);
+  toeplitz::BlockToeplitz t = toeplitz::kms(n, 0.5);
+  toeplitz::MatVec op(t, toeplitz::MatVecMode::Fft);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0), y;
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ToeplitzMatvecFft)->Arg(1024)->Arg(4096);
+
+}  // namespace

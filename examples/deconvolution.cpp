@@ -1,0 +1,117 @@
+// 1-D deconvolution with Tikhonov regularization -- a classic source of
+// large SPD Toeplitz systems.
+//
+// A signal x is observed through a symmetric blur kernel h plus noise:
+//   y = H x + e,   H Toeplitz.
+// The regularized least-squares estimate solves the normal equations
+//   (H^T H + lambda I) x = H^T y
+// whose matrix is again symmetric positive definite Toeplitz (H^T H is the
+// autocorrelation of the kernel).  We build it explicitly, factor it with
+// the block Schur algorithm using a working block size m_s > 1 (the paper's
+// device for point matrices), and compare restoration quality against the
+// blurred input.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bst.h"
+
+using namespace bst;
+
+namespace {
+
+// Symmetric convolution y = h * x (zero-padded), kernel given by half
+// taps h[0..r] with h[-k] = h[k].
+std::vector<double> convolve(const std::vector<double>& x, const std::vector<double>& h) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const std::ptrdiff_t r = static_cast<std::ptrdiff_t>(h.size()) - 1;
+  std::vector<double> y(x.size(), 0.0);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::ptrdiff_t k = -r; k <= r; ++k) {
+      const std::ptrdiff_t j = i + k;
+      if (j < 0 || j >= n) continue;
+      s += h[static_cast<std::size_t>(std::abs(k))] * x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  }
+  return y;
+}
+
+double rms(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const la::index_t n = cli.get_int("n", 1024);
+  const double lambda = cli.get_double("lambda", 1e-3);
+  const double noise = cli.get_double("noise", 1e-3);
+
+  // Ground truth: a piecewise signal with steps and a ramp.
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (la::index_t i = n / 8; i < 3 * n / 8; ++i) x[static_cast<std::size_t>(i)] = 1.0;
+  for (la::index_t i = n / 2; i < 3 * n / 4; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        static_cast<double>(i - n / 2) / static_cast<double>(n / 4);
+  }
+
+  // Gaussian blur kernel, half taps (radius 6).
+  std::vector<double> h;
+  double hsum = 0.0;
+  for (int k = 0; k <= 6; ++k) {
+    h.push_back(std::exp(-0.5 * (k / 2.0) * (k / 2.0)));
+    hsum += (k == 0 ? 1.0 : 2.0) * h.back();
+  }
+  for (double& v : h) v /= hsum;
+
+  // Observation with noise.
+  util::Rng rng(2025);
+  std::vector<double> y = convolve(x, h);
+  for (double& v : y) v += noise * rng.normal();
+
+  // Normal-equation matrix: first row of H^T H is the kernel
+  // autocorrelation a[d] = sum_k h[k] h[k+d] (h extended symmetrically).
+  const int r = static_cast<int>(h.size()) - 1;
+  auto tap = [&](int k) { return (std::abs(k) <= r) ? h[static_cast<std::size_t>(std::abs(k))] : 0.0; };
+  std::vector<double> first_row(static_cast<std::size_t>(n), 0.0);
+  for (int d = 0; d <= 2 * r && d < n; ++d) {
+    double s = 0.0;
+    for (int k = -r; k <= r; ++k) s += tap(k) * tap(k + d);
+    first_row[static_cast<std::size_t>(d)] = s;
+  }
+  first_row[0] += lambda;
+  toeplitz::BlockToeplitz t = toeplitz::BlockToeplitz::scalar(first_row);
+
+  // Right-hand side H^T y = h * y (kernel symmetric).
+  std::vector<double> rhs = convolve(y, h);
+
+  // Factor with a working block size and solve.
+  core::SchurOptions opt;
+  opt.block_size = cli.get_int("ms", 8);
+  const double t0 = util::wall_seconds();
+  core::SchurFactor f = core::block_schur_factor(t, opt);
+  std::vector<double> xhat = core::solve_spd(f, rhs);
+  const double dt = util::wall_seconds() - t0;
+
+  std::printf("deconvolution: n = %td, lambda = %g, noise sigma = %g\n", n, lambda, noise);
+  std::printf("  factor+solve (m_s = %td): %.3f ms, %llu flops\n", f.block_size, dt * 1e3,
+              static_cast<unsigned long long>(f.flops));
+  std::printf("  rms error blurred observation vs truth: %.4f\n", rms(y, x));
+  std::printf("  rms error restored signal   vs truth: %.4f\n", rms(xhat, x));
+
+  // Cross-check against the Levinson baseline.
+  std::vector<double> xlev = baseline::levinson_solve(first_row, rhs);
+  std::printf("  max |x_schur - x_levinson| = %.3e\n",
+              [&] {
+                double m = 0.0;
+                for (std::size_t i = 0; i < xhat.size(); ++i)
+                  m = std::max(m, std::fabs(xhat[i] - xlev[i]));
+                return m;
+              }());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Gaussian process regression on a regular grid -- large SPD Toeplitz
+// systems from stationary kernels.
+//
+// For a stationary kernel k(.) on a regular 1-D grid, the covariance matrix
+// K = [k(|i-j| h)] is symmetric Toeplitz, so the GP posterior mean
+//   mu = K_* (K + sigma^2 I)^{-1} y
+// needs exactly the solver this library provides: one factorization of
+// (K + sigma^2 I), reused for every prediction weight.  This example fits a
+// noisy function with a Matern-3/2 kernel, reports the training fit and the
+// estimated condition number of the system.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bst.h"
+
+using namespace bst;
+
+namespace {
+
+double matern32(double d, double ell) {
+  const double s = std::sqrt(3.0) * d / ell;
+  return (1.0 + s) * std::exp(-s);
+}
+
+double truth(double x) { return std::sin(3.0 * x) + 0.5 * std::sin(11.0 * x); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const la::index_t n = cli.get_int("n", 512);
+  const double h = 4.0 / static_cast<double>(n);  // grid spacing on [0, 4)
+  const double ell = cli.get_double("ell", 0.25);
+  const double sigma = cli.get_double("sigma", 0.1);
+
+  // Training data: noisy samples of the truth on the grid.
+  util::Rng rng(31);
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (la::index_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] = truth(h * static_cast<double>(i)) + sigma * rng.normal();
+  }
+
+  // K + sigma^2 I as a Toeplitz first row.
+  std::vector<double> row(static_cast<std::size_t>(n));
+  for (la::index_t k = 0; k < n; ++k) row[static_cast<std::size_t>(k)] = matern32(h * k, ell);
+  row[0] += sigma * sigma;
+  toeplitz::BlockToeplitz kmat = toeplitz::BlockToeplitz::scalar(row);
+
+  // Factor once (working block size 8) and solve for the weights.
+  core::SchurOptions opt;
+  opt.block_size = cli.get_int("ms", 8);
+  const double t0 = util::wall_seconds();
+  core::SchurFactor f = core::block_schur_factor(kmat, opt);
+  std::vector<double> alpha = core::solve_spd(f, y);
+  const double dt = util::wall_seconds() - t0;
+
+  // Posterior mean on the training grid: mu = K alpha (without the noise
+  // term).  Reuse the FFT Toeplitz operator for the product.
+  row[0] -= sigma * sigma;
+  toeplitz::BlockToeplitz kclean = toeplitz::BlockToeplitz::scalar(row);
+  std::vector<double> mu;
+  toeplitz::MatVec(kclean, toeplitz::MatVecMode::Fft).apply(alpha, mu);
+
+  double rms_noisy = 0.0, rms_fit = 0.0;
+  for (la::index_t i = 0; i < n; ++i) {
+    const double t = truth(h * static_cast<double>(i));
+    rms_noisy += (y[static_cast<std::size_t>(i)] - t) * (y[static_cast<std::size_t>(i)] - t);
+    rms_fit += (mu[static_cast<std::size_t>(i)] - t) * (mu[static_cast<std::size_t>(i)] - t);
+  }
+  rms_noisy = std::sqrt(rms_noisy / n);
+  rms_fit = std::sqrt(rms_fit / n);
+
+  // Condition estimate through the factorization (Hager's method).
+  auto solve = [&](const std::vector<double>& b, std::vector<double>& x) {
+    x = core::solve_spd(f, b);
+  };
+  const double cond =
+      la::condest1(n, la::norm1(kmat.dense().view()), solve, solve);
+
+  std::printf("GP regression: n = %td, Matern-3/2 (ell = %.2f), noise sigma = %.2f\n", n, ell,
+              sigma);
+  std::printf("  factor+solve: %.2f ms (%llu flops, m_s = %td)\n", dt * 1e3,
+              static_cast<unsigned long long>(f.flops), f.block_size);
+  std::printf("  cond_1(K + sigma^2 I) ~ %.2e\n", cond);
+  std::printf("  rms error of noisy data vs truth: %.4f\n", rms_noisy);
+  std::printf("  rms error of GP posterior mean:  %.4f\n", rms_fit);
+  return 0;
+}

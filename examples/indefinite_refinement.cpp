@@ -1,0 +1,74 @@
+// The paper's section 8 scenario end-to-end: solving a symmetric Toeplitz
+// system whose leading principal minor is exactly singular.
+//
+// The Levinson recursion and the plain Schur algorithm both break down on
+// such matrices.  The extended block Schur algorithm perturbs the offending
+// generator pivot by delta ~ cbrt(eps), completes an exact factorization of
+// the nearby matrix T + dT = R^T D R, and iterative refinement removes the
+// O(delta) error in two or three steps.
+#include <cmath>
+#include <cstdio>
+
+#include "bst.h"
+
+using namespace bst;
+
+int main() {
+  // The paper's 6x6 example (eq. 50): the leading 2x2 minor [[1 1],[1 1]]
+  // is singular.
+  toeplitz::BlockToeplitz t = toeplitz::paper_example_6x6();
+  std::printf("matrix: 6x6 symmetric Toeplitz, first row "
+              "(1.0000 1.0000 0.5297 0.6711 0.0077 0.3834)\n");
+
+  // 1. The classical approaches fail.
+  std::vector<double> first_row(6);
+  for (la::index_t j = 0; j < 6; ++j) first_row[static_cast<std::size_t>(j)] = t.entry(0, j);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  try {
+    baseline::levinson_solve(first_row, b);
+    std::printf("levinson: unexpectedly succeeded?!\n");
+  } catch (const std::exception& e) {
+    std::printf("levinson: breaks down (%s)\n", e.what());
+  }
+  try {
+    core::IndefiniteOptions strict;
+    strict.allow_perturbation = false;
+    core::block_schur_indefinite(t, strict);
+    std::printf("strict Schur: unexpectedly succeeded?!\n");
+  } catch (const core::SingularMinor& e) {
+    std::printf("strict Schur: singular minor detected at step %td (h = %.1e)\n", e.step,
+                e.hnorm);
+  }
+
+  // 2. The extended algorithm perturbs and continues.
+  core::IndefiniteOptions opt;
+  opt.delta = 1e-5;  // cbrt(1e-16) as in the paper
+  core::LdlFactor f = core::block_schur_indefinite(t, opt);
+  for (const auto& e : f.perturbations) {
+    std::printf("perturbed pivot at step %td: %.10f -> %.13f\n", e.step, e.old_pivot,
+                e.new_pivot);
+  }
+  std::printf("factorization: %d row interchange(s), signature D = (", f.interchanges);
+  for (double d : f.d) std::printf("%+.0f", d);
+  std::printf(")\n");
+
+  // 3. Iterative refinement recovers full accuracy (paper: 3.6e-5 ->
+  //    7.0e-10 -> 1.6e-14).
+  const std::vector<double> xtrue(6, 1.0);
+  toeplitz::MatVec op(t);
+  core::RefineResult res = core::solve_refined(
+      op,
+      [&](const std::vector<double>& rhs, std::vector<double>& out) {
+        out = core::solve_ldl(f, rhs);
+      },
+      b);
+  std::printf("refinement: converged=%s after %d step(s)\n", res.converged ? "yes" : "no",
+              res.iterations);
+  for (std::size_t i = 0; i < res.residual_norms.size(); ++i) {
+    std::printf("  ||b - T x_%zu|| = %.4e\n", i + 1, res.residual_norms[i]);
+  }
+  double err = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) err = std::max(err, std::fabs(res.x[i] - 1.0));
+  std::printf("final: max |x_i - 1| = %.3e (machine precision regime)\n", err);
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "baseline/block_levinson.h"
+
+#include <stdexcept>
+
+#include "la/blas.h"
+#include "la/ldlt.h"
+
+namespace bst::baseline {
+namespace {
+
+using la::CView;
+using la::index_t;
+using la::Mat;
+using la::View;
+
+// Solves S X = B for a small dense symmetric S (m x m) via unpivoted LDL^T;
+// the Schur complements of a nonsingular-minor block Toeplitz matrix are
+// symmetric and nonsingular.
+class SmallSolver {
+ public:
+  explicit SmallSolver(CView s) : l_(s.rows(), s.cols()) {
+    la::copy(s, l_.view());
+    if (!la::ldlt_unpivoted(l_.view(), d_)) {
+      throw std::runtime_error("block_levinson: singular leading principal minor");
+    }
+  }
+
+  // In-place solve for each column of x.
+  void solve(View x) const {
+    const index_t n = l_.rows();
+    for (index_t j = 0; j < x.cols(); ++j) {
+      double* col = x.col(j);
+      la::trsv(la::Uplo::Lower, la::Op::None, la::Diag::Unit, l_.view(), col);
+      for (index_t i = 0; i < n; ++i) col[i] /= d_[static_cast<std::size_t>(i)];
+      la::trsv(la::Uplo::Lower, la::Op::Trans, la::Diag::Unit, l_.view(), col);
+    }
+  }
+
+ private:
+  Mat l_;
+  std::vector<double> d_;
+};
+
+}  // namespace
+
+std::vector<double> block_levinson_solve(const toeplitz::BlockToeplitz& t,
+                                         const std::vector<double>& b) {
+  const index_t m = t.block_size(), p = t.num_blocks();
+  if (static_cast<index_t>(b.size()) != t.order()) {
+    throw std::invalid_argument("block_levinson_solve: rhs size mismatch");
+  }
+  // C_d = block (1, d+1) of the first block row.
+  auto c = [&](index_t d) { return t.block(d + 1); };
+
+  // State after step k (1-based): x (k*m), y and z (k*m x m).
+  Mat y(m * p, m), z(m * p, m);
+  std::vector<double> x(static_cast<std::size_t>(m * p), 0.0);
+
+  // k = 1: T_1 = C_0.
+  {
+    SmallSolver c0(c(0));
+    if (p > 1) {
+      la::copy(c(1), y.block(0, 0, m, m));  // y_1 = C_0^{-1} C_1
+      Mat c1t = la::transpose(c(1));
+      la::copy(c1t.view(), z.block(0, 0, m, m));  // z_1 = C_0^{-1} C_1^T
+      c0.solve(y.block(0, 0, m, m));
+      c0.solve(z.block(0, 0, m, m));
+    }
+    for (index_t i = 0; i < m; ++i) x[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)];
+    View xv(x.data(), m, 1, m);
+    c0.solve(xv);
+  }
+
+  Mat sk_tv(m, m), row_v(m, m), rhs(m, m), eta(m, m), zeta(m, m);
+  std::vector<double> xi(static_cast<std::size_t>(m));
+  for (index_t k = 1; k < p; ++k) {
+    // s_k^T v = sum_j C_{k+1-j}^T v(j)   (v has k block rows), here 1-based
+    // j = 1..k maps to lag k-j+1... using 0-based block j: lag k - j.
+    auto st_dot_mat = [&](const Mat& v, View out) {
+      la::set_zero(out);
+      for (index_t j = 0; j < k; ++j) {
+        la::gemm(la::Op::Trans, la::Op::None, 1.0, c(k - j),
+                 v.block(j * m, 0, m, m), 1.0, out);
+      }
+    };
+    auto st_dot_vec = [&](const std::vector<double>& v, double* out) {
+      for (index_t i = 0; i < m; ++i) out[i] = 0.0;
+      for (index_t j = 0; j < k; ++j) {
+        la::gemv(/*trans=*/true, 1.0, c(k - j), v.data() + j * m, 1.0, out);
+      }
+    };
+    // row . v = sum_j C_{j+1} v(j)  (top-border row of lags 1..k).
+    auto row_dot_mat = [&](const Mat& v, View out) {
+      la::set_zero(out);
+      for (index_t j = 0; j < k; ++j) {
+        la::gemm(la::Op::None, la::Op::None, 1.0, c(j + 1), v.block(j * m, 0, m, m), 1.0,
+                 out);
+      }
+    };
+
+    // Schur complements of the two borderings.
+    Mat s_bottom(m, m), s_top(m, m);
+    st_dot_mat(y, sk_tv.view());
+    for (index_t jj = 0; jj < m; ++jj)
+      for (index_t ii = 0; ii < m; ++ii) s_bottom(ii, jj) = c(0)(ii, jj) - sk_tv(ii, jj);
+    row_dot_mat(z, row_v.view());
+    for (index_t jj = 0; jj < m; ++jj)
+      for (index_t ii = 0; ii < m; ++ii) s_top(ii, jj) = c(0)(ii, jj) - row_v(ii, jj);
+    // Symmetrize against roundoff before factoring.
+    for (index_t jj = 0; jj < m; ++jj)
+      for (index_t ii = 0; ii < jj; ++ii) {
+        s_bottom(ii, jj) = s_bottom(jj, ii) = 0.5 * (s_bottom(ii, jj) + s_bottom(jj, ii));
+        s_top(ii, jj) = s_top(jj, ii) = 0.5 * (s_top(ii, jj) + s_top(jj, ii));
+      }
+    SmallSolver bottom(s_bottom.view());
+    SmallSolver top(s_top.view());
+
+    // --- solution update: xi = S_b^{-1} (b_{k+1} - s_k^T x_k) -------------
+    st_dot_vec(x, xi.data());
+    for (index_t i = 0; i < m; ++i) {
+      xi[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(k * m + i)] -
+                                        xi[static_cast<std::size_t>(i)];
+    }
+    {
+      View xiv(xi.data(), m, 1, m);
+      bottom.solve(xiv);
+    }
+    // x(1:k) -= y_k xi;  x(k+1) = xi.
+    for (index_t j = 0; j < k; ++j) {
+      la::gemv(/*trans=*/false, -1.0, y.block(j * m, 0, m, m), xi.data(), 1.0,
+               x.data() + j * m);
+    }
+    for (index_t i = 0; i < m; ++i) x[static_cast<std::size_t>(k * m + i)] =
+        xi[static_cast<std::size_t>(i)];
+    if (k + 1 == p) break;  // no need to extend the auxiliaries further
+
+    // --- z update (bottom bordering) --------------------------------------
+    // zeta = S_b^{-1} (C_{k+1}^T - s_k^T z_k);  z(1:k) -= y_k zeta.
+    st_dot_mat(z, rhs.view());
+    for (index_t jj = 0; jj < m; ++jj)
+      for (index_t ii = 0; ii < m; ++ii) zeta(ii, jj) = c(k + 1)(jj, ii) - rhs(ii, jj);
+    bottom.solve(zeta.view());
+
+    // --- y update (top bordering) ------------------------------------------
+    // eta = S_t^{-1} (C_{k+1} - row . y_k);  y'' = y_k - z_k eta, then the
+    // new y is [eta; y''] (blocks shift down by one).
+    row_dot_mat(y, rhs.view());
+    for (index_t jj = 0; jj < m; ++jj)
+      for (index_t ii = 0; ii < m; ++ii) eta(ii, jj) = c(k + 1)(ii, jj) - rhs(ii, jj);
+    top.solve(eta.view());
+
+    // Apply both updates using the OLD y_k/z_k consistently.
+    Mat ynew(m * p, m);
+    for (index_t j = 0; j < k; ++j) {
+      View dst = ynew.block((j + 1) * m, 0, m, m);
+      la::copy(y.block(j * m, 0, m, m), dst);
+      la::gemm(la::Op::None, la::Op::None, -1.0, z.block(j * m, 0, m, m), eta.view(), 1.0,
+               dst);
+    }
+    la::copy(eta.view(), ynew.block(0, 0, m, m));
+
+    for (index_t j = 0; j < k; ++j) {
+      View dst = z.block(j * m, 0, m, m);
+      la::gemm(la::Op::None, la::Op::None, -1.0, y.block(j * m, 0, m, m), zeta.view(), 1.0,
+               dst);
+    }
+    la::copy(zeta.view(), z.block(k * m, 0, m, m));
+    la::copy(ynew.block(0, 0, (k + 1) * m, m), y.block(0, 0, (k + 1) * m, m));
+  }
+  return x;
+}
+
+}  // namespace bst::baseline

@@ -1,0 +1,24 @@
+// Block Levinson solver for symmetric block Toeplitz systems (baseline).
+//
+// Generalizes the Levinson recursion to block Toeplitz matrices
+// T(l, k) = C_{k-l} (C_{-d} = C_d^T) via a two-sided bordering: alongside
+// the solution x_k of T_k x = b it maintains the auxiliary block columns
+//   y_k = T_k^{-1} [C_k; ...; C_1]      (bottom bordering)
+//   z_k = T_k^{-1} [C_1^T; ...; C_k^T]  (top bordering)
+// which extend each other in O(k m^3) per step -- O(n^2 m) total, the
+// block analogue of Levinson's O(n^2).  Requires every leading principal
+// block minor (and its Schur complement) to be nonsingular, exactly like
+// the scalar recursion; throws std::runtime_error otherwise.
+#pragma once
+
+#include <vector>
+
+#include "toeplitz/block_toeplitz.h"
+
+namespace bst::baseline {
+
+/// Solves T x = b for a symmetric block Toeplitz T.
+std::vector<double> block_levinson_solve(const toeplitz::BlockToeplitz& t,
+                                         const std::vector<double>& b);
+
+}  // namespace bst::baseline

@@ -1,0 +1,63 @@
+#include "baseline/classic_schur.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas.h"
+#include "util/flops.h"
+
+namespace bst::baseline {
+
+la::Mat classic_schur_factor(const std::vector<double>& first_row) {
+  const la::index_t n = static_cast<la::index_t>(first_row.size());
+  if (n == 0) return la::Mat();
+  const double t0 = first_row[0];
+  if (t0 <= 0.0) throw std::runtime_error("classic_schur: T(0,0) <= 0");
+  const double l0 = std::sqrt(t0);
+
+  // Generator rows: a = [t0 t1 ... t_{n-1}] / l0, b = a with b[0] = 0.
+  std::vector<double> a(first_row.size()), b(first_row.size());
+  for (std::size_t i = 0; i < first_row.size(); ++i) a[i] = first_row[i] / l0;
+  b = a;
+  b[0] = 0.0;
+
+  la::Mat r(n, n);
+  for (la::index_t j = 0; j < n; ++j) r(0, j) = a[static_cast<std::size_t>(j)];
+
+  for (la::index_t i = 1; i < n; ++i) {
+    // Virtual shift: a's active entries are a[0 .. n-1-i] holding logical
+    // columns i..n-1; b's active entries are b[i .. n-1].
+    const double p = a[0];
+    const double q = b[static_cast<std::size_t>(i)];
+    const double h = p * p - q * q;
+    if (h <= 0.0) throw std::runtime_error("classic_schur: matrix is not positive definite");
+    // Hyperbolic rotation eliminating q against p:
+    //   [c -s; -s c] with c = p / sqrt(h), s = q / sqrt(h)
+    // is W-unitary for W = diag(1, -1) and maps (p, q) to (sqrt(h), 0).
+    const double rho = std::sqrt(h);
+    const double c = p / rho, s = q / rho;
+    const la::index_t len = n - i;  // active columns
+    a[0] = rho;
+    b[static_cast<std::size_t>(i)] = 0.0;
+    for (la::index_t j = 1; j < len; ++j) {
+      const double av = a[static_cast<std::size_t>(j)];
+      const double bv = b[static_cast<std::size_t>(i + j)];
+      a[static_cast<std::size_t>(j)] = c * av - s * bv;
+      b[static_cast<std::size_t>(i + j)] = c * bv - s * av;
+    }
+    util::FlopCounter::charge(static_cast<std::uint64_t>(6 * (len - 1) + 8));
+    for (la::index_t j = 0; j < len; ++j) r(i, i + j) = a[static_cast<std::size_t>(j)];
+  }
+  return r;
+}
+
+std::vector<double> classic_schur_solve(const std::vector<double>& first_row,
+                                        const std::vector<double>& b) {
+  la::Mat r = classic_schur_factor(first_row);
+  std::vector<double> x = b;
+  la::trsv(la::Uplo::Upper, la::Op::Trans, la::Diag::NonUnit, r.view(), x.data());
+  la::trsv(la::Uplo::Upper, la::Op::None, la::Diag::NonUnit, r.view(), x.data());
+  return x;
+}
+
+}  // namespace bst::baseline

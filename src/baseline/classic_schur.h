@@ -1,0 +1,24 @@
+// Classical (unblocked) Schur algorithm of Cybenko & Berry for a scalar
+// symmetric positive definite Toeplitz matrix.
+//
+// Serves as an independently-written cross-check for the block algorithm
+// (to which it must agree up to roundoff for m = m_s = 1) and as the
+// baseline "point algorithm" in the performance comparisons.
+#pragma once
+
+#include "la/matrix.h"
+
+#include <vector>
+
+namespace bst::baseline {
+
+/// Factors the SPD Toeplitz matrix with the given first row into T = R^T R;
+/// returns the dense upper triangular R.  Throws std::runtime_error when a
+/// pivot loses positivity.
+la::Mat classic_schur_factor(const std::vector<double>& first_row);
+
+/// Solves T x = b through the classical Schur factorization.
+std::vector<double> classic_schur_solve(const std::vector<double>& first_row,
+                                        const std::vector<double>& b);
+
+}  // namespace bst::baseline

@@ -1,0 +1,39 @@
+#include "baseline/dense_solver.h"
+
+#include <stdexcept>
+
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/ldlt.h"
+
+namespace bst::baseline {
+
+std::vector<double> dense_spd_solve(la::CView a, const std::vector<double>& b) {
+  const la::index_t n = a.rows();
+  la::Mat l(n, n);
+  la::copy(a, l.view());
+  if (!la::cholesky_lower(l.view())) {
+    throw std::runtime_error("dense_spd_solve: matrix is not positive definite");
+  }
+  std::vector<double> x = b;
+  la::trsv(la::Uplo::Lower, la::Op::None, la::Diag::NonUnit, l.view(), x.data());
+  la::trsv(la::Uplo::Lower, la::Op::Trans, la::Diag::NonUnit, l.view(), x.data());
+  return x;
+}
+
+std::vector<double> dense_sym_solve(la::CView a, const std::vector<double>& b) {
+  const la::index_t n = a.rows();
+  la::Mat l(n, n);
+  la::copy(a, l.view());
+  std::vector<double> d;
+  if (!la::ldlt_unpivoted(l.view(), d)) {
+    throw std::runtime_error("dense_sym_solve: singular leading principal minor");
+  }
+  std::vector<double> x = b;
+  la::trsv(la::Uplo::Lower, la::Op::None, la::Diag::Unit, l.view(), x.data());
+  for (la::index_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] /= d[static_cast<std::size_t>(i)];
+  la::trsv(la::Uplo::Lower, la::Op::Trans, la::Diag::Unit, l.view(), x.data());
+  return x;
+}
+
+}  // namespace bst::baseline

@@ -1,0 +1,17 @@
+// Dense O(n^3) baseline solvers, structure-oblivious.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace bst::baseline {
+
+/// Solves A x = b for dense SPD A via blocked Cholesky.
+std::vector<double> dense_spd_solve(la::CView a, const std::vector<double>& b);
+
+/// Solves A x = b for dense symmetric A via unpivoted LDL^T (requires
+/// nonsingular leading minors).
+std::vector<double> dense_sym_solve(la::CView a, const std::vector<double>& b);
+
+}  // namespace bst::baseline

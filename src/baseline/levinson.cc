@@ -1,0 +1,88 @@
+#include "baseline/levinson.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/flops.h"
+
+namespace bst::baseline {
+
+std::vector<double> levinson_solve(const std::vector<double>& first_row,
+                                   const std::vector<double>& b) {
+  const std::size_t n = first_row.size();
+  if (b.size() != n) throw std::invalid_argument("levinson_solve: size mismatch");
+  if (n == 0) return {};
+  const double t0 = first_row[0];
+  if (t0 == 0.0) throw std::runtime_error("levinson_solve: singular leading minor");
+  // Normalize to unit diagonal (Golub & Van Loan, Algorithm 4.7.2).
+  std::vector<double> r(n), bn(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = first_row[i] / t0;
+    bn[i] = b[i] / t0;
+  }
+  std::vector<double> x(n, 0.0), y(n, 0.0);
+  x[0] = bn[0];
+  if (n == 1) return x;
+  y[0] = -r[1];
+  double beta = 1.0;
+  double alpha = -r[1];
+  for (std::size_t k = 1; k < n; ++k) {
+    beta *= (1.0 - alpha * alpha);
+    if (beta == 0.0 || !std::isfinite(beta)) {
+      throw std::runtime_error("levinson_solve: singular leading minor");
+    }
+    double mu = bn[k];
+    for (std::size_t i = 0; i < k; ++i) mu -= r[i + 1] * x[k - 1 - i];
+    mu /= beta;
+    for (std::size_t i = 0; i < k; ++i) x[i] += mu * y[k - 1 - i];
+    x[k] = mu;
+    if (k < n - 1) {
+      double a = r[k + 1];
+      for (std::size_t i = 0; i < k; ++i) a += r[i + 1] * y[k - 1 - i];
+      alpha = -a / beta;
+      // z = y + alpha * reverse(y): in-place with a two-pointer sweep.
+      for (std::size_t i = 0, j = k - 1; i < j; ++i, --j) {
+        const double yi = y[i], yj = y[j];
+        y[i] = yi + alpha * yj;
+        y[j] = yj + alpha * yi;
+      }
+      if (k % 2 == 1) y[k / 2] *= (1.0 + alpha);
+      y[k] = alpha;
+    }
+    util::FlopCounter::charge(8 * k + 10);
+  }
+  return x;
+}
+
+DurbinResult durbin(const std::vector<double>& r) {
+  const std::size_t n = r.size();
+  DurbinResult res;
+  if (n <= 1) {
+    res.beta = 1.0;
+    return res;
+  }
+  std::vector<double>& y = res.y;
+  y.assign(n - 1, 0.0);
+  y[0] = -r[1] / r[0];
+  res.reflection.push_back(y[0]);
+  double beta = r[0] * (1.0 - y[0] * y[0]);
+  for (std::size_t k = 1; k + 1 < n; ++k) {
+    double a = r[k + 1];
+    for (std::size_t i = 0; i < k; ++i) a += r[i + 1] * y[k - 1 - i];
+    if (beta == 0.0) throw std::runtime_error("durbin: singular minor");
+    const double alpha = -a / beta;
+    res.reflection.push_back(alpha);
+    for (std::size_t i = 0, j = k - 1; i < j; ++i, --j) {
+      const double yi = y[i], yj = y[j];
+      y[i] = yi + alpha * yj;
+      y[j] = yj + alpha * yi;
+    }
+    if (k % 2 == 1) y[k / 2] *= (1.0 + alpha);
+    y[k] = alpha;
+    beta *= (1.0 - alpha * alpha);
+  }
+  res.beta = beta;
+  return res;
+}
+
+}  // namespace bst::baseline

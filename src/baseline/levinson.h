@@ -1,0 +1,28 @@
+// Levinson recursion for symmetric Toeplitz systems (baseline, O(n^2)).
+//
+// The classical alternative to Schur-type algorithms: solves T x = b
+// directly from the first row of T without forming a factorization.
+// Requires all leading principal minors to be nonsingular.
+#pragma once
+
+#include <vector>
+
+namespace bst::baseline {
+
+/// Solves T x = b for a symmetric Toeplitz T given by its first row.
+/// Throws std::runtime_error when a leading principal minor is
+/// (numerically) singular.
+std::vector<double> levinson_solve(const std::vector<double>& first_row,
+                                   const std::vector<double>& b);
+
+/// Durbin's algorithm: solves the Yule-Walker system T_{n-1} y = -(r_1..r_{n-1})
+/// for a symmetric Toeplitz with unit diagonal; returns y and the final
+/// prediction-error variance beta (both useful in the LPC example).
+struct DurbinResult {
+  std::vector<double> y;
+  double beta = 0.0;
+  std::vector<double> reflection;  // the n-1 reflection (PARCOR) coefficients
+};
+DurbinResult durbin(const std::vector<double>& r);
+
+}  // namespace bst::baseline

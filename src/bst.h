@@ -1,0 +1,48 @@
+// Umbrella header for the block Schur Toeplitz library.
+//
+// Public API tour:
+//   toeplitz::BlockToeplitz      -- problem description (first block row)
+//   core::block_schur_factor     -- SPD factorization T = R^T R
+//   core::block_schur_indefinite -- indefinite / singular-minor extension,
+//                                   T + dT = R^T D R
+//   core::solve_spd / solve_ldl  -- triangular solves on the factors
+//   core::solve_refined          -- iterative refinement driver
+//   simnet::dist_schur_factor    -- distributed-memory simulation (T3D)
+//   baseline::*                  -- Levinson / classical Schur / dense
+#pragma once
+
+#include "baseline/classic_schur.h"
+#include "baseline/dense_solver.h"
+#include "baseline/block_levinson.h"
+#include "baseline/levinson.h"
+#include "core/block_reflector.h"
+#include "core/flop_model.h"
+#include "core/generator.h"
+#include "core/hyperbolic.h"
+#include "core/indefinite.h"
+#include "core/refine.h"
+#include "core/schur.h"
+#include "core/solve.h"
+#include "core/solver.h"
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/condest.h"
+#include "la/ldlt.h"
+#include "la/matrix.h"
+#include "la/norms.h"
+#include "la/triangular.h"
+#include "simnet/dist_schur.h"
+#include "simnet/machine.h"
+#include "simnet/runtime.h"
+#include "simnet/threaded_schur.h"
+#include "toeplitz/block_toeplitz.h"
+#include "toeplitz/fft.h"
+#include "toeplitz/generators.h"
+#include "toeplitz/io.h"
+#include "toeplitz/matvec.h"
+#include "util/cli.h"
+#include "util/flops.h"
+#include "util/fpenv.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"

@@ -1,0 +1,433 @@
+#include "core/block_reflector.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "la/blas.h"
+#include "util/flops.h"
+
+namespace bst::core {
+
+const char* to_string(Representation rep) {
+  switch (rep) {
+    case Representation::AccumulatedU: return "U";
+    case Representation::VY1: return "VY1";
+    case Representation::VY2: return "VY2";
+    case Representation::YTY: return "YTY";
+    case Representation::Sequential: return "seq";
+  }
+  return "?";
+}
+
+void scale_rows_wk(View g, const Signature& sig, index_t row_offset, index_t k) {
+  if (k % 2 == 0) return;
+  for (index_t i = 0; i < g.rows(); ++i) {
+    const double w = sig[static_cast<std::size_t>(row_offset + i)];
+    if (w == 1.0) continue;
+    for (index_t j = 0; j < g.cols(); ++j) g(i, j) = -g(i, j);
+  }
+}
+
+BlockReflector::BlockReflector(Representation rep, index_t m, Signature sig)
+    : rep_(rep), m_(m), sig_(std::move(sig)) {
+  assert(static_cast<index_t>(sig_.size()) == 2 * m_);
+  refl_.reserve(static_cast<std::size_t>(m_));
+  switch (rep_) {
+    case Representation::AccumulatedU:
+      u_ = la::identity(2 * m_);
+      break;
+    case Representation::VY1:
+    case Representation::VY2:
+      v_ = Mat(2 * m_, m_);
+      y_ = Mat(2 * m_, m_);
+      break;
+    case Representation::YTY:
+      y_ = Mat(2 * m_, m_);
+      t_ = Mat(m_, m_);
+      break;
+    case Representation::Sequential:
+      break;
+  }
+}
+
+BlockReflector BlockReflector::from_reflectors(Representation rep, index_t m, Signature sig,
+                                               const std::vector<Reflector>& reflectors) {
+  BlockReflector bref(rep, m, std::move(sig));
+  for (const Reflector& r : reflectors) {
+    bref.accumulate(r, bref.built_);
+    bref.refl_.push_back(r);
+    ++bref.built_;
+  }
+  return bref;
+}
+
+std::optional<StepBreakdown> BlockReflector::build(View p, View q, double breakdown_tol,
+                                                   index_t inner_block) {
+  assert(p.rows() == m_ && p.cols() == m_ && q.rows() == m_ && q.cols() == m_);
+  if (inner_block <= 0 || inner_block >= m_ || rep_ == Representation::Sequential) {
+    return build_panel(p, q, 0, m_, breakdown_tol, nullptr);
+  }
+  // Two-level blocking (paper section 6.2): aggregate every `inner_block`
+  // reflectors and update the pivot columns to the right of the panel with
+  // the level-3 application path.
+  for (index_t k0 = 0; k0 < m_; k0 += inner_block) {
+    const index_t k1 = std::min(m_, k0 + inner_block);
+    BlockReflector panel(rep_, m_, sig_);
+    if (auto bd = build_panel(p, q, k0, k1, breakdown_tol, &panel)) return bd;
+    if (k1 < m_) {
+      panel.apply(p.block(0, k1, m_, m_ - k1), q.block(0, k1, m_, m_ - k1));
+    }
+    // Finished columns left of the panel only feel the panel's W^kb.
+    if (k0 > 0) {
+      scale_rows_wk(p.block(0, 0, m_, k0), sig_, 0, k1 - k0);
+      // (their lower rows are exactly zero already)
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<StepBreakdown> BlockReflector::build_panel(View p, View q, index_t k0, index_t k1,
+                                                         double breakdown_tol,
+                                                         BlockReflector* panel_agg) {
+  std::vector<double> u(static_cast<std::size_t>(2 * m_));
+  // Per-reflector updates stop at the panel edge; columns beyond it are
+  // updated by the aggregated panel (or, in single-level mode, k1 == m).
+  const index_t cend = (panel_agg != nullptr) ? k1 : m_;
+  for (index_t k = k0; k < k1; ++k) {
+    // Restricted column: the pivot entry plus the lower block's column k.
+    std::fill(u.begin(), u.end(), 0.0);
+    u[static_cast<std::size_t>(k)] = p(k, k);
+    for (index_t r = 0; r < m_; ++r) u[static_cast<std::size_t>(m_ + r)] = q(r, k);
+
+    auto refl = make_reflector(u, sig_, k, breakdown_tol);
+    if (!refl) {
+      return StepBreakdown{k, hyperbolic_norm(u, sig_)};
+    }
+    // Transform the remaining pivot columns (k..cend-1) of [P; Q].
+    for (index_t c = k; c < cend; ++c) {
+      const Reflector& r = *refl;
+      double t = 0.0;
+      t += r.x[static_cast<std::size_t>(k)] * p(k, c);
+      for (index_t rr = 0; rr < m_; ++rr)
+        t += r.x[static_cast<std::size_t>(m_ + rr)] * q(rr, c);
+      t *= r.beta;
+      // Upper rows: only row k has a nonzero x entry; other upper rows keep
+      // their W_jj = sig_j scaling.
+      for (index_t rr = 0; rr < m_; ++rr) {
+        const double w = sig_[static_cast<std::size_t>(rr)];
+        p(rr, c) = w * p(rr, c) + (rr == k ? t * r.x[static_cast<std::size_t>(k)] : 0.0);
+      }
+      for (index_t rr = 0; rr < m_; ++rr) {
+        const double w = sig_[static_cast<std::size_t>(m_ + rr)];
+        q(rr, c) = w * q(rr, c) + t * r.x[static_cast<std::size_t>(m_ + rr)];
+      }
+    }
+    util::FlopCounter::charge(static_cast<std::uint64_t>((cend - k)) *
+                              static_cast<std::uint64_t>(5 * m_ + 4));
+    // Column k is now -sigma e_k + (untouched rows above k); kill roundoff
+    // in the eliminated entries.
+    p(k, k) = -refl->sigma;
+    for (index_t rr = 0; rr < m_; ++rr) q(rr, k) = 0.0;
+    // Finished columns of this panel still need this reflector's W scaling
+    // (columns of earlier panels are handled at the panel boundary).
+    const index_t flip_from = (panel_agg != nullptr) ? k0 : 0;
+    for (index_t c = flip_from; c < k; ++c) {
+      for (index_t rr = 0; rr < m_; ++rr) {
+        const double w = sig_[static_cast<std::size_t>(rr)];
+        if (w != 1.0) p(rr, c) = -p(rr, c);
+      }
+      // Lower rows of columns < k are exactly zero already.
+    }
+
+    if (panel_agg != nullptr) {
+      panel_agg->accumulate(*refl, k - k0);
+      panel_agg->refl_.push_back(*refl);
+      ++panel_agg->built_;
+    }
+    accumulate(*refl, k);
+    refl_.push_back(std::move(*refl));
+    ++built_;
+  }
+  return std::nullopt;
+}
+
+void BlockReflector::accumulate(const Reflector& r, index_t k) {
+  const index_t n = 2 * m_;
+  switch (rep_) {
+    case Representation::Sequential:
+      return;
+    case Representation::AccumulatedU: {
+      // U := U_{k+1} U = W U + beta x (x^T U).
+      std::vector<double> z(static_cast<std::size_t>(n));
+      la::gemv(/*trans=*/true, r.beta, u_.view(), r.x.data(), 0.0, z.data());
+      for (index_t i = 0; i < n; ++i) {
+        const double w = sig_[static_cast<std::size_t>(i)];
+        if (w != 1.0) {
+          for (index_t j = 0; j < n; ++j) u_(i, j) = -u_(i, j);
+        }
+      }
+      la::ger(1.0, r.x.data(), z.data(), u_.view());
+      return;
+    }
+    case Representation::VY1: {
+      // z = beta (x^T U^{(k)}) = beta (x^T W^k) + beta (x^T V_k) Y_k^T.
+      std::vector<double> z(static_cast<std::size_t>(n), 0.0);
+      for (index_t i = 0; i < n; ++i) {
+        double wk = 1.0;
+        if (k % 2 == 1) wk = sig_[static_cast<std::size_t>(i)];
+        z[static_cast<std::size_t>(i)] = r.beta * wk * r.x[static_cast<std::size_t>(i)];
+      }
+      if (k > 0) {
+        std::vector<double> t(static_cast<std::size_t>(k));
+        la::gemv(/*trans=*/true, 1.0, la::CView(v_.view().block(0, 0, n, k)), r.x.data(), 0.0,
+                 t.data());
+        la::gemv(/*trans=*/false, r.beta, la::CView(y_.view().block(0, 0, n, k)), t.data(), 1.0,
+                 z.data());
+      }
+      // V := [W V_k, x].
+      for (index_t c = 0; c < k; ++c) {
+        for (index_t i = 0; i < n; ++i) {
+          const double w = sig_[static_cast<std::size_t>(i)];
+          if (w != 1.0) v_(i, c) = -v_(i, c);
+        }
+      }
+      for (index_t i = 0; i < n; ++i) {
+        v_(i, k) = r.x[static_cast<std::size_t>(i)];
+        y_(i, k) = z[static_cast<std::size_t>(i)];
+      }
+      return;
+    }
+    case Representation::VY2: {
+      // z = beta (x^T W^k);  V := [U_{k+1} V_k, x].
+      if (k > 0) {
+        View vk = v_.block(0, 0, n, k);
+        std::vector<double> t(static_cast<std::size_t>(k));
+        la::gemv(/*trans=*/true, r.beta, la::CView(vk), r.x.data(), 0.0, t.data());
+        for (index_t i = 0; i < n; ++i) {
+          const double w = sig_[static_cast<std::size_t>(i)];
+          if (w != 1.0) {
+            for (index_t c = 0; c < k; ++c) vk(i, c) = -vk(i, c);
+          }
+        }
+        la::ger(1.0, r.x.data(), t.data(), vk);
+      }
+      for (index_t i = 0; i < n; ++i) {
+        double wk = 1.0;
+        if (k % 2 == 1) wk = sig_[static_cast<std::size_t>(i)];
+        v_(i, k) = r.x[static_cast<std::size_t>(i)];
+        y_(i, k) = r.beta * wk * r.x[static_cast<std::size_t>(i)];
+      }
+      return;
+    }
+    case Representation::YTY: {
+      // a = beta (x^T Y_k T_k), b = beta;  Y := [W Y_k, x].
+      if (k > 0) {
+        std::vector<double> t2(static_cast<std::size_t>(k));
+        la::gemv(/*trans=*/true, 1.0, la::CView(y_.view().block(0, 0, n, k)), r.x.data(), 0.0,
+                 t2.data());
+        // a^T = beta T_k^T t2 (T_k is the leading k x k lower triangle).
+        std::vector<double> a(static_cast<std::size_t>(k), 0.0);
+        for (index_t j = 0; j < k; ++j) {
+          double s = 0.0;
+          for (index_t i = j; i < k; ++i) s += t_(i, j) * t2[static_cast<std::size_t>(i)];
+          a[static_cast<std::size_t>(j)] = r.beta * s;
+        }
+        for (index_t j = 0; j < k; ++j) t_(k, j) = a[static_cast<std::size_t>(j)];
+        util::FlopCounter::charge(static_cast<std::uint64_t>(k) * (k + 1));
+      }
+      t_(k, k) = r.beta;
+      for (index_t c = 0; c < k; ++c) {
+        for (index_t i = 0; i < n; ++i) {
+          const double w = sig_[static_cast<std::size_t>(i)];
+          if (w != 1.0) y_(i, c) = -y_(i, c);
+        }
+      }
+      for (index_t i = 0; i < n; ++i) y_(i, k) = r.x[static_cast<std::size_t>(i)];
+      return;
+    }
+  }
+}
+
+void BlockReflector::apply(View a, View b) const {
+  assert(built_ >= 1 && "apply() before a successful build()");
+  assert(a.rows() == m_ && b.rows() == m_ && a.cols() == b.cols());
+  if (a.cols() == 0) return;
+  switch (rep_) {
+    case Representation::AccumulatedU: return apply_accumulated_u(a, b);
+    case Representation::VY1:
+    case Representation::VY2: return apply_vy(a, b);
+    case Representation::YTY: return apply_yty(a, b);
+    case Representation::Sequential: return apply_sequential(a, b);
+  }
+}
+
+void BlockReflector::apply_accumulated_u(View a, View b) const {
+  const index_t l = a.cols();
+  Mat ta(m_, l), tb(m_, l);
+  la::CView u11 = u_.block(0, 0, m_, m_);
+  la::CView u12 = u_.block(0, m_, m_, m_);
+  la::CView u21 = u_.block(m_, 0, m_, m_);
+  la::CView u22 = u_.block(m_, m_, m_, m_);
+  la::gemm(la::Op::None, la::Op::None, 1.0, u11, a, 0.0, ta.view());
+  la::gemm(la::Op::None, la::Op::None, 1.0, u12, b, 1.0, ta.view());
+  la::gemm(la::Op::None, la::Op::None, 1.0, u21, a, 0.0, tb.view());
+  la::gemm(la::Op::None, la::Op::None, 1.0, u22, b, 1.0, tb.view());
+  la::copy(ta.view(), a);
+  la::copy(tb.view(), b);
+}
+
+void BlockReflector::apply_vy(View a, View b) const {
+  const index_t l = a.cols();
+  const index_t r = built_;  // aggregated reflectors (== m for a full step)
+  // The upper halves of V and Y carry the sparsity of paper Figs. 3:
+  //   VY1: V_up is diagonal (columns are the x vectors, upper part e_k),
+  //        Y_up is dense;
+  //   VY2: Y_up is diagonal (columns are beta W^k x), V_up is lower
+  //        triangular (rows fill in as later reflectors touch them).
+  // Exploiting this removes roughly half of the dense work, which is what
+  // makes the VY application costs of eqs. 30-31 achievable.
+  Mat z(r, l);
+  if (rep_ == Representation::VY2) {
+    // Z = D_yup A(rows 0..r) + Y_low^T B.
+    la::gemm(la::Op::Trans, la::Op::None, 1.0, y_.block(m_, 0, m_, r), b, 0.0, z.view());
+    for (index_t k = 0; k < r; ++k) {
+      const index_t pk = refl_[static_cast<std::size_t>(k)].pivot;
+      const double d = y_(pk, k);
+      const double* arow = &a(pk, 0);
+      double* zrow = &z(k, 0);
+      for (index_t j = 0; j < l; ++j) zrow[j * z.ld()] += d * arow[j * a.ld()];
+    }
+    util::FlopCounter::charge(static_cast<std::uint64_t>(2 * r * l));
+  } else {
+    la::gemm(la::Op::Trans, la::Op::None, 1.0, y_.block(0, 0, m_, r), a, 0.0, z.view());
+    la::gemm(la::Op::Trans, la::Op::None, 1.0, y_.block(m_, 0, m_, r), b, 1.0, z.view());
+  }
+  // A := W^r A + V_up Z;  B := W^r B + V_low Z.
+  scale_rows_wk(a, sig_, 0, r);
+  scale_rows_wk(b, sig_, m_, r);
+  if (rep_ == Representation::VY1) {
+    // V_up is nonzero only at the pivot row of each column (diagonal in
+    // the full-step case, shifted for panels).
+    for (index_t k = 0; k < r; ++k) {
+      const index_t pk = refl_[static_cast<std::size_t>(k)].pivot;
+      const double d = v_(pk, k);
+      const double* zrow = &z(k, 0);
+      double* arow = &a(pk, 0);
+      for (index_t j = 0; j < l; ++j) arow[j * a.ld()] += d * zrow[j * z.ld()];
+    }
+    util::FlopCounter::charge(static_cast<std::uint64_t>(2 * r * l));
+  } else {
+    // V_up's only nonzero rows are the pivot rows, and pivot row of
+    // reflector i carries entries in columns <= i (lower triangular after
+    // reindexing by pivot order).
+    for (index_t j = 0; j < l; ++j) {
+      const double* zc = z.view().col(j);
+      double* ac = a.col(j);
+      for (index_t i = 0; i < r; ++i) {
+        const index_t pi = refl_[static_cast<std::size_t>(i)].pivot;
+        double s = 0.0;
+        for (index_t k = 0; k <= i; ++k) s += v_(pi, k) * zc[k];
+        ac[pi] += s;
+      }
+    }
+    util::FlopCounter::charge(static_cast<std::uint64_t>(r * (r + 1) * l));
+  }
+  la::gemm(la::Op::None, la::Op::None, 1.0, v_.block(m_, 0, m_, r), z.view(), 1.0, b);
+}
+
+void BlockReflector::apply_yty(View a, View b) const {
+  const index_t l = a.cols();
+  const index_t r = built_;  // aggregated reflectors (== m for a full step)
+  // Sparsity of paper Fig. 4: Y_up is diagonal (columns are the x vectors,
+  // never modified by the recurrence) and T is lower triangular.
+  // Z = Y^T W^{r-1} [A; B]: fold the W^{r-1} signs into the diagonal /
+  // per-row signs.
+  // W^{r-1} scales row i of [A;B] by sig_i^(r-1); for odd r-1 fold the
+  // signs into a copy of Y_low (and into the diagonal term below).
+  Mat z(r, l);
+  if ((r - 1) % 2 == 0) {
+    la::gemm(la::Op::Trans, la::Op::None, 1.0, y_.block(m_, 0, m_, r), b, 0.0, z.view());
+  } else {
+    Mat yl(m_, r);
+    for (index_t k = 0; k < r; ++k)
+      for (index_t i = 0; i < m_; ++i)
+        yl(i, k) = y_(m_ + i, k) * sig_[static_cast<std::size_t>(m_ + i)];
+    la::gemm(la::Op::Trans, la::Op::None, 1.0, yl.view(), b, 0.0, z.view());
+  }
+  for (index_t k = 0; k < r; ++k) {
+    const index_t pk = refl_[static_cast<std::size_t>(k)].pivot;
+    double d = y_(pk, k);
+    if ((r - 1) % 2 == 1) d *= sig_[static_cast<std::size_t>(pk)];
+    const double* arow = &a(pk, 0);
+    double* zrow = &z(k, 0);
+    for (index_t j = 0; j < l; ++j) zrow[j * z.ld()] += d * arow[j * a.ld()];
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(2 * r * l));
+  // Z2 = T Z with T lower triangular (triangular multiply, half the work).
+  Mat z2(r, l);
+  for (index_t j = 0; j < l; ++j) {
+    const double* zc = z.view().col(j);
+    double* oc = z2.view().col(j);
+    for (index_t i = 0; i < r; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k <= i; ++k) s += t_(i, k) * zc[k];
+      oc[i] = s;
+    }
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(r * (r + 1) * l));
+  scale_rows_wk(a, sig_, 0, r);
+  scale_rows_wk(b, sig_, m_, r);
+  // A += Y_up Z2 (pivot-row sparse);  B += Y_low Z2 (dense).
+  for (index_t k = 0; k < r; ++k) {
+    const index_t pk = refl_[static_cast<std::size_t>(k)].pivot;
+    const double d = y_(pk, k);
+    const double* zrow = &z2(k, 0);
+    double* arow = &a(pk, 0);
+    for (index_t j = 0; j < l; ++j) arow[j * a.ld()] += d * zrow[j * z2.ld()];
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(2 * r * l));
+  la::gemm(la::Op::None, la::Op::None, 1.0, y_.block(m_, 0, m_, r), z2.view(), 1.0, b);
+}
+
+void BlockReflector::apply_sequential(View a, View b) const {
+  const index_t l = a.cols();
+  for (const Reflector& r : refl_) {
+    const index_t k = r.pivot;
+    for (index_t c = 0; c < l; ++c) {
+      double t = r.x[static_cast<std::size_t>(k)] * a(k, c);
+      for (index_t rr = 0; rr < m_; ++rr)
+        t += r.x[static_cast<std::size_t>(m_ + rr)] * b(rr, c);
+      t *= r.beta;
+      for (index_t rr = 0; rr < m_; ++rr) {
+        const double w = sig_[static_cast<std::size_t>(rr)];
+        a(rr, c) = w * a(rr, c) + (rr == k ? t * r.x[static_cast<std::size_t>(k)] : 0.0);
+      }
+      for (index_t rr = 0; rr < m_; ++rr) {
+        const double w = sig_[static_cast<std::size_t>(m_ + rr)];
+        b(rr, c) = w * b(rr, c) + t * r.x[static_cast<std::size_t>(m_ + rr)];
+      }
+    }
+    util::FlopCounter::charge(static_cast<std::uint64_t>(l) *
+                              static_cast<std::uint64_t>(5 * m_ + 4));
+  }
+}
+
+Mat BlockReflector::dense_u() const {
+  Mat u = la::identity(2 * m_);
+  for (const Reflector& r : refl_) {
+    // U := U_r U = W U + beta x (x^T U).
+    const index_t n = 2 * m_;
+    std::vector<double> z(static_cast<std::size_t>(n));
+    la::gemv(/*trans=*/true, r.beta, u.view(), r.x.data(), 0.0, z.data());
+    for (index_t i = 0; i < n; ++i) {
+      const double w = sig_[static_cast<std::size_t>(i)];
+      if (w != 1.0) {
+        for (index_t j = 0; j < n; ++j) u(i, j) = -u(i, j);
+      }
+    }
+    la::ger(1.0, r.x.data(), z.data(), u.view());
+  }
+  return u;
+}
+
+}  // namespace bst::core

@@ -1,0 +1,88 @@
+#include "core/flop_model.h"
+
+namespace bst::core {
+namespace {
+double d(index_t v) { return static_cast<double>(v); }
+}  // namespace
+
+double blocking_flops_accumulated_u(index_t m_, index_t k_) {
+  const double m = d(m_), k = d(k_);
+  // Eq. 25: 4m^2 k + 2m k^2 - 3m^2 + 4mk + 0.5k^2 + m + 10.5k.
+  return 4 * m * m * k + 2 * m * k * k - 3 * m * m + 4 * m * k + 0.5 * k * k + m + 10.5 * k;
+}
+
+double blocking_flops_vy1(index_t m_, index_t k_) {
+  const double m = d(m_), k = d(k_);
+  // Eq. 26: ~ 2mk^2 + k^3/3 + 3.5mk + 0.25k^2 - m + 9k.
+  return 2 * m * k * k + k * k * k / 3.0 + 3.5 * m * k + 0.25 * k * k - m + 9 * k;
+}
+
+double blocking_flops_vy2(index_t m_, index_t k_) {
+  const double m = d(m_), k = d(k_);
+  // Eq. 27: 2mk^2 + 2.5mk + 0.5k^2 - 0.5m + 8.5k.
+  return 2 * m * k * k + 2.5 * m * k + 0.5 * k * k - 0.5 * m + 8.5 * k;
+}
+
+double blocking_flops_yty(index_t m_, index_t k_) {
+  const double m = d(m_), k = d(k_);
+  // Eq. 28: ~ mk^2 + k^3/3 + 3.5mk + 0.25k^2 + 9k - m - 1.
+  return m * k * k + k * k * k / 3.0 + 3.5 * m * k + 0.25 * k * k + 9 * k - m - 1;
+}
+
+double application_flops_accumulated_u(index_t m_, index_t p_, index_t k_) {
+  const double m = d(m_), p = d(p_), k = d(k_);
+  // Eq. 29: 2m^3 p + 4m^2 p k + m p k^2 + m p k.
+  return 2 * m * m * m * p + 4 * m * m * p * k + m * p * k * k + m * p * k;
+}
+
+double application_flops_vy1(index_t m_, index_t p_, index_t k_) {
+  const double m = d(m_), p = d(p_), k = d(k_);
+  // Eq. 30: 4m^2 p k + m p k^2 + 3 m p k (+ m^2 p when k odd).
+  double f = 4 * m * m * p * k + m * p * k * k + 3 * m * p * k;
+  if (k_ % 2 == 1) f += m * m * p;
+  return f;
+}
+
+double application_flops_vy2(index_t m_, index_t p_, index_t k_) {
+  const double m = d(m_), p = d(p_), k = d(k_);
+  // Eq. 31: 4m^2 p k + m p k^2 + 2 m p k (+ m^2 p when k odd).
+  double f = 4 * m * m * p * k + m * p * k * k + 2 * m * p * k;
+  if (k_ % 2 == 1) f += m * m * p;
+  return f;
+}
+
+double application_flops_yty(index_t m_, index_t p_, index_t k_) {
+  const double m = d(m_), p = d(p_), k = d(k_);
+  // Eq. 32: 4m^2 p k + m p k^2 + m^2 p + 4 m p k.
+  return 4 * m * m * p * k + m * p * k * k + m * m * p + 4 * m * p * k;
+}
+
+double blocking_flops(Representation rep, index_t m, index_t k) {
+  switch (rep) {
+    case Representation::AccumulatedU: return blocking_flops_accumulated_u(m, k);
+    case Representation::VY1: return blocking_flops_vy1(m, k);
+    case Representation::VY2: return blocking_flops_vy2(m, k);
+    case Representation::YTY: return blocking_flops_yty(m, k);
+    case Representation::Sequential: return d(m) * (3 * d(m) + 8);  // reflector setup only
+  }
+  return 0.0;
+}
+
+double application_flops(Representation rep, index_t m, index_t p, index_t k) {
+  switch (rep) {
+    case Representation::AccumulatedU: return application_flops_accumulated_u(m, p, k);
+    case Representation::VY1: return application_flops_vy1(m, p, k);
+    case Representation::VY2: return application_flops_vy2(m, p, k);
+    case Representation::YTY: return application_flops_yty(m, p, k);
+    case Representation::Sequential:
+      // k reflectors, each ~ (4m + 3) flops per generator column.
+      return d(k) * d(m) * d(p) * (4 * d(m) + 3);
+  }
+  return 0.0;
+}
+
+double factorization_flops_model(index_t n, index_t ms) {
+  return 4.0 * d(ms) * d(n) * d(n);
+}
+
+}  // namespace bst::core

@@ -1,0 +1,47 @@
+// Closed-form flop models from the paper (section 6, eqs. 25-32).
+//
+// "Blocking flops" = cost of producing a representation of the product of
+// k hyperbolic reflectors of order 2m; "application flops" = cost of
+// applying it to the remaining 2m x mp generator.  The paper uses these
+// models to argue that YTY^T is the cheapest to build and VY2 the cheapest
+// to apply, with the naive accumulated-U scheme far more expensive.
+#pragma once
+
+#include "core/block_reflector.h"
+
+namespace bst::core {
+
+/// Eq. 25: building U = U_k ... U_1 as a dense matrix; k = m specialization
+/// gives 6m^3 + 1.5m^2 + 11.5m.
+double blocking_flops_accumulated_u(index_t m, index_t k);
+
+/// Eq. 26 (first VY form); k = m gives 2.333m^3 + 3.75m^2 + 8m.
+double blocking_flops_vy1(index_t m, index_t k);
+
+/// Eq. 27 (second VY form); k = m gives 2m^3 + 3m^2 + 8m.
+double blocking_flops_vy2(index_t m, index_t k);
+
+/// Eq. 28 (YTY^T form); k = m gives 1.333m^3 + 3.75m^2 + 8m - 1.
+double blocking_flops_yty(index_t m, index_t k);
+
+/// Eq. 29: applying dense U to a 2m x mp generator (k = m): 7m^3 p + m^2 p.
+double application_flops_accumulated_u(index_t m, index_t p, index_t k);
+
+/// Eq. 30: first VY form.
+double application_flops_vy1(index_t m, index_t p, index_t k);
+
+/// Eq. 31: second VY form.
+double application_flops_vy2(index_t m, index_t p, index_t k);
+
+/// Eq. 32: YTY^T form: 5m^3 p + 5m^2 p at k = m.
+double application_flops_yty(index_t m, index_t p, index_t k);
+
+/// Dispatch by representation (Sequential uses the per-reflector costs).
+double blocking_flops(Representation rep, index_t m, index_t k);
+double application_flops(Representation rep, index_t m, index_t p, index_t k);
+
+/// Total factorization cost model ~ 4 m_s n^2 (paper section 6.5) --
+/// the leading-order term used in the block-size tradeoff discussion.
+double factorization_flops_model(index_t n, index_t ms);
+
+}  // namespace bst::core

@@ -1,0 +1,85 @@
+#include "core/hyperbolic.h"
+
+#include <cmath>
+
+#include "la/blas.h"
+#include "util/flops.h"
+
+namespace bst::core {
+
+double hyperbolic_norm(const std::vector<double>& u, const Signature& w) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) s += w[i] * u[i] * u[i];
+  util::FlopCounter::charge(3 * u.size());
+  return s;
+}
+
+std::optional<Reflector> make_reflector(const std::vector<double>& u, const Signature& w,
+                                        index_t j, double breakdown_tol) {
+  const double h = hyperbolic_norm(u, w);
+  // The breakdown test is relative: |u^T W u| against ||u||_2^2, so a
+  // singular principal minor is detected at any scale.
+  double u2 = 0.0;
+  for (const double v : u) u2 += v * v;
+  if (std::fabs(h) <= breakdown_tol * u2) return std::nullopt;
+  if ((h > 0.0 ? 1.0 : -1.0) != w[static_cast<std::size_t>(j)]) return std::nullopt;
+
+  Reflector r;
+  r.pivot = j;
+  const double uj = u[static_cast<std::size_t>(j)];
+  // sigma = +/- sqrt(|h|); both signs are algebraically valid, so choose the
+  // one that makes x_j = w_j u_j + sigma an *addition* of same-sign terms
+  // (sign(w_j u_j)), avoiding catastrophic cancellation -- essential when
+  // the pivot carries a -1 signature (indefinite case with interchanges).
+  const double sign_uj = (uj >= 0.0) ? 1.0 : -1.0;
+  r.sigma = w[static_cast<std::size_t>(j)] * sign_uj * std::sqrt(std::fabs(h));
+  // x = W u + sigma e_j.
+  r.x.resize(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) r.x[i] = w[i] * u[i];
+  r.x[static_cast<std::size_t>(j)] += r.sigma;
+  // x^T W x = 2 (u^T W u + sigma u_j)  (paper, section 3).
+  const double xwx = 2.0 * (h + r.sigma * uj);
+  r.beta = -2.0 / xwx;
+  util::FlopCounter::charge(2 * u.size() + 8);
+  return r;
+}
+
+void apply_reflector(const Reflector& r, const Signature& w, double* y) {
+  const index_t n = static_cast<index_t>(r.x.size());
+  // t = beta * (x^T y); y := W y + t x.
+  const double t = r.beta * la::dot(n, r.x.data(), y);
+  for (index_t i = 0; i < n; ++i) {
+    y[i] = w[static_cast<std::size_t>(i)] * y[i] + t * r.x[static_cast<std::size_t>(i)];
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(3 * n));
+}
+
+void apply_reflector(const Reflector& r, const Signature& w, View g) {
+  for (index_t j = 0; j < g.cols(); ++j) apply_reflector(r, w, g.col(j));
+}
+
+Mat reflector_dense(const Reflector& r, const Signature& w) {
+  const index_t n = static_cast<index_t>(r.x.size());
+  Mat u(n, n);
+  for (index_t i = 0; i < n; ++i) u(i, i) = w[static_cast<std::size_t>(i)];
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      u(i, j) += r.beta * r.x[static_cast<std::size_t>(i)] * r.x[static_cast<std::size_t>(j)];
+  return u;
+}
+
+double w_unitarity_error(CView u, const Signature& w) {
+  const index_t n = u.rows();
+  double err = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (index_t l = 0; l < n; ++l) s += u(l, i) * w[static_cast<std::size_t>(l)] * u(l, j);
+      const double expect = (i == j) ? w[static_cast<std::size_t>(i)] : 0.0;
+      err = std::max(err, std::fabs(s - expect));
+    }
+  }
+  return err;
+}
+
+}  // namespace bst::core

@@ -1,0 +1,49 @@
+// Hyperbolic Householder reflectors (paper section 3).
+//
+// Given a signature vector w (+/-1 entries) defining W = diag(w), a
+// hyperbolic Householder matrix is  U_x = W - 2 x x^T / (x^T W x);  it is
+// W-unitary (U^T W U = W) and, with  x = W u + sigma e_j,
+// sigma = sign(u_j) sqrt(u^T W u),  maps u to -sigma e_j (eqs. 14-16).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/generator.h"
+#include "la/matrix.h"
+
+namespace bst::core {
+
+/// One reflector in factored form: U = W - (x beta) x^T with beta = 2/(x^T W x).
+/// (We store `minus_two_over_xwx` = -2/(x^T W x) so applying is
+///  y := W y + x * (minus_two_over_xwx * (x^T y)).)
+struct Reflector {
+  std::vector<double> x;        // length n
+  double beta = 0.0;            // -2 / (x^T W x)
+  index_t pivot = 0;            // the j of e_j
+  double sigma = 0.0;           // the mapped value: U u = -sigma e_j
+};
+
+/// Hyperbolic norm u^T W u.
+double hyperbolic_norm(const std::vector<double>& u, const Signature& w);
+
+/// Builds the reflector mapping u to -sigma e_j.  Requires
+/// sign(u^T W u) == w[j] and |u^T W u| above the breakdown threshold;
+/// returns std::nullopt when the hyperbolic norm has the wrong sign or is
+/// (numerically) zero -- the singular-principal-minor case.
+std::optional<Reflector> make_reflector(const std::vector<double>& u, const Signature& w,
+                                        index_t j, double breakdown_tol = 0.0);
+
+/// y := U_x y for a single column vector y (length n).
+void apply_reflector(const Reflector& r, const Signature& w, double* y);
+
+/// G := U_x G applied to every column of the view (level-2 path).
+void apply_reflector(const Reflector& r, const Signature& w, View g);
+
+/// Dense U_x (test oracle): W - 2 x x^T / (x^T W x).
+Mat reflector_dense(const Reflector& r, const Signature& w);
+
+/// Test oracle: checks U^T W U = W to within `tol`, returns max violation.
+double w_unitarity_error(CView u, const Signature& w);
+
+}  // namespace bst::core

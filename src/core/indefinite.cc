@@ -1,0 +1,201 @@
+#include "core/indefinite.h"
+
+#include <cfloat>
+#include <cmath>
+#include <sstream>
+
+#include "la/blas.h"
+#include "util/flops.h"
+
+namespace bst::core {
+namespace {
+
+std::string singular_message(index_t step, index_t column, double hnorm) {
+  std::ostringstream os;
+  os << "block Schur (indefinite): singular principal minor at step " << step << ", column "
+     << column << " (hyperbolic norm " << hnorm << ")";
+  return os.str();
+}
+
+// Applies one sparse hyperbolic reflector to every active column of the
+// aligned generator views (A and B are m x L at their physical offsets).
+void apply_one(const Reflector& r, const Signature& sig, index_t m, View a, View b) {
+  const index_t k = r.pivot;
+  const index_t l = a.cols();
+  for (index_t c = 0; c < l; ++c) {
+    double t = r.x[static_cast<std::size_t>(k)] * a(k, c);
+    for (index_t rr = 0; rr < m; ++rr) t += r.x[static_cast<std::size_t>(m + rr)] * b(rr, c);
+    t *= r.beta;
+    for (index_t rr = 0; rr < m; ++rr) {
+      const double w = sig[static_cast<std::size_t>(rr)];
+      a(rr, c) = w * a(rr, c) + (rr == k ? t * r.x[static_cast<std::size_t>(k)] : 0.0);
+    }
+    for (index_t rr = 0; rr < m; ++rr) {
+      const double w = sig[static_cast<std::size_t>(m + rr)];
+      b(rr, c) = w * b(rr, c) + t * r.x[static_cast<std::size_t>(m + rr)];
+    }
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(l) * static_cast<std::uint64_t>(5 * m + 4));
+}
+
+struct StepState {
+  Generator* g;
+  index_t step;
+  index_t active;  // blocks still in play
+  // Aligned active views: A physical [0, active*m), B physical
+  // [step*m, (step+active)*m).
+  View a, b;
+};
+
+// 2-norm bound of U_x = W + beta x x^T.
+double reflector_norm_bound(const Reflector& r) {
+  double x2 = 0.0;
+  for (const double v : r.x) x2 += v * v;
+  return 1.0 + std::fabs(r.beta) * x2;
+}
+
+void track_norm(LdlFactor& f, const Reflector& r, double delta) {
+  const double bound = reflector_norm_bound(r);
+  f.max_reflector_norm = std::max(f.max_reflector_norm, bound);
+  if (bound > 1.0 / std::sqrt(delta)) ++f.large_reflectors;
+}
+
+// Performs one full indefinite step sequentially, with interchanges and
+// perturbations.  Returns the number of interchanges.
+int sequential_step(StepState st, const IndefiniteOptions& opt, double delta, double norm_g1,
+                    std::vector<PerturbationEvent>& events, LdlFactor& f) {
+  Generator& g = *st.g;
+  const index_t m = g.m;
+  int interchanges = 0;
+  std::vector<double> u(static_cast<std::size_t>(2 * m));
+  for (index_t k = 0; k < m; ++k) {
+    auto load_u = [&] {
+      std::fill(u.begin(), u.end(), 0.0);
+      u[static_cast<std::size_t>(k)] = st.a(k, k);
+      for (index_t r = 0; r < m; ++r) u[static_cast<std::size_t>(m + r)] = st.b(r, k);
+    };
+    load_u();
+    double h = hyperbolic_norm(u, g.sig);
+    double u2 = 0.0;
+    for (const double v : u) u2 += v * v;
+
+    if (std::fabs(h) <= opt.singular_tol * u2 || u2 == 0.0) {
+      // Singular principal minor: perturb the pivot entry (section 8.2).
+      if (!opt.allow_perturbation) throw SingularMinor(st.step, k, h);
+      const double sk = g.sig[static_cast<std::size_t>(k)];
+      const double pk = st.a(k, k);
+      const double rest = h - sk * pk * pk;  // lower-part contribution
+      double scale = std::max(pk * pk, std::fabs(rest));
+      if (scale == 0.0) scale = norm_g1 * norm_g1;
+      // New pivot chosen so the new hyperbolic norm is sk * delta * scale.
+      const double p2 = delta * scale + pk * pk - sk * h;
+      const double sign_p = (pk >= 0.0) ? 1.0 : -1.0;
+      const double pnew = sign_p * std::sqrt(p2);
+      events.push_back({st.step, k, pk, pnew, h});
+      st.a(k, k) = pnew;
+      load_u();
+      h = hyperbolic_norm(u, g.sig);
+    }
+
+    const double sign_h = (h >= 0.0) ? 1.0 : -1.0;
+    if (sign_h != g.sig[static_cast<std::size_t>(k)]) {
+      // Interchange: swap upper row k with a lower row of matching
+      // signature, choosing the largest magnitude entry as the new pivot.
+      index_t best = -1;
+      double best_mag = -1.0;
+      for (index_t r = 0; r < m; ++r) {
+        if (g.sig[static_cast<std::size_t>(m + r)] != sign_h) continue;
+        const double mag = std::fabs(st.b(r, k));
+        if (mag > best_mag) {
+          best_mag = mag;
+          best = r;
+        }
+      }
+      if (best < 0) throw SingularMinor(st.step, k, h);
+      for (index_t c = 0; c < st.a.cols(); ++c) std::swap(st.a(k, c), st.b(best, c));
+      std::swap(g.sig[static_cast<std::size_t>(k)], g.sig[static_cast<std::size_t>(m + best)]);
+      ++interchanges;
+      load_u();
+      h = hyperbolic_norm(u, g.sig);
+    }
+
+    auto refl = make_reflector(u, g.sig, k, 0.0);
+    if (!refl) throw SingularMinor(st.step, k, h);
+    track_norm(f, *refl, delta);
+    apply_one(*refl, g.sig, m, st.a, st.b);
+    // Kill roundoff in the eliminated entries.
+    st.a(k, k) = -refl->sigma;
+    for (index_t r = 0; r < m; ++r) st.b(r, k) = 0.0;
+  }
+  return interchanges;
+}
+
+}  // namespace
+
+SingularMinor::SingularMinor(index_t step_, index_t column_, double hnorm_)
+    : std::runtime_error(singular_message(step_, column_, hnorm_)),
+      step(step_),
+      column(column_),
+      hnorm(hnorm_) {}
+
+LdlFactor block_schur_indefinite(const toeplitz::BlockToeplitz& t, const IndefiniteOptions& opt) {
+  const toeplitz::BlockToeplitz spec =
+      (opt.block_size == 0 || opt.block_size == t.block_size())
+          ? t
+          : t.with_block_size(opt.block_size);
+  const double delta = (opt.delta > 0.0) ? opt.delta : std::cbrt(DBL_EPSILON);
+
+  util::FlopScope flops;
+  Generator g = make_generator_indefinite(spec);
+  const index_t m = g.m, p = g.p, n = m * p;
+
+  LdlFactor f;
+  f.block_size = m;
+  f.r = Mat(n, n);
+  f.d.assign(static_cast<std::size_t>(n), 1.0);
+
+  auto emit = [&](index_t step) {
+    const index_t cols = (p - step) * m;
+    la::copy(g.a.block(0, 0, m, cols), f.r.block(step * m, step * m, m, cols));
+    for (index_t r = 0; r < m; ++r) {
+      f.d[static_cast<std::size_t>(step * m + r)] = g.sig[static_cast<std::size_t>(r)];
+    }
+  };
+
+  emit(0);
+  for (index_t i = 1; i < p; ++i) {
+    const index_t active = p - i;
+    View a_act = g.a.block(0, 0, m, active * m);
+    View b_act = g.b.block(0, i * m, m, active * m);
+
+    // Fast path: if the step needs no interchange/perturbation, run the
+    // same blocked code as the SPD driver.  Probe on copies of the pivot
+    // pair so a breakdown leaves the generator untouched.
+    bool blocked_ok = false;
+    {
+      Mat pcopy(m, m), qcopy(m, m);
+      la::copy(g.a_block(0), pcopy.view());
+      la::copy(g.b_block(i), qcopy.view());
+      BlockReflector bref(opt.rep, m, g.sig);
+      // Probe with the *singular* tolerance so near-breakdowns take the
+      // robust sequential path.
+      if (!bref.build(pcopy.view(), qcopy.view(), opt.singular_tol)) {
+        la::copy(pcopy.view(), g.a_block(0));
+        la::copy(qcopy.view(), g.b_block(i));
+        bref.apply(g.a.block(0, m, m, (active - 1) * m),
+                   g.b.block(0, (i + 1) * m, m, (active - 1) * m));
+        for (const Reflector& r : bref.reflectors()) track_norm(f, r, delta);
+        blocked_ok = true;
+      }
+    }
+    if (!blocked_ok) {
+      StepState st{&g, i, active, a_act, b_act};
+      f.interchanges += sequential_step(st, opt, delta, g.norm_g1, f.perturbations, f);
+    }
+    emit(i);
+  }
+  f.flops = flops.elapsed();
+  return f;
+}
+
+}  // namespace bst::core

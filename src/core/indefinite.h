@@ -1,0 +1,85 @@
+// Extended block Schur algorithm for symmetric indefinite (block) Toeplitz
+// matrices (paper sections 2 (eq. 11) and 8).
+//
+// Differences from the SPD driver:
+//  * the leading block is factored T1 = L S L^T with a +/-1 signature S,
+//  * when a pivot column's hyperbolic norm has the "wrong" sign, a row
+//    interchange moves the pivot onto a row of matching signature (the
+//    paper's "interchanging rows such that the pivot element always lies
+//    along the diagonal row of the pivot block"),
+//  * when the hyperbolic norm (numerically) vanishes -- a singular
+//    principal minor -- the pivot entry is perturbed by delta ~ cbrt(eps)
+//    (section 8.2) and the factorization continues; the result is an exact
+//    factorization of a nearby matrix T + dT, to be corrected by iterative
+//    refinement (core/refine.h).
+//
+// The result is T + dT = R^T D R with R upper triangular and D = diag(+/-1).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/block_reflector.h"
+#include "core/generator.h"
+#include "toeplitz/block_toeplitz.h"
+
+namespace bst::core {
+
+/// One singular-minor perturbation applied during the factorization.
+struct PerturbationEvent {
+  index_t step = 0;    // block step
+  index_t column = 0;  // column inside the pivot block
+  double old_pivot = 0.0;
+  double new_pivot = 0.0;
+  double hnorm = 0.0;  // the (near-zero) hyperbolic norm that triggered it
+};
+
+/// Options for the indefinite driver.
+struct IndefiniteOptions {
+  /// Representation used for steps that need no interchange/perturbation
+  /// (such steps run the same blocked code path as the SPD driver).
+  Representation rep = Representation::VY2;
+  /// Working block size m_s (0 = structural).
+  index_t block_size = 0;
+  /// Relative tolerance declaring a pivot column's hyperbolic norm zero.
+  double singular_tol = 1e-10;
+  /// Perturbation size; 0 selects cbrt(machine epsilon) ~ 6e-6 (paper: the
+  /// delta minimizing  delta + eps/delta^2, eq. 45).
+  double delta = 0.0;
+  /// Disallow perturbations: throw SingularMinor instead (strict mode).
+  bool allow_perturbation = true;
+};
+
+/// Thrown in strict mode when a singular principal minor is met.
+class SingularMinor : public std::runtime_error {
+ public:
+  SingularMinor(index_t step, index_t column, double hnorm);
+  index_t step, column;
+  double hnorm;
+};
+
+/// T + dT = R^T D R.
+struct LdlFactor {
+  Mat r;                  // n x n upper triangular
+  std::vector<double> d;  // length n, entries +/-1
+  index_t block_size = 0;
+  int interchanges = 0;   // number of row interchanges performed
+  std::vector<PerturbationEvent> perturbations;
+  std::uint64_t flops = 0;
+  /// Largest 2-norm bound (1 + |beta| ||x||^2) over all reflectors used.
+  /// Section 8.2 predicts ~1/delta after a singular-minor perturbation;
+  /// the product of these norms bounds the error growth of the
+  /// factorization, so a huge value signals that refinement is required.
+  double max_reflector_norm = 1.0;
+  /// Reflectors whose norm bound exceeded 1/sqrt(delta) -- the paper
+  /// observes two per perturbation.
+  int large_reflectors = 0;
+};
+
+/// Factors a symmetric (indefinite) block Toeplitz matrix.
+/// Works for SPD inputs too (then D = I, no interchanges).
+LdlFactor block_schur_indefinite(const toeplitz::BlockToeplitz& t,
+                                 const IndefiniteOptions& opt = {});
+
+}  // namespace bst::core

@@ -1,0 +1,41 @@
+#include "core/refine.h"
+
+#include "la/norms.h"
+
+namespace bst::core {
+
+RefineResult solve_refined(const toeplitz::MatVec& op, const FactorSolve& solve,
+                           const std::vector<double>& b, const RefineOptions& opt) {
+  RefineResult res;
+  solve(b, res.x);
+  std::vector<double> r, dx;
+  op.residual(b, res.x, r);
+  res.residual_norms.push_back(la::norm2(r));
+
+  double prev_ndx = -1.0;
+  for (int it = 0; it < opt.max_iters; ++it) {
+    solve(r, dx);
+    const double ndx = la::norm2(dx);
+    const double nx = la::norm2(res.x);
+    res.correction_norms.push_back(ndx);
+    if (ndx < opt.tol * nx) {
+      res.converged = true;
+      break;
+    }
+    // Stagnation: once the correction stops contracting, the attainable
+    // accuracy has been reached (Wilkinson's criterion); further steps
+    // only bounce around in roundoff.
+    if (prev_ndx >= 0.0 && ndx > 0.5 * prev_ndx) {
+      res.converged = true;
+      break;
+    }
+    prev_ndx = ndx;
+    for (std::size_t i = 0; i < res.x.size(); ++i) res.x[i] += dx[i];
+    ++res.iterations;
+    op.residual(b, res.x, r);
+    res.residual_norms.push_back(la::norm2(r));
+  }
+  return res;
+}
+
+}  // namespace bst::core

@@ -1,0 +1,93 @@
+#include "core/schur.h"
+
+#include <sstream>
+
+#include "util/flops.h"
+#include "util/thread_pool.h"
+
+namespace bst::core {
+namespace {
+
+std::string breakdown_message(index_t step, index_t column, double hnorm) {
+  std::ostringstream os;
+  os << "block Schur: pivot column " << column << " at step " << step
+     << " has non-positive hyperbolic norm " << hnorm
+     << " -- matrix is not positive definite (or a principal minor is singular)";
+  return os.str();
+}
+
+// Applies the step's block reflector to the active trailing columns:
+// A physical blocks [1, L) and B physical blocks [step+1, step+L).
+void apply_to_trailing(Generator& g, const BlockReflector& bref, index_t step,
+                       index_t active_blocks, bool parallel) {
+  const index_t m = g.m;
+  const index_t trailing = active_blocks - 1;
+  if (trailing <= 0) return;
+  View a = g.a.block(0, m, m, trailing * m);
+  View b = g.b.block(0, (step + 1) * m, m, trailing * m);
+  if (!parallel || trailing < 4) {
+    bref.apply(a, b);
+    return;
+  }
+  // Chunk the trailing columns across the pool; each chunk is independent.
+  auto& pool = util::ThreadPool::global();
+  const index_t chunks = std::min<index_t>(trailing, static_cast<index_t>(pool.size()) * 2);
+  const index_t per = (trailing + chunks - 1) / chunks;
+  pool.parallel_for(0, static_cast<std::size_t>(chunks), [&](std::size_t c) {
+    const index_t lo = static_cast<index_t>(c) * per;
+    const index_t hi = std::min(trailing, lo + per);
+    if (lo >= hi) return;
+    bref.apply(a.block(0, lo * m, m, (hi - lo) * m), b.block(0, lo * m, m, (hi - lo) * m));
+  });
+}
+
+}  // namespace
+
+NotPositiveDefinite::NotPositiveDefinite(index_t step_, index_t column_, double hnorm_)
+    : std::runtime_error(breakdown_message(step_, column_, hnorm_)),
+      step(step_),
+      column(column_),
+      hnorm(hnorm_) {}
+
+void schur_step(Generator& g, index_t step, const SchurOptions& opt) {
+  const index_t m = g.m;
+  const index_t active = g.p - step;  // blocks still in play
+  BlockReflector bref(opt.rep, m, g.sig);
+  View pivot_p = g.a_block(0);
+  View pivot_q = g.b_block(step);
+  if (auto breakdown = bref.build(pivot_p, pivot_q, opt.breakdown_tol, opt.inner_block)) {
+    throw NotPositiveDefinite(step, breakdown->column, breakdown->hnorm);
+  }
+  apply_to_trailing(g, bref, step, active, opt.parallel);
+}
+
+std::uint64_t block_schur_stream(const toeplitz::BlockToeplitz& t, const SchurOptions& opt,
+                                 const RowBlockSink& sink) {
+  const toeplitz::BlockToeplitz spec =
+      (opt.block_size == 0 || opt.block_size == t.block_size())
+          ? t
+          : t.with_block_size(opt.block_size);
+  util::FlopScope flops;
+  Generator g = make_generator_spd(spec);
+  const index_t m = g.m, p = g.p;
+  sink(0, g.a.view());
+  for (index_t i = 1; i < p; ++i) {
+    schur_step(g, i, opt);
+    sink(i, g.a.block(0, 0, m, (p - i) * m));
+  }
+  return flops.elapsed();
+}
+
+SchurFactor block_schur_factor(const toeplitz::BlockToeplitz& t, const SchurOptions& opt) {
+  const index_t n = t.order();
+  const index_t ms = (opt.block_size == 0) ? t.block_size() : opt.block_size;
+  SchurFactor f;
+  f.block_size = ms;
+  f.r = Mat(n, n);
+  f.flops = block_schur_stream(t, opt, [&](index_t step, CView rows) {
+    la::copy(rows, f.r.block(step * ms, step * ms, ms, rows.cols()));
+  });
+  return f;
+}
+
+}  // namespace bst::core

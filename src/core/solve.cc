@@ -1,0 +1,56 @@
+#include "core/solve.h"
+
+#include "la/blas.h"
+
+namespace bst::core {
+
+void solve_rtdr(CView r, const double* d, const std::vector<double>& b, std::vector<double>& x) {
+  const index_t n = r.rows();
+  assert(static_cast<index_t>(b.size()) == n);
+  x = b;
+  // R^T w = b  (forward substitution on the transposed upper factor).
+  la::trsv(la::Uplo::Upper, la::Op::Trans, la::Diag::NonUnit, r, x.data());
+  // w := D^{-1} w  (D = D^{-1}, entries +/-1).
+  if (d != nullptr) {
+    for (index_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] *= d[i];
+  }
+  // R x = w.
+  la::trsv(la::Uplo::Upper, la::Op::None, la::Diag::NonUnit, r, x.data());
+}
+
+void solve_rtdr_multi(CView r, const double* d, View bx) {
+  const index_t n = r.rows();
+  assert(bx.rows() == n);
+  la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::Trans, la::Diag::NonUnit, 1.0, r, bx);
+  if (d != nullptr) {
+    for (index_t j = 0; j < bx.cols(); ++j)
+      for (index_t i = 0; i < n; ++i) bx(i, j) *= d[i];
+  }
+  la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::None, la::Diag::NonUnit, 1.0, r, bx);
+}
+
+Mat solve_spd_multi(const SchurFactor& f, CView b) {
+  Mat x(b.rows(), b.cols());
+  la::copy(b, x.view());
+  solve_rtdr_multi(f.r.view(), nullptr, x.view());
+  return x;
+}
+
+void demote_factor_to_float(View r) {
+  for (index_t j = 0; j < r.cols(); ++j)
+    for (index_t i = 0; i < r.rows(); ++i) r(i, j) = static_cast<float>(r(i, j));
+}
+
+std::vector<double> solve_spd(const SchurFactor& f, const std::vector<double>& b) {
+  std::vector<double> x;
+  solve_rtdr(f.r.view(), nullptr, b, x);
+  return x;
+}
+
+std::vector<double> solve_ldl(const LdlFactor& f, const std::vector<double>& b) {
+  std::vector<double> x;
+  solve_rtdr(f.r.view(), f.d.data(), b, x);
+  return x;
+}
+
+}  // namespace bst::core

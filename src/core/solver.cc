@@ -1,0 +1,65 @@
+#include "core/solver.h"
+
+#include "core/solve.h"
+#include "la/norms.h"
+
+namespace bst::core {
+
+const char* to_string(SolvePath p) {
+  switch (p) {
+    case SolvePath::Spd: return "spd";
+    case SolvePath::Indefinite: return "indefinite";
+    case SolvePath::IndefinitePerturbed: return "indefinite+perturbed";
+  }
+  return "?";
+}
+
+SolveReport toeplitz_solve(const toeplitz::BlockToeplitz& t, const std::vector<double>& b,
+                           const SolveOptions& opt) {
+  SolveReport rep;
+  FactorSolve fsolve;
+  std::optional<SchurFactor> spd;
+  std::optional<LdlFactor> ldl;
+
+  if (!opt.assume_indefinite) {
+    try {
+      spd = block_schur_factor(t, opt.spd);
+      rep.path = SolvePath::Spd;
+      rep.factor_flops = spd->flops;
+      fsolve = [&spd](const std::vector<double>& rhs, std::vector<double>& out) {
+        out = solve_spd(*spd, rhs);
+      };
+    } catch (const NotPositiveDefinite&) {
+      // fall through to the indefinite driver
+    }
+  }
+  if (!spd) {
+    ldl = block_schur_indefinite(t, opt.indefinite);
+    rep.path = ldl->perturbations.empty() ? SolvePath::Indefinite
+                                          : SolvePath::IndefinitePerturbed;
+    rep.factor_flops = ldl->flops;
+    rep.interchanges = ldl->interchanges;
+    rep.perturbations = ldl->perturbations.size();
+    fsolve = [&ldl](const std::vector<double>& rhs, std::vector<double>& out) {
+      out = solve_ldl(*ldl, rhs);
+    };
+  }
+
+  const bool need_refine = opt.always_refine || rep.path == SolvePath::IndefinitePerturbed;
+  if (!need_refine) {
+    fsolve(b, rep.x);
+    return rep;
+  }
+  toeplitz::MatVec op(t, opt.residual_mode);
+  RefineResult rr = solve_refined(op, fsolve, b, opt.refine);
+  rep.x = std::move(rr.x);
+  rep.refined = true;
+  rep.refinement_steps = rr.iterations;
+  rep.converged = rr.converged;
+  std::vector<double> r;
+  op.residual(b, rep.x, r);
+  rep.final_residual = la::norm2(r);
+  return rep;
+}
+
+}  // namespace bst::core

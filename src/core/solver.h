@@ -1,0 +1,57 @@
+// High-level one-call solver for symmetric block Toeplitz systems.
+//
+// Dispatch policy (what a downstream user wants by default):
+//   1. try the SPD block Schur factorization (cheapest, T = R^T R);
+//   2. on breakdown, fall back to the indefinite extension
+//      (signature pivoting + singular-minor perturbation);
+//   3. if any perturbation was applied -- or if requested -- polish the
+//      solution with iterative refinement against the exact operator.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/indefinite.h"
+#include "core/refine.h"
+#include "core/schur.h"
+#include "toeplitz/matvec.h"
+
+namespace bst::core {
+
+/// Options for the one-call solver.
+struct SolveOptions {
+  SchurOptions spd;              // used for the SPD attempt
+  IndefiniteOptions indefinite;  // used for the fallback
+  RefineOptions refine;
+  /// Run refinement even when no perturbation occurred.
+  bool always_refine = false;
+  /// Skip the SPD attempt (go straight to the indefinite driver).
+  bool assume_indefinite = false;
+  toeplitz::MatVecMode residual_mode = toeplitz::MatVecMode::Direct;
+};
+
+/// Which path produced the answer.
+enum class SolvePath { Spd, Indefinite, IndefinitePerturbed };
+
+const char* to_string(SolvePath p);
+
+/// Everything a caller might want to inspect afterwards.
+struct SolveReport {
+  std::vector<double> x;
+  SolvePath path = SolvePath::Spd;
+  int refinement_steps = 0;
+  bool refined = false;
+  bool converged = true;          // refinement convergence (true if not run)
+  double final_residual = -1.0;   // ||b - T x||, -1 when refinement not run
+  int interchanges = 0;
+  std::size_t perturbations = 0;
+  std::uint64_t factor_flops = 0;
+};
+
+/// Solves T x = b, choosing the factorization automatically.
+/// Throws SingularMinor only if even the perturbed path cannot proceed.
+SolveReport toeplitz_solve(const toeplitz::BlockToeplitz& t, const std::vector<double>& b,
+                           const SolveOptions& opt = {});
+
+}  // namespace bst::core

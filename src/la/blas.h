@@ -1,0 +1,58 @@
+// BLAS-style dense kernels (levels 1-3), built from scratch.
+//
+// These are the computational primitives the paper assumes (its performance
+// argument is entirely about trading level-1/2 operations for level-3 ones).
+// Every kernel charges its flop count to util::FlopCounter so the paper's
+// closed-form models (eqs. 25-32) can be validated against reality.
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.h"
+
+namespace bst::la {
+
+// ----- level 1 ------------------------------------------------------------
+
+/// x . y for vectors of length n (stride 1).
+double dot(index_t n, const double* x, const double* y);
+
+/// y += alpha * x.
+void axpy(index_t n, double alpha, const double* x, double* y);
+
+/// x *= alpha.
+void scal(index_t n, double alpha, double* x);
+
+/// Euclidean norm of x.
+double nrm2(index_t n, const double* x);
+
+// ----- level 2 ------------------------------------------------------------
+
+/// y := alpha * op(A) x + beta * y, op = A or A^T.
+void gemv(bool trans, double alpha, CView a, const double* x, double beta, double* y);
+
+/// A += alpha * x y^T (rank-1 update).
+void ger(double alpha, const double* x, const double* y, View a);
+
+// ----- level 3 ------------------------------------------------------------
+
+enum class Op : std::uint8_t { None, Trans };
+
+/// C := alpha * op(A) op(B) + beta * C.
+void gemm(Op ta, Op tb, double alpha, CView a, CView b, double beta, View c);
+
+/// C := alpha * A A^T + beta * C, only the lower triangle of C referenced.
+void syrk_lower(double alpha, CView a, double beta, View c);
+
+enum class Side : std::uint8_t { Left, Right };
+enum class Uplo : std::uint8_t { Lower, Upper };
+enum class Diag : std::uint8_t { NonUnit, Unit };
+
+/// Solves op(T) X = alpha B (Left) or X op(T) = alpha B (Right) in place,
+/// where T is triangular; B is overwritten with X.
+void trsm(Side side, Uplo uplo, Op op, Diag diag, double alpha, CView t, View b);
+
+/// Triangular matrix-vector solve: op(T) x = b in place (x := solution).
+void trsv(Uplo uplo, Op op, Diag diag, CView t, double* x);
+
+}  // namespace bst::la

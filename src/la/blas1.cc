@@ -1,0 +1,46 @@
+#include <cmath>
+
+#include "la/blas.h"
+#include "util/flops.h"
+
+namespace bst::la {
+
+double dot(index_t n, const double* x, const double* y) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  index_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  util::FlopCounter::charge(static_cast<std::uint64_t>(2 * n));
+  return (s0 + s1) + (s2 + s3);
+}
+
+void axpy(index_t n, double alpha, const double* x, double* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  util::FlopCounter::charge(static_cast<std::uint64_t>(2 * n));
+}
+
+void scal(index_t n, double alpha, double* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+  util::FlopCounter::charge(static_cast<std::uint64_t>(n));
+}
+
+double nrm2(index_t n, const double* x) {
+  // Two-pass scaling keeps intermediate squares in range.
+  double amax = 0.0;
+  for (index_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(x[i]));
+  if (amax == 0.0) return 0.0;
+  double s = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double v = x[i] / amax;
+    s += v * v;
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(3 * n));
+  return amax * std::sqrt(s);
+}
+
+}  // namespace bst::la

@@ -1,0 +1,43 @@
+#include "la/blas.h"
+#include "util/flops.h"
+
+namespace bst::la {
+
+void gemv(bool trans, double alpha, CView a, const double* x, double beta, double* y) {
+  const index_t m = a.rows(), n = a.cols();
+  if (!trans) {
+    // y (m) := alpha * A x + beta * y; accumulate column-wise for stride-1
+    // access into the column-major storage.
+    if (beta == 0.0) {
+      for (index_t i = 0; i < m; ++i) y[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (index_t i = 0; i < m; ++i) y[i] *= beta;
+    }
+    for (index_t j = 0; j < n; ++j) {
+      const double ax = alpha * x[j];
+      const double* col = a.col(j);
+      for (index_t i = 0; i < m; ++i) y[i] += ax * col[i];
+    }
+  } else {
+    // y (n) := alpha * A^T x + beta * y; each component is a column dot.
+    for (index_t j = 0; j < n; ++j) {
+      const double* col = a.col(j);
+      double s = 0.0;
+      for (index_t i = 0; i < m; ++i) s += col[i] * x[i];
+      y[j] = (beta == 0.0 ? 0.0 : beta * y[j]) + alpha * s;
+    }
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(2 * m * n));
+}
+
+void ger(double alpha, const double* x, const double* y, View a) {
+  const index_t m = a.rows(), n = a.cols();
+  for (index_t j = 0; j < n; ++j) {
+    const double ay = alpha * y[j];
+    double* col = a.col(j);
+    for (index_t i = 0; i < m; ++i) col[i] += ay * x[i];
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(2 * m * n));
+}
+
+}  // namespace bst::la

@@ -1,0 +1,219 @@
+#include <algorithm>
+
+#include "la/blas.h"
+#include "util/flops.h"
+
+namespace bst::la {
+namespace {
+
+// k-blocking keeps a panel of A plus the active C columns cache-resident.
+constexpr index_t kKc = 256;
+
+// C(m x n) += alpha * A(m x k) * B(k x n), all column-major, no transposes.
+// Register-blocks four columns of C at a time; the inner loop is a fused
+// multiply-add over stride-1 columns of A.
+void gemm_nn(double alpha, CView a, CView b, View c) {
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (index_t l0 = 0; l0 < k; l0 += kKc) {
+    const index_t lend = std::min(k, l0 + kKc);
+    index_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      double* c0 = c.col(j);
+      double* c1 = c.col(j + 1);
+      double* c2 = c.col(j + 2);
+      double* c3 = c.col(j + 3);
+      for (index_t l = l0; l < lend; ++l) {
+        const double* al = a.col(l);
+        const double b0 = alpha * b(l, j);
+        const double b1 = alpha * b(l, j + 1);
+        const double b2 = alpha * b(l, j + 2);
+        const double b3 = alpha * b(l, j + 3);
+        for (index_t i = 0; i < m; ++i) {
+          const double av = al[i];
+          c0[i] += av * b0;
+          c1[i] += av * b1;
+          c2[i] += av * b2;
+          c3[i] += av * b3;
+        }
+      }
+    }
+    for (; j < n; ++j) {
+      double* cj = c.col(j);
+      for (index_t l = l0; l < lend; ++l) {
+        const double* al = a.col(l);
+        const double bv = alpha * b(l, j);
+        for (index_t i = 0; i < m; ++i) cj[i] += al[i] * bv;
+      }
+    }
+  }
+}
+
+// C(m x n) += alpha * A^T(m x k) * B(k x n): C(i,j) += sum_l A(l,i) B(l,j),
+// expressed as stride-1 dot products down the columns of A and B.
+void gemm_tn(double alpha, CView a, CView b, View c) {
+  const index_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (index_t j = 0; j < n; ++j) {
+    const double* bj = b.col(j);
+    double* cj = c.col(j);
+    for (index_t i = 0; i < m; ++i) {
+      const double* ai = a.col(i);
+      double s = 0.0;
+      for (index_t l = 0; l < k; ++l) s += ai[l] * bj[l];
+      cj[i] += alpha * s;
+    }
+  }
+}
+
+// C(m x n) += alpha * A(m x k) * B^T(k x n): B^T(l,j) = B(j,l).
+void gemm_nt(double alpha, CView a, CView b, View c) {
+  const index_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (index_t l = 0; l < k; ++l) {
+    const double* al = a.col(l);
+    for (index_t j = 0; j < n; ++j) {
+      const double bv = alpha * b(j, l);
+      if (bv == 0.0) continue;
+      double* cj = c.col(j);
+      for (index_t i = 0; i < m; ++i) cj[i] += al[i] * bv;
+    }
+  }
+}
+
+// C(m x n) += alpha * A^T(m x k) * B^T(k x n).
+void gemm_tt(double alpha, CView a, CView b, View c) {
+  const index_t m = a.cols(), k = a.rows(), n = b.rows();
+  for (index_t j = 0; j < n; ++j) {
+    double* cj = c.col(j);
+    for (index_t i = 0; i < m; ++i) {
+      const double* ai = a.col(i);
+      double s = 0.0;
+      for (index_t l = 0; l < k; ++l) s += ai[l] * b(j, l);
+      cj[i] += alpha * s;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Op ta, Op tb, double alpha, CView a, CView b, double beta, View c) {
+  const index_t m = (ta == Op::None) ? a.rows() : a.cols();
+  const index_t k = (ta == Op::None) ? a.cols() : a.rows();
+  const index_t n = (tb == Op::None) ? b.cols() : b.rows();
+  assert(((tb == Op::None) ? b.rows() : b.cols()) == k);
+  assert(c.rows() == m && c.cols() == n);
+
+  if (beta == 0.0) {
+    set_zero(c);
+  } else if (beta != 1.0) {
+    for (index_t j = 0; j < n; ++j) scal(m, beta, c.col(j));
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  if (ta == Op::None && tb == Op::None) gemm_nn(alpha, a, b, c);
+  else if (ta == Op::Trans && tb == Op::None) gemm_tn(alpha, a, b, c);
+  else if (ta == Op::None && tb == Op::Trans) gemm_nt(alpha, a, b, c);
+  else gemm_tt(alpha, a, b, c);
+
+  util::FlopCounter::charge(static_cast<std::uint64_t>(2 * m * n * k));
+}
+
+void syrk_lower(double alpha, CView a, double beta, View c) {
+  const index_t n = a.rows(), k = a.cols();
+  assert(c.rows() == n && c.cols() == n);
+  for (index_t j = 0; j < n; ++j) {
+    double* cj = c.col(j);
+    if (beta == 0.0) {
+      for (index_t i = j; i < n; ++i) cj[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (index_t i = j; i < n; ++i) cj[i] *= beta;
+    }
+  }
+  for (index_t l = 0; l < k; ++l) {
+    const double* al = a.col(l);
+    for (index_t j = 0; j < n; ++j) {
+      const double av = alpha * al[j];
+      double* cj = c.col(j);
+      for (index_t i = j; i < n; ++i) cj[i] += al[i] * av;
+    }
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(n * (n + 1) * k));
+}
+
+void trsm(Side side, Uplo uplo, Op op, Diag diag, double alpha, CView t, View b) {
+  const index_t m = b.rows(), n = b.cols();
+  if (alpha != 1.0) {
+    for (index_t j = 0; j < n; ++j) scal(m, alpha, b.col(j));
+  }
+  if (side == Side::Left) {
+    assert(t.rows() == m && t.cols() == m);
+    for (index_t j = 0; j < n; ++j) trsv(uplo, op, diag, t, b.col(j));
+    return;
+  }
+  // Right side: X op(T) = B  <=>  op(T)^T X^T = B^T.  Solve row systems:
+  // column-major B is awkward to traverse row-wise, so operate column-of-T
+  // at a time on all rows of B simultaneously (still stride-1 in B).
+  assert(t.rows() == n && t.cols() == n);
+  const bool lower = (uplo == Uplo::Lower);
+  const bool trans = (op == Op::Trans);
+  // Effective triangular system on columns of B: for X T = B with T upper,
+  // process columns left to right: x_j = (b_j - sum_{l<j} x_l T(l,j)) / T(j,j).
+  // For T lower (or transposed), order/indices change accordingly.
+  const bool effective_upper = (lower == trans);  // upper-like column sweep
+  if (effective_upper) {
+    for (index_t j = 0; j < n; ++j) {
+      double* bj = b.col(j);
+      for (index_t l = 0; l < j; ++l) {
+        const double tv = trans ? t(j, l) : t(l, j);
+        if (tv != 0.0) axpy(m, -tv, b.col(l), bj);
+      }
+      if (diag == Diag::NonUnit) {
+        const double d = t(j, j);
+        scal(m, 1.0 / d, bj);
+      }
+    }
+  } else {
+    for (index_t j = n - 1; j >= 0; --j) {
+      double* bj = b.col(j);
+      for (index_t l = j + 1; l < n; ++l) {
+        const double tv = trans ? t(j, l) : t(l, j);
+        if (tv != 0.0) axpy(m, -tv, b.col(l), bj);
+      }
+      if (diag == Diag::NonUnit) {
+        const double d = t(j, j);
+        scal(m, 1.0 / d, bj);
+      }
+    }
+  }
+}
+
+void trsv(Uplo uplo, Op op, Diag diag, CView t, double* x) {
+  const index_t n = t.rows();
+  assert(t.cols() == n);
+  const bool lower = (uplo == Uplo::Lower);
+  const bool trans = (op == Op::Trans);
+  if ((lower && !trans) || (!lower && trans)) {
+    // Forward substitution.
+    for (index_t i = 0; i < n; ++i) {
+      double s = x[i];
+      if (!trans) {
+        for (index_t l = 0; l < i; ++l) s -= t(i, l) * x[l];
+      } else {
+        for (index_t l = 0; l < i; ++l) s -= t(l, i) * x[l];
+      }
+      x[i] = (diag == Diag::NonUnit) ? s / t(i, i) : s;
+    }
+  } else {
+    // Backward substitution.
+    for (index_t i = n - 1; i >= 0; --i) {
+      double s = x[i];
+      if (!trans) {
+        for (index_t l = i + 1; l < n; ++l) s -= t(i, l) * x[l];
+      } else {
+        for (index_t l = i + 1; l < n; ++l) s -= t(l, i) * x[l];
+      }
+      x[i] = (diag == Diag::NonUnit) ? s / t(i, i) : s;
+    }
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n));
+}
+
+}  // namespace bst::la

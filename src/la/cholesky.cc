@@ -1,0 +1,65 @@
+#include "la/cholesky.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas.h"
+#include "util/flops.h"
+
+namespace bst::la {
+namespace {
+
+// Unblocked kernel on the diagonal block.
+bool chol_unblocked(View a) {
+  const index_t n = a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (index_t l = 0; l < j; ++l) d -= a(j, l) * a(j, l);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    d = std::sqrt(d);
+    a(j, j) = d;
+    const double inv = 1.0 / d;
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (index_t l = 0; l < j; ++l) s -= a(i, l) * a(j, l);
+      a(i, j) = s * inv;
+    }
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(n) * n * n / 3);
+  return true;
+}
+
+}  // namespace
+
+bool cholesky_lower(View a, index_t block) {
+  assert(a.rows() == a.cols());
+  const index_t n = a.rows();
+  if (n <= block) return chol_unblocked(a);
+  for (index_t j0 = 0; j0 < n; j0 += block) {
+    const index_t jb = std::min(block, n - j0);
+    View d = a.block(j0, j0, jb, jb);
+    if (!chol_unblocked(d)) return false;
+    const index_t rest = n - j0 - jb;
+    if (rest == 0) break;
+    View panel = a.block(j0 + jb, j0, rest, jb);
+    // panel := panel * L_d^{-T}
+    trsm(Side::Right, Uplo::Lower, Op::Trans, Diag::NonUnit, 1.0, d, panel);
+    // trailing := trailing - panel panel^T (lower triangle only)
+    View trail = a.block(j0 + jb, j0 + jb, rest, rest);
+    syrk_lower(-1.0, panel, 1.0, trail);
+  }
+  return true;
+}
+
+Mat cholesky_factor(CView a, index_t block) {
+  Mat l(a.rows(), a.cols());
+  copy(a, l.view());
+  if (!cholesky_lower(l.view(), block)) {
+    throw std::runtime_error("cholesky_factor: matrix is not positive definite");
+  }
+  for (index_t j = 0; j < l.cols(); ++j)
+    for (index_t i = 0; i < j; ++i) l(i, j) = 0.0;
+  return l;
+}
+
+}  // namespace bst::la

@@ -1,0 +1,17 @@
+// Dense Cholesky factorization (blocked, right-looking).
+#pragma once
+
+#include "la/matrix.h"
+
+namespace bst::la {
+
+/// In-place lower Cholesky: A = L L^T with L written into the lower triangle
+/// of `a` (the strict upper triangle is left untouched).  Returns false when
+/// a non-positive pivot is met, i.e. A is not positive definite.
+[[nodiscard]] bool cholesky_lower(View a, index_t block = 64);
+
+/// Convenience: factors a copy and returns L as a full lower-triangular
+/// matrix (zeros above the diagonal).  Throws std::runtime_error if not PD.
+Mat cholesky_factor(CView a, index_t block = 64);
+
+}  // namespace bst::la

@@ -1,0 +1,65 @@
+#include "la/condest.h"
+
+#include <cmath>
+
+namespace bst::la {
+namespace {
+
+double sum_abs(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += std::fabs(x);
+  return s;
+}
+
+}  // namespace
+
+double invnorm1_estimate(index_t n, const SolveFn& solve, const SolveFn& solve_trans,
+                         int max_iters) {
+  if (n == 0) return 0.0;
+  // Start from the uniform vector.
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0 / static_cast<double>(n));
+  std::vector<double> y, z;
+  double est = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    solve(x, y);  // y = A^{-1} x
+    const double new_est = sum_abs(y);
+    if (it > 0 && new_est <= est) break;  // no longer improving
+    est = new_est;
+    // xi = sign(y); z = A^{-T} xi.
+    std::vector<double> xi(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) xi[i] = (y[i] >= 0.0) ? 1.0 : -1.0;
+    solve_trans(xi, z);
+    // Most promising coordinate for the next unit-vector probe.
+    index_t jmax = 0;
+    double zmax = -1.0;
+    double ztx = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      const double v = std::fabs(z[static_cast<std::size_t>(j)]);
+      ztx += z[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+      if (v > zmax) {
+        zmax = v;
+        jmax = j;
+      }
+    }
+    if (zmax <= std::fabs(ztx)) break;  // Hager's optimality test
+    std::fill(x.begin(), x.end(), 0.0);
+    x[static_cast<std::size_t>(jmax)] = 1.0;
+  }
+  // Guard with the alternating-sign probe (catches adversarial cases).
+  std::vector<double> probe(static_cast<std::size_t>(n));
+  double scale = 1.0;
+  for (index_t i = 0; i < n; ++i) {
+    probe[static_cast<std::size_t>(i)] =
+        scale * (1.0 + static_cast<double>(i) / static_cast<double>(std::max<index_t>(1, n - 1)));
+    scale = -scale;
+  }
+  solve(probe, y);
+  const double alt = 2.0 * sum_abs(y) / (3.0 * static_cast<double>(n));
+  return std::max(est, alt);
+}
+
+double condest1(index_t n, double norm1_a, const SolveFn& solve, const SolveFn& solve_trans) {
+  return norm1_a * invnorm1_estimate(n, solve, solve_trans);
+}
+
+}  // namespace bst::la

@@ -1,0 +1,28 @@
+// 1-norm condition estimation (Hager's method, as in LAPACK's xLACON).
+//
+// Estimates ||A^{-1}||_1 from a solve callback without forming the inverse
+// -- the natural companion of a factorization.  Used to assess the
+// refinement contraction factor gamma = ||dT T^{-1}|| of the paper's
+// section 8 analysis.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace bst::la {
+
+/// Black-box x := A^{-1} b (or A^{-T} b for the transpose flag).
+using SolveFn = std::function<void(const std::vector<double>& b, std::vector<double>& x)>;
+
+/// Hager's estimator for ||A^{-1}||_1 given solves with A and A^T.
+/// For symmetric A pass the same callback twice.  `n` is the order.
+double invnorm1_estimate(index_t n, const SolveFn& solve, const SolveFn& solve_trans,
+                         int max_iters = 5);
+
+/// 1-norm condition estimate: ||A||_1 * est(||A^{-1}||_1).
+/// `norm1_a` is the (cheaply computable) 1-norm of A.
+double condest1(index_t n, double norm1_a, const SolveFn& solve, const SolveFn& solve_trans);
+
+}  // namespace bst::la

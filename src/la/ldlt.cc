@@ -1,0 +1,49 @@
+#include "la/ldlt.h"
+
+#include <cmath>
+
+#include "la/norms.h"
+#include "util/flops.h"
+
+namespace bst::la {
+
+bool ldlt_unpivoted(View a, std::vector<double>& d, double pivot_tol) {
+  assert(a.rows() == a.cols());
+  const index_t n = a.rows();
+  d.assign(static_cast<std::size_t>(n), 0.0);
+  const double scale = max_abs(a);
+  for (index_t j = 0; j < n; ++j) {
+    // d_j = A(j,j) - sum_l L(j,l)^2 d_l
+    double dj = a(j, j);
+    for (index_t l = 0; l < j; ++l) dj -= a(j, l) * a(j, l) * d[static_cast<std::size_t>(l)];
+    if (std::fabs(dj) <= pivot_tol * scale || !std::isfinite(dj)) return false;
+    d[static_cast<std::size_t>(j)] = dj;
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (index_t l = 0; l < j; ++l)
+        s -= a(i, l) * a(j, l) * d[static_cast<std::size_t>(l)];
+      a(i, j) = s / dj;
+    }
+    a(j, j) = 1.0;
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(n) * n * n / 3);
+  return true;
+}
+
+bool ldl_signature(View a_inout, Mat& l, std::vector<double>& sigma, double pivot_tol) {
+  const index_t n = a_inout.rows();
+  std::vector<double> d;
+  if (!ldlt_unpivoted(a_inout, d, pivot_tol)) return false;
+  l = Mat(n, n);
+  sigma.assign(static_cast<std::size_t>(n), 1.0);
+  for (index_t j = 0; j < n; ++j) {
+    const double dj = d[static_cast<std::size_t>(j)];
+    const double r = std::sqrt(std::fabs(dj));
+    sigma[static_cast<std::size_t>(j)] = dj >= 0.0 ? 1.0 : -1.0;
+    l(j, j) = r;
+    for (index_t i = j + 1; i < n; ++i) l(i, j) = a_inout(i, j) * r;
+  }
+  return true;
+}
+
+}  // namespace bst::la

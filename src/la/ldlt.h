@@ -1,0 +1,26 @@
+// Symmetric indefinite factorizations.
+//
+// The indefinite block Schur algorithm (paper section 2, eq. 11) needs the
+// leading block factored as T1 = L S L^T with S a +/-1 signature matrix.
+// That decomposition exists whenever T1 has nonsingular leading principal
+// submatrices, exactly the paper's assumption.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace bst::la {
+
+/// In-place unpivoted LDL^T: A = L D L^T, unit lower L written to the strict
+/// lower triangle of `a`, D returned in `d`.  Returns false on a (near-)zero
+/// pivot relative to `pivot_tol * max|A|`.
+[[nodiscard]] bool ldlt_unpivoted(View a, std::vector<double>& d, double pivot_tol = 1e-13);
+
+/// Signature decomposition A = L S L^T with L lower triangular (general
+/// diagonal) and S = diag(+/-1) returned in `sigma`.  Returns false when a
+/// leading principal submatrix is singular.
+[[nodiscard]] bool ldl_signature(View a_inout, Mat& l, std::vector<double>& sigma,
+                                 double pivot_tol = 1e-13);
+
+}  // namespace bst::la

@@ -1,0 +1,34 @@
+#include "la/matrix.h"
+
+#include <cstring>
+
+namespace bst::la {
+
+void copy(CView src, View dst) {
+  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const index_t r = src.rows();
+  for (index_t j = 0; j < src.cols(); ++j) {
+    std::memcpy(dst.col(j), src.col(j), static_cast<std::size_t>(r) * sizeof(double));
+  }
+}
+
+Mat identity(index_t n) {
+  Mat a(n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = 1.0;
+  return a;
+}
+
+Mat transpose(CView a) {
+  Mat t(a.cols(), a.rows());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) t(j, i) = a(i, j);
+  return t;
+}
+
+void set_zero(View a) {
+  for (index_t j = 0; j < a.cols(); ++j) {
+    std::memset(a.col(j), 0, static_cast<std::size_t>(a.rows()) * sizeof(double));
+  }
+}
+
+}  // namespace bst::la

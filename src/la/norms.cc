@@ -1,0 +1,58 @@
+#include "la/norms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.h"
+
+namespace bst::la {
+
+double frobenius(CView a) {
+  double amax = max_abs(a);
+  if (amax == 0.0) return 0.0;
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double v = a(i, j) / amax;
+      s += v * v;
+    }
+  return amax * std::sqrt(s);
+}
+
+double max_abs(CView a) {
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) m = std::max(m, std::fabs(a(i, j)));
+  return m;
+}
+
+double norm1(CView a) {
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < a.rows(); ++i) s += std::fabs(a(i, j));
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+double norm_inf(CView a) {
+  std::vector<double> s(static_cast<std::size_t>(a.rows()), 0.0);
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) s[static_cast<std::size_t>(i)] += std::fabs(a(i, j));
+  return s.empty() ? 0.0 : *std::max_element(s.begin(), s.end());
+}
+
+double norm2(const std::vector<double>& x) {
+  return nrm2(static_cast<index_t>(x.size()), x.data());
+}
+
+double max_diff(CView a, CView b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) m = std::max(m, std::fabs(a(i, j) - b(i, j)));
+  return m;
+}
+
+}  // namespace bst::la

@@ -1,0 +1,28 @@
+// Matrix and vector norms.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace bst::la {
+
+/// Frobenius norm.
+double frobenius(CView a);
+
+/// Largest absolute entry.
+double max_abs(CView a);
+
+/// Induced 1-norm (max column sum of absolute values).
+double norm1(CView a);
+
+/// Induced infinity norm (max row sum of absolute values).
+double norm_inf(CView a);
+
+/// Euclidean norm of a vector.
+double norm2(const std::vector<double>& x);
+
+/// max |a - b| over all entries (test helper).
+double max_diff(CView a, CView b);
+
+}  // namespace bst::la

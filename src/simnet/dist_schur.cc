@@ -1,0 +1,290 @@
+#include "simnet/dist_schur.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/flop_model.h"
+#include "core/generator.h"
+#include "core/schur.h"
+#include "la/blas.h"
+
+namespace bst::simnet {
+namespace {
+
+using core::BlockReflector;
+using core::Generator;
+using la::Mat;
+using la::View;
+
+// Number of integers j in [lo, hi) with j mod q == r (0 <= r < q).
+index_t count_mod(index_t lo, index_t hi, index_t q, index_t r) {
+  if (hi <= lo) return 0;
+  auto upto = [q, r](index_t x) {  // count in [0, x]
+    return (x >= r) ? (x - r) / q + 1 : 0;
+  };
+  return upto(hi - 1) - (lo > 0 ? upto(lo - 1) : 0);
+}
+
+// Static owner map: logical block column -> PE (V1/V2) or PE group (V3).
+struct OwnerMap {
+  Layout layout;
+  int np;
+  index_t group;   // V2 group size
+  index_t spread;  // V3 spread
+
+  [[nodiscard]] int owner(index_t j) const {
+    switch (layout) {
+      case Layout::V1: return static_cast<int>(j % np);
+      case Layout::V2: return static_cast<int>((j / group) % np);
+      case Layout::V3: {
+        const index_t groups = np / spread;
+        return static_cast<int>((j % groups) * spread);  // first PE of the group
+      }
+    }
+    return 0;
+  }
+
+  /// Blocks in [lo, hi) owned by `pe` (V1/V2) or by pe's group (V3).
+  [[nodiscard]] index_t owned_in_range(index_t lo, index_t hi, int pe) const {
+    switch (layout) {
+      case Layout::V1: return count_mod(lo, hi, np, pe);
+      case Layout::V2: {
+        const index_t period = static_cast<index_t>(np) * group;
+        index_t c = 0;
+        for (index_t r = static_cast<index_t>(pe) * group; r < (pe + 1) * group; ++r) {
+          c += count_mod(lo, hi, period, r);
+        }
+        return c;
+      }
+      case Layout::V3: {
+        const index_t groups = static_cast<index_t>(np) / spread;
+        return count_mod(lo, hi, groups, static_cast<index_t>(pe) / spread);
+      }
+    }
+    return 0;
+  }
+
+  /// Shift boundary crossings: blocks j in [lo, hi) owned by `pe` whose
+  /// right neighbor j+1 lives on a different PE.
+  [[nodiscard]] index_t crossings_in_range(index_t lo, index_t hi, int pe) const {
+    switch (layout) {
+      case Layout::V1: return count_mod(lo, hi, np, pe);
+      case Layout::V2: {
+        const index_t period = static_cast<index_t>(np) * group;
+        return count_mod(lo, hi, period, (static_cast<index_t>(pe) + 1) * group - 1);
+      }
+      case Layout::V3:
+        // every block crosses to the next group
+        return owned_in_range(lo, hi, pe);
+    }
+    return 0;
+  }
+};
+
+// Cost accounting for one Schur step (step index i, p block columns total),
+// shared by the model-only and the real-data paths.
+void charge_step(Machine& mach, const OwnerMap& map, const DistOptions& opt, index_t m,
+                 index_t i, index_t p) {
+  const double rep_bytes = representation_bytes(opt.rep, m);
+  const double block_bytes = static_cast<double>(m * m) * 8.0;
+  const int np = mach.np();
+
+  // ---- phase 3: shift A_{j-1} -> A_j for j in [i, p) -------------------
+  // Sources are columns [i-1, p-1); each PE aggregates its boundary
+  // crossings into one message to the right neighbor (V1/V2) or to the
+  // matching PE of the next group (V3: one message per slice PE).
+  std::vector<Machine::ShiftMsg> shift;
+  for (int pe = 0; pe < np; ++pe) {
+    const index_t cross = map.crossings_in_range(i - 1, p - 1, pe);
+    if (cross == 0) continue;
+    if (map.layout == Layout::V3) {
+      const index_t groups = static_cast<index_t>(np) / opt.spread;
+      if (groups == 1) continue;  // single group: all moves are local
+      if (pe % static_cast<int>(opt.spread) != 0) continue;  // charge once per group
+      for (index_t s = 0; s < opt.spread; ++s) {
+        const int src = pe + static_cast<int>(s);
+        const int dst = ((pe + static_cast<int>(opt.spread)) % np + static_cast<int>(s)) % np;
+        shift.push_back({src, dst, static_cast<double>(cross),
+                         block_bytes / static_cast<double>(opt.spread)});
+      }
+    } else {
+      // One shmem put per crossing block: the blocks are not contiguous in
+      // the local store, so each costs the message latency (this is what
+      // makes grouping pay off so sharply in Fig. 6).
+      shift.push_back({pe, (pe + 1) % np, static_cast<double>(cross), block_bytes});
+    }
+  }
+  mach.exchange(shift);  // all puts are concurrent one-sided operations
+
+  // ---- phase 1: build the block reflector at the pivot owner -----------
+  const double eff = opt.machine.block_efficiency(static_cast<double>(m));
+  const double build_flops = core::blocking_flops(opt.rep, m, m) / eff;
+  const int pivot_pe = map.owner(i);
+  if (map.layout == Layout::V3) {
+    // The build parallelizes over the group's column slices, at the price
+    // of `spread` broadcasts per step (paper section 7.1.3) *and* one
+    // intra-group exchange per pivot column: each scalar reflector's
+    // x-vector pieces live on different PEs of the group and must be
+    // combined before the slices can be updated.
+    const int hops = [&] {
+      int d = 0;
+      while ((1 << d) < static_cast<int>(opt.spread)) ++d;
+      return d;
+    }();
+    // Gather of the column's pieces serializes over the group (one message
+    // from each of the `spread` PEs into the column owner), then a tree
+    // broadcast of the combined x-vector back out.
+    const double per_column =
+        static_cast<double>(opt.spread) * (opt.machine.latency + opt.machine.barrier_hop) +
+        static_cast<double>(hops) * 2.0 * static_cast<double>(m) /
+            static_cast<double>(opt.spread) * 8.0 / opt.machine.bandwidth;
+    const double chain = static_cast<double>(m) * per_column;
+    for (index_t s = 0; s < opt.spread; ++s) {
+      const int pe = pivot_pe + static_cast<int>(s);
+      mach.compute(pe, build_flops / static_cast<double>(opt.spread));
+      mach.comm_delay(pe, chain);
+    }
+    for (index_t s = 0; s < opt.spread; ++s) {
+      mach.broadcast(pivot_pe + static_cast<int>(s), rep_bytes / static_cast<double>(opt.spread));
+    }
+  } else {
+    mach.compute(pivot_pe, build_flops);
+    mach.broadcast(pivot_pe, rep_bytes);
+  }
+
+  // ---- phase 2: apply to the owned trailing columns ---------------------
+  const double per_block = core::application_flops(opt.rep, m, 1, m) / eff;
+  for (int pe = 0; pe < np; ++pe) {
+    index_t blocks = map.owned_in_range(i + 1, p, pe);
+    if (blocks == 0) continue;
+    double flops = per_block * static_cast<double>(blocks);
+    if (map.layout == Layout::V3) flops /= static_cast<double>(opt.spread);
+    mach.compute(pe, flops);
+  }
+
+  // ---- explicit synchronization between phases --------------------------
+  mach.barrier();
+}
+
+void validate(const DistOptions& opt) {
+  if (opt.np < 1) throw std::invalid_argument("dist_schur: np must be >= 1");
+  if (opt.layout == Layout::V2 && opt.group < 1)
+    throw std::invalid_argument("dist_schur: V2 needs group >= 1");
+  if (opt.layout == Layout::V3) {
+    if (opt.spread < 1 || opt.np % static_cast<int>(opt.spread) != 0)
+      throw std::invalid_argument("dist_schur: V3 spread must divide np");
+  }
+}
+
+}  // namespace
+
+const char* to_string(Layout l) {
+  switch (l) {
+    case Layout::V1: return "V1";
+    case Layout::V2: return "V2";
+    case Layout::V3: return "V3";
+  }
+  return "?";
+}
+
+double representation_bytes(Representation rep, index_t m) {
+  const double n = static_cast<double>(2 * m);
+  const double k = static_cast<double>(m);
+  switch (rep) {
+    case Representation::AccumulatedU: return n * n * 8.0;
+    case Representation::VY1:
+    case Representation::VY2: return 2.0 * n * k * 8.0;
+    case Representation::YTY: return (n * k + k * (k + 1) / 2.0) * 8.0;
+    case Representation::Sequential: return (n + 1.0) * k * 8.0;  // the m x-vectors
+  }
+  return 0.0;
+}
+
+DistResult dist_schur_model(index_t m, index_t p, const DistOptions& opt) {
+  validate(opt);
+  OwnerMap map{opt.layout, opt.np, opt.group, opt.spread};
+  Machine mach(opt.np, opt.machine);
+  for (index_t i = 1; i < p; ++i) charge_step(mach, map, opt, m, i, p);
+  DistResult res;
+  res.sim_seconds = mach.time();
+  res.breakdown = mach.breakdown();
+  res.steps = p - 1;
+  return res;
+}
+
+DistResult dist_schur_factor(const toeplitz::BlockToeplitz& t, const DistOptions& opt,
+                             bool want_factor) {
+  validate(opt);
+  const toeplitz::BlockToeplitz spec =
+      (opt.block_size == 0 || opt.block_size == t.block_size())
+          ? t
+          : t.with_block_size(opt.block_size);
+  const index_t m = spec.block_size(), p = spec.num_blocks();
+  if (!want_factor) {
+    return dist_schur_model(m, p, opt);
+  }
+  if (opt.layout == Layout::V3) {
+    throw std::invalid_argument("dist_schur: the numeric path does not implement V3");
+  }
+
+  OwnerMap map{opt.layout, opt.np, opt.group, opt.spread};
+  Machine mach(opt.np, opt.machine);
+
+  // Distributed storage: each PE owns the (A_j, B_j) pairs of its block
+  // columns.  A flat array indexed by logical column, tagged with the
+  // owning PE, keeps the ownership explicit while staying testable.
+  Generator g = core::make_generator_spd(spec);
+  struct Column {
+    Mat a, b;
+    int pe;
+  };
+  std::vector<Column> cols(static_cast<std::size_t>(p));
+  for (index_t j = 0; j < p; ++j) {
+    auto& c = cols[static_cast<std::size_t>(j)];
+    c.a = Mat(m, m);
+    c.b = Mat(m, m);
+    la::copy(g.a_block(j), c.a.view());
+    la::copy(g.b_block(j), c.b.view());
+    c.pe = map.owner(j);
+  }
+
+  Mat r(spec.order(), spec.order());
+  auto emit = [&](index_t step) {
+    for (index_t j = step; j < p; ++j) {
+      la::copy(cols[static_cast<std::size_t>(j)].a.view(), r.block(step * m, j * m, m, m));
+    }
+  };
+  emit(0);
+
+  for (index_t i = 1; i < p; ++i) {
+    // Phase 3: shift the A row one block to the right (explicit moves
+    // between PE stores, right to left so nothing is overwritten early).
+    for (index_t j = p - 1; j >= i; --j) {
+      la::copy(cols[static_cast<std::size_t>(j - 1)].a.view(),
+               cols[static_cast<std::size_t>(j)].a.view());
+    }
+    // Phase 1: the pivot owner builds the reflector...
+    auto& pivot = cols[static_cast<std::size_t>(i)];
+    BlockReflector bref(opt.rep, m, g.sig);
+    if (auto bd = bref.build(pivot.a.view(), pivot.b.view(), 1e-13)) {
+      throw core::NotPositiveDefinite(i, bd->column, bd->hnorm);
+    }
+    // Phase 2: ...and every PE updates the columns it owns.
+    for (index_t j = i + 1; j < p; ++j) {
+      auto& c = cols[static_cast<std::size_t>(j)];
+      bref.apply(c.a.view(), c.b.view());
+    }
+    charge_step(mach, map, opt, m, i, p);
+    emit(i);
+  }
+
+  DistResult res;
+  res.sim_seconds = mach.time();
+  res.breakdown = mach.breakdown();
+  res.steps = p - 1;
+  res.r = std::move(r);
+  return res;
+}
+
+}  // namespace bst::simnet

@@ -1,0 +1,74 @@
+// Distributed block Schur factorization on the simulated machine
+// (paper section 7.1): the generator's block columns are laid out over a
+// linear array of NP PEs in one of three schemes --
+//
+//   V1: block-cyclic, one block per PE per round,
+//   V2: groups of `group` adjacent blocks per PE (less shift traffic,
+//       less parallelism),
+//   V3: each block split across `spread` adjacent PEs (more parallelism,
+//       `spread` times more broadcasts)
+//
+// -- and each Schur step runs the compute/communicate phases of section 6.1
+// with explicit barrier synchronization:
+//   phase 3: shift the upper generator row one block to the right,
+//   phase 1: the pivot owner builds the block reflector,
+//   broadcast it, phase 2: every PE updates its owned columns, barrier.
+//
+// For V1/V2 the factorization *really runs* on per-PE storage (block
+// columns move between PE stores during the shift), so the distributed
+// result can be bit-compared with the sequential one; V3 is cost-model
+// only (pass want_factor = false).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/block_reflector.h"
+#include "simnet/machine.h"
+#include "toeplitz/block_toeplitz.h"
+
+namespace bst::simnet {
+
+using core::index_t;
+using core::Representation;
+
+/// Generator layout over the linear PE array.
+enum class Layout { V1, V2, V3 };
+
+const char* to_string(Layout l);
+
+/// Options for a distributed factorization run.
+struct DistOptions {
+  Layout layout = Layout::V1;
+  int np = 16;
+  index_t group = 1;       // V2: adjacent blocks per PE ("b" in the paper)
+  index_t spread = 1;      // V3: PEs per block ("1/b" in the paper)
+  Representation rep = Representation::VY2;
+  MachineParams machine = MachineParams::t3d();
+  index_t block_size = 0;  // m_s override (0 = structural)
+};
+
+/// Result: virtual times plus (optionally) the actual factor.
+struct DistResult {
+  double sim_seconds = 0.0;
+  TimeBreakdown breakdown;
+  index_t steps = 0;
+  std::optional<la::Mat> r;  // the n x n factor when requested
+};
+
+/// Runs the distributed factorization.  With want_factor the numerical
+/// factorization is actually carried out on distributed per-PE storage
+/// (V1/V2 only; throws std::invalid_argument for V3); without it, only the
+/// cost model runs (all layouts, any size).
+DistResult dist_schur_factor(const toeplitz::BlockToeplitz& t, const DistOptions& opt,
+                             bool want_factor);
+
+/// Cost-model-only convenience for size sweeps: a synthetic SPD spec of the
+/// given dimensions is assumed (no numerics executed).
+DistResult dist_schur_model(index_t m, index_t p, const DistOptions& opt);
+
+/// Bytes needed to communicate one step's block reflector in the given
+/// representation (the YTY form's storage advantage, paper section 6.5).
+double representation_bytes(Representation rep, index_t m);
+
+}  // namespace bst::simnet

@@ -1,0 +1,79 @@
+#include "simnet/machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bst::simnet {
+
+Machine::Machine(int np, MachineParams params) : params_(params) {
+  assert(np >= 1);
+  clock_.assign(static_cast<std::size_t>(np), 0.0);
+}
+
+int Machine::tree_depth() const {
+  const int n = np();
+  int d = 0;
+  while ((1 << d) < n) ++d;
+  return d;
+}
+
+void Machine::compute(int pe, double flops) {
+  const double dt = flops / params_.flop_rate;
+  clock_[static_cast<std::size_t>(pe)] += dt;
+  acct_.compute += dt;
+}
+
+void Machine::put(int src, int dst, double bytes) { put_many(src, dst, 1.0, bytes); }
+
+void Machine::put_many(int src, int dst, double messages, double bytes) {
+  if (src == dst || messages <= 0.0) return;
+  const double dt = messages * params_.latency + messages * bytes / params_.bandwidth;
+  double& s = clock_[static_cast<std::size_t>(src)];
+  double& d = clock_[static_cast<std::size_t>(dst)];
+  // Sender is busy for the injections; receiver synchronizes with arrival.
+  s += dt;
+  d = std::max(d, s);
+  acct_.shift += dt;
+}
+
+void Machine::exchange(const std::vector<ShiftMsg>& msgs) {
+  const std::vector<double> snap = clock_;
+  for (const ShiftMsg& m : msgs) {
+    if (m.src == m.dst || m.messages <= 0.0) continue;
+    const double dt = m.messages * (params_.latency + m.bytes / params_.bandwidth);
+    clock_[static_cast<std::size_t>(m.src)] =
+        std::max(clock_[static_cast<std::size_t>(m.src)], snap[static_cast<std::size_t>(m.src)] + dt);
+    clock_[static_cast<std::size_t>(m.dst)] =
+        std::max(clock_[static_cast<std::size_t>(m.dst)], snap[static_cast<std::size_t>(m.src)] + dt);
+    acct_.shift += dt;
+  }
+}
+
+void Machine::broadcast(int root, double bytes) {
+  const int depth = tree_depth();
+  const double per_hop = params_.latency + bytes / params_.bandwidth;
+  const double dt = static_cast<double>(depth) * per_hop;
+  const double t0 = clock_[static_cast<std::size_t>(root)] + dt;
+  for (double& c : clock_) c = std::max(c, t0);
+  acct_.broadcast += dt;
+}
+
+void Machine::comm_delay(int pe, double seconds) {
+  clock_[static_cast<std::size_t>(pe)] += seconds;
+  acct_.broadcast += seconds;
+}
+
+void Machine::barrier() {
+  const double cost = static_cast<double>(tree_depth()) * params_.barrier_hop;
+  const double tmax = *std::max_element(clock_.begin(), clock_.end());
+  for (double& c : clock_) {
+    acct_.barrier += (tmax - c);  // idle time absorbed at the barrier
+    c = tmax + cost;
+  }
+  acct_.barrier += cost * static_cast<double>(np());
+}
+
+double Machine::time() const { return *std::max_element(clock_.begin(), clock_.end()); }
+
+}  // namespace bst::simnet

@@ -1,0 +1,107 @@
+// Deterministic cost-model simulator of a distributed-memory machine
+// (the Cray T3D of the paper's section 7).
+//
+// Each PE has a virtual clock.  Computation advances one clock; messages
+// synchronize the receiver's clock with the sender's plus a latency +
+// volume/bandwidth cost; broadcasts and barriers use log2(NP) trees.  All
+// times are virtual: runs are deterministic and independent of the host.
+//
+// The default parameters are the T3D's published figures (section 7.1.4):
+// 150 MFLOPS peak DEC Alpha PEs (derated to a realistic sustained rate),
+// 1 us shmem put latency, 300 MB/s neighbor links.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace bst::simnet {
+
+/// Cost parameters of the simulated machine.
+struct MachineParams {
+  double flop_rate = 15e6;    // sustained flops/s per PE on the short
+                              // BLAS1/2 operations of this algorithm
+                              // (150 MFLOPS peak Alpha, ~10% sustained)
+  double latency = 1e-6;      // seconds per message (shmem put)
+  double bandwidth = 300e6;   // bytes/s per link
+  double barrier_hop = 5e-6;  // per-tree-level cost of the software barrier
+                              // + per-step loop orchestration overhead
+  double cache_line_words = 4;  // T3D: 4-word direct-mapped cache lines
+
+  /// Sustained-efficiency factor for generator updates with block size m:
+  /// accesses with footprint below the cache line waste part of every line
+  /// (the effect the paper uses to explain Fig. 9: the m = 4 update is
+  /// "not twice" the m = 2 one).  Mild penalty, saturating at the line.
+  [[nodiscard]] double block_efficiency(double m) const {
+    const double l = cache_line_words;
+    return (std::min(m, l) + l) / (2.0 * l);
+  }
+
+  /// The Cray T3D of the paper.
+  static MachineParams t3d() { return MachineParams{}; }
+};
+
+/// Time accounting buckets (per experiment reporting).
+struct TimeBreakdown {
+  double compute = 0.0;
+  double broadcast = 0.0;
+  double shift = 0.0;
+  double barrier = 0.0;
+  [[nodiscard]] double total() const { return compute + broadcast + shift + barrier; }
+};
+
+/// Virtual machine: NP processing elements with individual clocks.
+class Machine {
+ public:
+  Machine(int np, MachineParams params);
+
+  [[nodiscard]] int np() const noexcept { return static_cast<int>(clock_.size()); }
+  [[nodiscard]] const MachineParams& params() const noexcept { return params_; }
+
+  /// Advances `pe`'s clock by flops / flop_rate.
+  void compute(int pe, double flops);
+
+  /// Point-to-point message of `bytes` from src to dst.
+  void put(int src, int dst, double bytes);
+
+  /// `messages` back-to-back puts of `bytes` each (e.g. one shmem put per
+  /// non-contiguous block during the generator shift): the sender pays the
+  /// per-message latency `messages` times.
+  void put_many(int src, int dst, double messages, double bytes);
+
+  /// One concurrent exchange: every entry is sent simultaneously from a
+  /// snapshot of the current clocks (one-sided puts do not chain), unlike
+  /// consecutive put_many calls which would serialize around the ring.
+  struct ShiftMsg {
+    int src, dst;
+    double messages, bytes;
+  };
+  void exchange(const std::vector<ShiftMsg>& msgs);
+
+  /// Tree broadcast of `bytes` from root to all PEs.
+  void broadcast(int root, double bytes);
+
+  /// Advances `pe`'s clock by `seconds` of communication/synchronization
+  /// time not covered by the other primitives (charged to the broadcast
+  /// accounting bucket).
+  void comm_delay(int pe, double seconds);
+
+  /// Global barrier: all clocks advance to max + barrier cost.
+  void barrier();
+
+  /// Elapsed virtual time = max clock.
+  [[nodiscard]] double time() const;
+
+  /// Aggregate accounting (sums of per-PE charges by category; the
+  /// `barrier` bucket holds the idle time absorbed at barriers).
+  [[nodiscard]] const TimeBreakdown& breakdown() const noexcept { return acct_; }
+
+ private:
+  [[nodiscard]] int tree_depth() const;
+
+  MachineParams params_;
+  std::vector<double> clock_;
+  TimeBreakdown acct_;
+};
+
+}  // namespace bst::simnet

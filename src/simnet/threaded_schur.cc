@@ -1,0 +1,327 @@
+#include "simnet/threaded_schur.h"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/generator.h"
+#include "core/schur.h"
+#include "simnet/runtime.h"
+
+namespace bst::simnet {
+namespace {
+
+using core::BlockReflector;
+using core::index_t;
+using core::Reflector;
+using la::Mat;
+
+// Message tags: disjoint ranges per protocol phase.
+constexpr int kTagShiftBase = 1'000'000;  // + logical column
+constexpr int kTagGatherBase = 2'000'000; // + logical column
+
+// Wire format of one reflector: [pivot, beta, sigma, x...].
+void pack_reflectors(const std::vector<Reflector>& rs, std::vector<double>& out) {
+  out.clear();
+  for (const Reflector& r : rs) {
+    out.push_back(static_cast<double>(r.pivot));
+    out.push_back(r.beta);
+    out.push_back(r.sigma);
+    out.insert(out.end(), r.x.begin(), r.x.end());
+  }
+}
+
+std::vector<Reflector> unpack_reflectors(const std::vector<double>& in, index_t m) {
+  const std::size_t stride = 3 + static_cast<std::size_t>(2 * m);
+  std::vector<Reflector> rs;
+  rs.reserve(in.size() / stride);
+  for (std::size_t off = 0; off + stride <= in.size(); off += stride) {
+    Reflector r;
+    r.pivot = static_cast<index_t>(in[off]);
+    r.beta = in[off + 1];
+    r.sigma = in[off + 2];
+    r.x.assign(in.begin() + static_cast<std::ptrdiff_t>(off + 3),
+               in.begin() + static_cast<std::ptrdiff_t>(off + stride));
+    rs.push_back(std::move(r));
+  }
+  return rs;
+}
+
+std::vector<double> flatten(la::CView v) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(v.rows() * v.cols()));
+  for (index_t j = 0; j < v.cols(); ++j)
+    for (index_t i = 0; i < v.rows(); ++i) out.push_back(v(i, j));
+  return out;
+}
+
+void unflatten(const std::vector<double>& in, la::View v) {
+  std::size_t idx = 0;
+  for (index_t j = 0; j < v.cols(); ++j)
+    for (index_t i = 0; i < v.rows(); ++i) v(i, j) = in[idx++];
+}
+
+}  // namespace
+
+namespace {
+la::Mat threaded_schur_v3(const toeplitz::BlockToeplitz& spec, const DistOptions& opt);
+}  // namespace
+
+la::Mat threaded_schur_factor(const toeplitz::BlockToeplitz& t, const DistOptions& opt) {
+  if (opt.np < 1) throw std::invalid_argument("threaded_schur: np must be >= 1");
+  const toeplitz::BlockToeplitz spec =
+      (opt.block_size == 0 || opt.block_size == t.block_size())
+          ? t
+          : t.with_block_size(opt.block_size);
+  if (opt.layout == Layout::V3) return threaded_schur_v3(spec, opt);
+  const index_t m = spec.block_size(), p = spec.num_blocks(), n = spec.order();
+  const index_t group = (opt.layout == Layout::V2) ? opt.group : 1;
+  auto owner = [&](index_t j) { return static_cast<int>((j / group) % opt.np); };
+
+  Mat r_out(n, n);
+
+  run_spmd(opt.np, [&](Comm& comm) {
+    const int me = comm.rank();
+    // Each PE slices its own columns out of the (deterministically
+    // reproducible) generator; only these are kept.
+    core::Generator g = core::make_generator_spd(spec);
+    struct Column {
+      Mat a, b;
+    };
+    std::map<index_t, Column> mine;
+    for (index_t j = 0; j < p; ++j) {
+      if (owner(j) != me) continue;
+      Column c{Mat(m, m), Mat(m, m)};
+      la::copy(g.a_block(j), c.a.view());
+      la::copy(g.b_block(j), c.b.view());
+      mine.emplace(j, std::move(c));
+    }
+    const core::Signature sig = g.sig;
+    g = core::Generator{};  // drop the full generator: PEs own only slices
+
+    // Gather of R block row `step` on PE 0.
+    auto gather_row = [&](index_t step) {
+      if (me == 0) {
+        for (index_t j = step; j < p; ++j) {
+          la::View dst = r_out.block(step * m, j * m, m, m);
+          if (owner(j) == 0) {
+            la::copy(mine.at(j).a.view(), dst);
+          } else {
+            unflatten(comm.recv(owner(j), kTagGatherBase + static_cast<int>(j)), dst);
+          }
+        }
+      } else {
+        for (auto& [j, col] : mine) {
+          if (j >= step) {
+            comm.send(0, kTagGatherBase + static_cast<int>(j), flatten(col.a.view()));
+          }
+        }
+      }
+    };
+
+    gather_row(0);
+    for (index_t i = 1; i < p; ++i) {
+      // ---- phase 3: shift A_{j-1} -> A_j --------------------------------
+      // Sends first (pre-shift values), then local right-to-left moves,
+      // then receives.
+      for (index_t j = i; j < p; ++j) {
+        if (owner(j - 1) == me && owner(j) != me) {
+          comm.send(owner(j), kTagShiftBase + static_cast<int>(j),
+                    flatten(mine.at(j - 1).a.view()));
+        }
+      }
+      for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
+        const index_t j = it->first;
+        if (j >= i && owner(j - 1) == me) {
+          la::copy(mine.at(j - 1).a.view(), it->second.a.view());
+        }
+      }
+      for (auto& [j, col] : mine) {
+        if (j >= i && owner(j - 1) != me) {
+          unflatten(comm.recv(owner(j - 1), kTagShiftBase + static_cast<int>(j)),
+                    col.a.view());
+        }
+      }
+
+      // ---- phase 1: pivot owner builds, broadcasts the x-vectors --------
+      std::vector<double> wire;
+      std::optional<core::StepBreakdown> breakdown;
+      if (owner(i) == me) {
+        Column& pivot = mine.at(i);
+        BlockReflector bref(opt.rep, m, sig);
+        breakdown = bref.build(pivot.a.view(), pivot.b.view(), 1e-13);
+        if (!breakdown) pack_reflectors(bref.reflectors(), wire);
+        // An empty wire signals breakdown so every PE throws (instead of
+        // deadlocking in recv while the owner unwinds).
+      }
+      comm.broadcast(owner(i), wire);
+      if (wire.empty()) {
+        throw core::NotPositiveDefinite(i, breakdown ? breakdown->column : 0,
+                                        breakdown ? breakdown->hnorm : 0.0);
+      }
+
+      // ---- phase 2: everyone updates its own trailing columns -----------
+      BlockReflector bref = BlockReflector::from_reflectors(
+          opt.rep, m, sig, unpack_reflectors(wire, m));
+      for (auto& [j, col] : mine) {
+        if (j > i) bref.apply(col.a.view(), col.b.view());
+      }
+
+      gather_row(i);
+      comm.barrier();
+    }
+  });
+  return r_out;
+}
+
+namespace {
+
+// V3: every block column is split column-wise over `spread` adjacent PEs
+// (paper section 7.1.3).  Each PE owns an m x ws slice of the A and B
+// parts of the blocks assigned to its group; the pivot block's reflectors
+// are built column-by-column by the slice owner and fanned out to all PEs,
+// which update their own slices in reflector order.
+la::Mat threaded_schur_v3(const toeplitz::BlockToeplitz& spec, const DistOptions& opt) {
+  const index_t m = spec.block_size(), p = spec.num_blocks(), n = spec.order();
+  const index_t s = opt.spread;
+  if (s < 1 || opt.np % static_cast<int>(s) != 0) {
+    throw std::invalid_argument("threaded_schur: V3 spread must divide np");
+  }
+  if (m % s != 0) {
+    throw std::invalid_argument("threaded_schur: V3 requires spread | block size");
+  }
+  const index_t ws = m / s;                      // slice width
+  const index_t groups = static_cast<index_t>(opt.np) / s;
+  auto group_of = [&](index_t j) { return static_cast<int>(j % groups); };
+  auto slice_owner = [&](index_t j, index_t q) {
+    return group_of(j) * static_cast<int>(s) + static_cast<int>(q);
+  };
+
+  Mat r_out(n, n);
+
+  run_spmd(opt.np, [&](Comm& comm) {
+    const int me = comm.rank();
+    const index_t myq = static_cast<index_t>(me) % s;  // my slice index
+    const int mygroup = me / static_cast<int>(s);
+    core::Generator g = core::make_generator_spd(spec);
+    const core::Signature sig = g.sig;
+
+    struct Slice {
+      Mat a, b;  // m x ws each
+    };
+    std::map<index_t, Slice> mine;  // by logical block column
+    for (index_t j = 0; j < p; ++j) {
+      if (group_of(j) != mygroup) continue;
+      Slice sl{Mat(m, ws), Mat(m, ws)};
+      la::copy(g.a.block(0, j * m + myq * ws, m, ws), sl.a.view());
+      la::copy(g.b.block(0, j * m + myq * ws, m, ws), sl.b.view());
+      mine.emplace(j, std::move(sl));
+    }
+    g = core::Generator{};
+
+    auto gather_row = [&](index_t step) {
+      if (me == 0) {
+        for (index_t j = step; j < p; ++j) {
+          for (index_t q = 0; q < s; ++q) {
+            la::View dst = r_out.block(step * m, j * m + q * ws, m, ws);
+            if (slice_owner(j, q) == 0) {
+              la::copy(mine.at(j).a.view(), dst);
+            } else {
+              unflatten(comm.recv(slice_owner(j, q),
+                                  kTagGatherBase + static_cast<int>(j * s + q)),
+                        dst);
+            }
+          }
+        }
+      } else {
+        for (auto& [j, sl] : mine) {
+          if (j >= step) {
+            comm.send(0, kTagGatherBase + static_cast<int>(j * s + myq),
+                      flatten(sl.a.view()));
+          }
+        }
+      }
+    };
+
+    gather_row(0);
+    for (index_t i = 1; i < p; ++i) {
+      // ---- shift A_{j-1} -> A_j: same slice index, next group ----------
+      for (index_t j = i; j < p; ++j) {
+        if (group_of(j - 1) == mygroup && group_of(j) != mygroup) {
+          comm.send(slice_owner(j, myq), kTagShiftBase + static_cast<int>(j * s + myq),
+                    flatten(mine.at(j - 1).a.view()));
+        }
+      }
+      for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
+        const index_t j = it->first;
+        if (j >= i && group_of(j - 1) == mygroup) {
+          la::copy(mine.at(j - 1).a.view(), it->second.a.view());
+        }
+      }
+      for (auto& [j, sl] : mine) {
+        if (j >= i && group_of(j - 1) != mygroup) {
+          unflatten(comm.recv(slice_owner(j - 1, myq),
+                              kTagShiftBase + static_cast<int>(j * s + myq)),
+                    sl.a.view());
+        }
+      }
+
+      // ---- build: pivot columns in order; each owner fans its x out -----
+      std::vector<Reflector> reflectors;
+      reflectors.reserve(static_cast<std::size_t>(m));
+      const bool in_pivot_group = (group_of(i) == mygroup);
+      for (index_t k = 0; k < m; ++k) {
+        const index_t q = k / ws;        // slice holding pivot column k
+        const index_t kl = k - q * ws;   // column within the slice
+        std::vector<double> wire;
+        if (slice_owner(i, q) == me) {
+          // Build from my (already updated) pivot slice column kl.
+          Slice& piv = mine.at(i);
+          std::vector<double> u(static_cast<std::size_t>(2 * m), 0.0);
+          u[static_cast<std::size_t>(k)] = piv.a(k, kl);
+          for (index_t rr = 0; rr < m; ++rr)
+            u[static_cast<std::size_t>(m + rr)] = piv.b(rr, kl);
+          auto refl = core::make_reflector(u, sig, k, 1e-13);
+          if (!refl) {
+            comm.broadcast(me, wire);  // empty = breakdown
+            throw core::NotPositiveDefinite(i, k, core::hyperbolic_norm(u, sig));
+          }
+          pack_reflectors({*refl}, wire);
+          comm.broadcast(me, wire);
+        } else {
+          comm.broadcast(slice_owner(i, q), wire);
+          if (wire.empty()) throw core::NotPositiveDefinite(i, k, 0.0);
+        }
+        Reflector r = unpack_reflectors(wire, m).at(0);
+        // Update my pivot slice columns with this reflector (in order).
+        if (in_pivot_group) {
+          Slice& piv = mine.at(i);
+          core::BlockReflector seq = core::BlockReflector::from_reflectors(
+              core::Representation::Sequential, m, sig, {r});
+          seq.apply(piv.a.view(), piv.b.view());
+          // Exact elimination of the pivot column (kill roundoff).
+          if (slice_owner(i, q) == me) {
+            piv.a(k, kl) = -r.sigma;
+            for (index_t rr = 0; rr < m; ++rr) piv.b(rr, kl) = 0.0;
+          }
+        }
+        reflectors.push_back(std::move(r));
+      }
+
+      // ---- trailing update on every slice of blocks j > i ----------------
+      BlockReflector bref =
+          BlockReflector::from_reflectors(opt.rep, m, sig, reflectors);
+      for (auto& [j, sl] : mine) {
+        if (j > i) bref.apply(sl.a.view(), sl.b.view());
+      }
+
+      gather_row(i);
+      comm.barrier();
+    }
+  });
+  return r_out;
+}
+
+}  // namespace
+
+}  // namespace bst::simnet

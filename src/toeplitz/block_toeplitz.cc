@@ -1,0 +1,62 @@
+#include "toeplitz/block_toeplitz.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bst::toeplitz {
+
+BlockToeplitz::BlockToeplitz(index_t m, Mat first_row) : m_(m), row_(std::move(first_row)) {
+  assert(m > 0);
+  assert(row_.rows() == m);
+  assert(row_.cols() % m == 0);
+  p_ = row_.cols() / m;
+  // T1 must be symmetric for the matrix to be symmetric.
+  for (index_t i = 0; i < m_; ++i)
+    for (index_t j = 0; j < i; ++j)
+      if (std::fabs(row_(i, j) - row_(j, i)) > 1e-12 * (1.0 + std::fabs(row_(i, j)))) {
+        throw std::invalid_argument("BlockToeplitz: T1 is not symmetric");
+      }
+}
+
+BlockToeplitz BlockToeplitz::scalar(const std::vector<double>& first_row) {
+  Mat row(1, static_cast<index_t>(first_row.size()));
+  for (index_t j = 0; j < row.cols(); ++j) row(0, j) = first_row[static_cast<std::size_t>(j)];
+  return BlockToeplitz(1, std::move(row));
+}
+
+CView BlockToeplitz::block(index_t k) const {
+  assert(k >= 1 && k <= p_);
+  return row_.block(0, (k - 1) * m_, m_, m_);
+}
+
+double BlockToeplitz::entry(index_t i, index_t j) const {
+  const index_t bi = i / m_, bj = j / m_;
+  const index_t ri = i % m_, rj = j % m_;
+  if (bj >= bi) return row_(ri, (bj - bi) * m_ + rj);
+  return row_(rj, (bi - bj) * m_ + ri);  // transposed block
+}
+
+Mat BlockToeplitz::dense() const {
+  const index_t n = order();
+  Mat t(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) t(i, j) = entry(i, j);
+  return t;
+}
+
+BlockToeplitz BlockToeplitz::with_block_size(index_t ms) const {
+  assert(ms > 0);
+  if (ms == m_) return *this;
+  if (ms % m_ != 0 || order() % ms != 0) {
+    throw std::invalid_argument(
+        "with_block_size: ms must be a multiple of m and divide the order");
+  }
+  const index_t n = order();
+  Mat strip(ms, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < ms; ++i) strip(i, j) = entry(i, j);
+  return BlockToeplitz(ms, std::move(strip));
+}
+
+}  // namespace bst::toeplitz

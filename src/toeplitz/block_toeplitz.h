@@ -1,0 +1,60 @@
+// Symmetric block Toeplitz matrices, stored by their first block row.
+//
+// A symmetric block Toeplitz matrix T of order n = m*p is fully determined
+// by its first block row  [T1 T2 ... Tp]  (eq. 2 of the paper) with T1
+// symmetric: block (i, j) equals T_{j-i+1} for j >= i and T_{i-j+1}^T
+// otherwise.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace bst::toeplitz {
+
+using la::CView;
+using la::index_t;
+using la::Mat;
+using la::View;
+
+/// Value-type description of a symmetric block Toeplitz matrix.
+class BlockToeplitz {
+ public:
+  BlockToeplitz() = default;
+
+  /// `first_row` is the m x (m*p) matrix [T1 T2 ... Tp]; T1 must be symmetric.
+  BlockToeplitz(index_t m, Mat first_row);
+
+  /// Builds a scalar (m = 1) symmetric Toeplitz matrix from its first row.
+  static BlockToeplitz scalar(const std::vector<double>& first_row);
+
+  [[nodiscard]] index_t block_size() const noexcept { return m_; }
+  [[nodiscard]] index_t num_blocks() const noexcept { return p_; }
+  [[nodiscard]] index_t order() const noexcept { return m_ * p_; }
+
+  /// View of block T_k, k = 1..p (1-based to match the paper).
+  [[nodiscard]] CView block(index_t k) const;
+
+  /// The m x (m*p) first block row.
+  [[nodiscard]] CView first_row() const { return row_.view(); }
+
+  /// Entry T(i, j) of the full matrix (0-based), resolved via the structure.
+  [[nodiscard]] double entry(index_t i, index_t j) const;
+
+  /// Materializes the full dense n x n matrix (tests / baselines).
+  [[nodiscard]] Mat dense() const;
+
+  /// Re-interprets the same matrix with block size `ms` (must divide the
+  /// order and be a multiple of m).  This is the paper's m_s != m device:
+  /// a block Toeplitz matrix with block size m is also block Toeplitz for
+  /// any block size that is a multiple of m, at the cost of "forgetting"
+  /// part of the structure.  The new first block row is the leading
+  /// ms x n strip of the full matrix.
+  [[nodiscard]] BlockToeplitz with_block_size(index_t ms) const;
+
+ private:
+  index_t m_ = 0, p_ = 0;
+  Mat row_;  // m x (m*p)
+};
+
+}  // namespace bst::toeplitz

@@ -1,0 +1,67 @@
+#include "toeplitz/fft.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bst::toeplitz {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<cplx>& a, bool inverse) {
+  const std::size_t n = a.size();
+  assert((n & (n - 1)) == 0 && "fft size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * M_PI / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : a) v *= inv;
+  }
+}
+
+CirculantMultiplier::CirculantMultiplier(const std::vector<double>& first_col) {
+  n_ = first_col.size();
+  assert((n_ & (n_ - 1)) == 0 && "circulant order must be a power of two");
+  eig_.assign(n_, cplx{});
+  for (std::size_t i = 0; i < n_; ++i) eig_[i] = cplx(first_col[i], 0.0);
+  fft(eig_, /*inverse=*/false);
+}
+
+void CirculantMultiplier::apply(const std::vector<double>& x, std::vector<double>& y) const {
+  assert(x.size() == n_);
+  std::vector<cplx> v(n_);
+  for (std::size_t i = 0; i < n_; ++i) v[i] = cplx(x[i], 0.0);
+  fft(v, /*inverse=*/false);
+  for (std::size_t i = 0; i < n_; ++i) v[i] *= eig_[i];
+  fft(v, /*inverse=*/true);
+  y.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) y[i] = v[i].real();
+}
+
+}  // namespace bst::toeplitz

@@ -1,0 +1,38 @@
+// Radix-2 complex FFT (iterative, in place).
+//
+// Used for the fast symmetric-Toeplitz matrix-vector product (circulant
+// embedding), which makes each iterative-refinement residual O(n log n)
+// instead of O(n^2) for scalar Toeplitz systems.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace bst::toeplitz {
+
+using cplx = std::complex<double>;
+
+/// In-place FFT of `a` (size must be a power of two).
+/// `inverse` applies the conjugate transform and the 1/N scaling.
+void fft(std::vector<cplx>& a, bool inverse);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// Precomputed circulant multiplier: y = C x where C is the circulant whose
+/// first column is `c`.  Apply() works for any real x of length c.size().
+class CirculantMultiplier {
+ public:
+  explicit CirculantMultiplier(const std::vector<double>& first_col);
+
+  /// y := C x (x and y of the circulant order; y resized as needed).
+  void apply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  [[nodiscard]] std::size_t order() const noexcept { return n_; }
+
+ private:
+  std::size_t n_ = 0;        // circulant order (power of two)
+  std::vector<cplx> eig_;    // FFT of the first column = eigenvalues
+};
+
+}  // namespace bst::toeplitz

@@ -1,0 +1,55 @@
+// Test-matrix generators.
+//
+// The paper evaluates on SPD (block) Toeplitz matrices and on symmetric
+// indefinite Toeplitz matrices with singular principal minors (its worked
+// 6x6 example, eq. 50).  These generators provide those families plus the
+// standard ill-conditioned SPD Toeplitz matrices from the literature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "toeplitz/block_toeplitz.h"
+
+namespace bst::toeplitz {
+
+/// Kac-Murdock-Szego matrix: T(i,j) = rho^|i-j|, SPD for |rho| < 1.
+BlockToeplitz kms(la::index_t n, double rho);
+
+/// Prolate matrix: t_0 = 2w, t_k = sin(2 pi w k) / (pi k); SPD and extremely
+/// ill-conditioned for small w (0 < w < 0.5).
+BlockToeplitz prolate(la::index_t n, double w);
+
+/// Random SPD block Toeplitz: autocovariance of an m-channel moving-average
+/// process of order q, T_k = sum_j C_j C_{j+k-1}^T, plus `ridge` * I.
+/// Always positive semidefinite by construction; ridge > 0 makes it PD.
+BlockToeplitz random_spd_block(la::index_t m, la::index_t p, la::index_t q,
+                               std::uint64_t seed, double ridge = 0.5);
+
+/// Random symmetric indefinite scalar Toeplitz: first row uniform in [-1,1]
+/// with t_0 = diag.  Generally indefinite for small diag.
+BlockToeplitz random_indefinite(la::index_t n, std::uint64_t seed, double diag = 0.25);
+
+/// The paper's 6x6 example with a singular 2x2 principal minor (eq. 50):
+/// first row (1.0000 1.0000 0.5297 0.6711 0.0077 0.3834).
+BlockToeplitz paper_example_6x6();
+
+/// Symmetric Toeplitz with first row (1, 1, r_3 .. r_n) random: the leading
+/// 2x2 minor [[1 1],[1 1]] is singular, forcing a perturbation at step 2.
+BlockToeplitz singular_minor_family(la::index_t n, std::uint64_t seed);
+
+/// Fractional-Gaussian-noise autocovariance: t_k proportional to
+/// |k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}; SPD and, for H near 1,
+/// long-memory and increasingly ill-conditioned (0 < H < 1).
+BlockToeplitz fgn(la::index_t n, double hurst);
+
+/// AR(1) vector-process block autocovariance: C_k = Phi^k C_0 with
+/// C_0 solving C_0 = Phi C_0 Phi^T + I (computed by fixed-point iteration).
+/// `phi_scale` < 1 controls the spectral radius of the random Phi.
+BlockToeplitz ar1_block(la::index_t m, la::index_t p, std::uint64_t seed,
+                        double phi_scale = 0.6);
+
+/// Right-hand side b = T * ones(n) (handy for checking solutions).
+std::vector<double> rhs_for_ones(const BlockToeplitz& t);
+
+}  // namespace bst::toeplitz

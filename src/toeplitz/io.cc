@@ -1,0 +1,148 @@
+#include "toeplitz/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace bst::toeplitz {
+namespace {
+
+// Stream tokenizer skipping '#' comments to end of line.
+class Tokens {
+ public:
+  explicit Tokens(std::istream& in) : in_(in) {}
+
+  std::string next(const char* what) {
+    std::string tok;
+    while (in_ >> tok) {
+      if (tok[0] == '#') {
+        std::string rest;
+        std::getline(in_, rest);
+        continue;
+      }
+      return tok;
+    }
+    throw std::runtime_error(std::string("unexpected end of input, expected ") + what);
+  }
+
+  long next_int(const char* what) {
+    const std::string tok = next(what);
+    std::size_t pos = 0;
+    long v = 0;
+    try {
+      v = std::stol(tok, &pos);
+    } catch (...) {
+      pos = 0;
+    }
+    if (pos != tok.size()) {
+      throw std::runtime_error("expected integer for " + std::string(what) + ", got '" + tok +
+                               "'");
+    }
+    return v;
+  }
+
+  double next_double(const char* what) {
+    const std::string tok = next(what);
+    std::size_t pos = 0;
+    double v = 0;
+    try {
+      v = std::stod(tok, &pos);
+    } catch (...) {
+      pos = 0;
+    }
+    if (pos != tok.size()) {
+      throw std::runtime_error("expected number for " + std::string(what) + ", got '" + tok +
+                               "'");
+    }
+    return v;
+  }
+
+ private:
+  std::istream& in_;
+};
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for reading");
+  return f;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  return f;
+}
+
+}  // namespace
+
+BlockToeplitz read_block_toeplitz(std::istream& in) {
+  Tokens tok(in);
+  const std::string magic = tok.next("header 'bst-toeplitz'");
+  if (magic != "bst-toeplitz") {
+    throw std::runtime_error("bad header: expected 'bst-toeplitz', got '" + magic + "'");
+  }
+  const long m = tok.next_int("block size m");
+  const long p = tok.next_int("block count p");
+  if (m < 1 || p < 1 || m > 4096 || p > (1L << 24)) {
+    throw std::runtime_error("implausible dimensions m=" + std::to_string(m) +
+                             " p=" + std::to_string(p));
+  }
+  la::Mat row(m, m * p);
+  for (la::index_t j = 0; j < m * p; ++j)
+    for (la::index_t i = 0; i < m; ++i) row(i, j) = tok.next_double("matrix entry");
+  return BlockToeplitz(static_cast<la::index_t>(m), std::move(row));
+}
+
+BlockToeplitz read_block_toeplitz_file(const std::string& path) {
+  std::ifstream f = open_in(path);
+  return read_block_toeplitz(f);
+}
+
+void write_block_toeplitz(std::ostream& out, const BlockToeplitz& t) {
+  out << "bst-toeplitz " << t.block_size() << ' ' << t.num_blocks() << '\n';
+  out << std::setprecision(17);
+  const la::CView row = t.first_row();
+  for (la::index_t j = 0; j < row.cols(); ++j) {
+    for (la::index_t i = 0; i < row.rows(); ++i) out << row(i, j) << ' ';
+    out << '\n';
+  }
+}
+
+void write_block_toeplitz_file(const std::string& path, const BlockToeplitz& t) {
+  std::ofstream f = open_out(path);
+  write_block_toeplitz(f, t);
+}
+
+std::vector<double> read_vector(std::istream& in) {
+  Tokens tok(in);
+  const std::string magic = tok.next("header 'bst-vector'");
+  if (magic != "bst-vector") {
+    throw std::runtime_error("bad header: expected 'bst-vector', got '" + magic + "'");
+  }
+  const long n = tok.next_int("vector length");
+  if (n < 0 || n > (1L << 28)) {
+    throw std::runtime_error("implausible vector length " + std::to_string(n));
+  }
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = tok.next_double("vector entry");
+  return v;
+}
+
+std::vector<double> read_vector_file(const std::string& path) {
+  std::ifstream f = open_in(path);
+  return read_vector(f);
+}
+
+void write_vector(std::ostream& out, const std::vector<double>& v) {
+  out << "bst-vector " << v.size() << '\n';
+  out << std::setprecision(17);
+  for (double x : v) out << x << '\n';
+}
+
+void write_vector_file(const std::string& path, const std::vector<double>& v) {
+  std::ofstream f = open_out(path);
+  write_vector(f, v);
+}
+
+}  // namespace bst::toeplitz

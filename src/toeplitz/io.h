@@ -1,0 +1,35 @@
+// Plain-text I/O for block Toeplitz problems -- the file format consumed
+// by the bst_solve command line tool and useful for test fixtures.
+//
+// Matrix file format (whitespace/line-break insensitive, '#' comments):
+//   bst-toeplitz <m> <p>
+//   <m * m * p numbers>        # the first block row, column-major per block
+// Vector file format:
+//   bst-vector <n>
+//   <n numbers>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "toeplitz/block_toeplitz.h"
+
+namespace bst::toeplitz {
+
+/// Parses a block Toeplitz description.  Throws std::runtime_error with a
+/// line-oriented message on malformed input.
+BlockToeplitz read_block_toeplitz(std::istream& in);
+BlockToeplitz read_block_toeplitz_file(const std::string& path);
+
+/// Writes the spec in the same format (round-trips exactly in text form).
+void write_block_toeplitz(std::ostream& out, const BlockToeplitz& t);
+void write_block_toeplitz_file(const std::string& path, const BlockToeplitz& t);
+
+/// Vector I/O.
+std::vector<double> read_vector(std::istream& in);
+std::vector<double> read_vector_file(const std::string& path);
+void write_vector(std::ostream& out, const std::vector<double>& v);
+void write_vector_file(const std::string& path, const std::vector<double>& v);
+
+}  // namespace bst::toeplitz

@@ -1,0 +1,47 @@
+// Matrix-vector products with symmetric block Toeplitz matrices.
+//
+// Iterative refinement (paper section 8) needs residuals r = b - T x against
+// the *exact* structured matrix.  Two evaluators are provided:
+//   * Direct:  block-wise gemv, O(p^2 m^2) per product, no setup cost.
+//   * Fft:     circulant embedding of the m^2 scalar Toeplitz sequences,
+//              O(m^2 P log P) per product after O(m^2 P log P) setup.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "toeplitz/block_toeplitz.h"
+#include "toeplitz/fft.h"
+
+namespace bst::toeplitz {
+
+/// Evaluation strategy for MatVec.
+enum class MatVecMode { Direct, Fft };
+
+/// Reusable y = T x operator for a fixed symmetric block Toeplitz T.
+class MatVec {
+ public:
+  explicit MatVec(const BlockToeplitz& t, MatVecMode mode = MatVecMode::Direct);
+
+  /// y := T x (y resized to the order of T).
+  void apply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// r := b - T x.
+  void residual(const std::vector<double>& b, const std::vector<double>& x,
+                std::vector<double>& r) const;
+
+  [[nodiscard]] la::index_t order() const noexcept { return t_.order(); }
+
+ private:
+  void apply_direct(const std::vector<double>& x, std::vector<double>& y) const;
+  void apply_fft(const std::vector<double>& x, std::vector<double>& y) const;
+
+  BlockToeplitz t_;
+  MatVecMode mode_;
+  // FFT path: eigenvalue spectra of the (ri, rj) scalar sequences, each of
+  // circulant order nfft_.
+  std::size_t nfft_ = 0;
+  std::vector<std::vector<cplx>> eig_;  // m*m entries, index ri*m + rj
+};
+
+}  // namespace bst::toeplitz

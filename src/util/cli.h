@@ -1,0 +1,25 @@
+// Tiny --key=value command line parser for the bench/example binaries.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace bst::util {
+
+/// Parses arguments of the form --key=value (or bare --flag => "1").
+/// Unrecognized positional arguments are ignored.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Returns the value for `key`, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace bst::util

@@ -1,0 +1,15 @@
+#include "util/flops.h"
+
+#include <chrono>
+
+namespace bst::util {
+
+thread_local std::uint64_t FlopCounter::count_ = 0;
+
+double wall_seconds() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return std::chrono::duration<double>(clock::now() - origin).count();
+}
+
+}  // namespace bst::util

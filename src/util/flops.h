@@ -1,0 +1,53 @@
+// Flop accounting.
+//
+// The paper argues about representation choices through explicit flop
+// models (eqs. 25-32).  To validate those models against the code that is
+// actually run, every kernel in la/ charges its flops to a thread-local
+// counter that can be sampled around any region of interest.
+#pragma once
+
+#include <cstdint>
+
+namespace bst::util {
+
+/// Thread-local running flop count charged by the la/ kernels.
+class FlopCounter {
+ public:
+  /// Adds `n` flops to the current thread's counter.
+  static void charge(std::uint64_t n) noexcept { count_ += n; }
+
+  /// Current value of the counter.
+  static std::uint64_t now() noexcept { return count_; }
+
+  /// Resets the counter to zero.
+  static void reset() noexcept { count_ = 0; }
+
+ private:
+  static thread_local std::uint64_t count_;
+};
+
+/// RAII sampler: measures the flops charged between construction and
+/// `elapsed()` (or destruction, via `*out`).
+class FlopScope {
+ public:
+  FlopScope() : start_(FlopCounter::now()) {}
+  explicit FlopScope(std::uint64_t* out) : out_(out), start_(FlopCounter::now()) {}
+  ~FlopScope() {
+    if (out_ != nullptr) *out_ = elapsed();
+  }
+  FlopScope(const FlopScope&) = delete;
+  FlopScope& operator=(const FlopScope&) = delete;
+
+  [[nodiscard]] std::uint64_t elapsed() const noexcept {
+    return FlopCounter::now() - start_;
+  }
+
+ private:
+  std::uint64_t* out_ = nullptr;
+  std::uint64_t start_;
+};
+
+/// Monotonic wall-clock timer returning seconds.
+double wall_seconds() noexcept;
+
+}  // namespace bst::util

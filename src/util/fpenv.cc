@@ -1,0 +1,17 @@
+#include "util/fpenv.h"
+
+#if defined(__SSE2__) || defined(__x86_64__)
+#include <xmmintrin.h>
+#define BST_HAVE_MXCSR 1
+#endif
+
+namespace bst::util {
+
+void enable_flush_to_zero() noexcept {
+#ifdef BST_HAVE_MXCSR
+  // Bit 15: flush-to-zero, bit 6: denormals-are-zero.
+  _mm_setcsr(_mm_getcsr() | 0x8040u);
+#endif
+}
+
+}  // namespace bst::util

@@ -1,0 +1,13 @@
+// Floating point environment helpers.
+#pragma once
+
+namespace bst::util {
+
+/// Enables flush-to-zero and denormals-are-zero on x86 (no-op elsewhere).
+/// Toeplitz matrices with geometrically decaying symbols (e.g. KMS with
+/// rho^k entries) underflow into denormals at large n, and denormal
+/// arithmetic is ~100x slower on most CPUs; every bench enables this, as
+/// any HPC production build would.
+void enable_flush_to_zero() noexcept;
+
+}  // namespace bst::util

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generation.
+//
+// Tests and workload generators must be reproducible across platforms, so
+// we use a fixed xoshiro256** implementation instead of std::mt19937 (whose
+// distributions are implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+namespace bst::util {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal variate (Box-Muller; consumes two uniforms).
+  double normal() noexcept;
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bst::util

@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace bst::util {
+namespace {
+
+std::string render(const Cell& c, int precision) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::get<double>(c);
+  return os.str();
+}
+
+}  // namespace
+
+void Table::header(std::vector<std::string> labels) { header_ = std::move(labels); }
+
+void Table::row(std::vector<Cell> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t j = 0; j < header_.size(); ++j) width[j] = header_[j].size();
+  std::vector<std::vector<std::string>> text;
+  text.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    std::vector<std::string> line;
+    line.reserve(r.size());
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      line.push_back(render(r[j], precision_));
+      width[j] = std::max(width[j], line.back().size());
+    }
+    text.push_back(std::move(line));
+  }
+  os << "== " << title_ << " ==\n";
+  auto rule = [&] {
+    for (std::size_t j = 0; j < header_.size(); ++j)
+      os << '+' << std::string(width[j] + 2, '-');
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t j = 0; j < cells.size(); ++j)
+      os << "| " << std::setw(static_cast<int>(width[j])) << cells[j] << ' ';
+    os << "|\n";
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& r : text) line(r);
+  rule();
+}
+
+}  // namespace bst::util

@@ -1,0 +1,41 @@
+// Minimal fixed-width ASCII table printer used by the bench harnesses to
+// emit the rows/series of the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bst::util {
+
+/// One table cell: text, integer, or floating point value.
+using Cell = std::variant<std::string, long long, double>;
+
+/// Column-aligned table with a title, header row and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header labels (defines the column count).
+  void header(std::vector<std::string> labels);
+
+  /// Appends a row; must match the header length.
+  void row(std::vector<Cell> cells);
+
+  /// Floating point cells are printed with this many significant digits.
+  void precision(int digits) { precision_ = digits; }
+
+  /// Renders the table to `os`.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 5;
+};
+
+}  // namespace bst::util

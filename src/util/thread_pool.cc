@@ -1,0 +1,96 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bst::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates, so spawn workers-1 threads.
+  threads_.reserve(workers - 1);
+  for (std::size_t i = 1; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+      ++inflight_;
+    }
+    run_chunks(task);
+    {
+      std::lock_guard lock(mu_);
+      --inflight_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks(Task& task) {
+  for (;;) {
+    std::size_t lo;
+    {
+      std::lock_guard lock(mu_);
+      if (next_ >= task.end) return;
+      lo = next_;
+      next_ = std::min(task.end, next_ + task.grain);
+    }
+    const std::size_t hi = std::min(task.end, lo + task.grain);
+    for (std::size_t i = lo; i < hi; ++i) (*task.body)(i);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (threads_.empty() || end - begin <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  Task task{begin, end, grain, &body};
+  {
+    std::lock_guard lock(mu_);
+    task_ = task;
+    next_ = begin;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_chunks(task);  // the caller helps
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [&] { return inflight_ == 0 && next_ >= task.end; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("BST_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace bst::util

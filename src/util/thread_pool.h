@@ -1,0 +1,60 @@
+// A small work-sharing thread pool with a parallel_for primitive.
+//
+// The paper's shared-memory experiments (Cray Y-MP, section 9) parallelize
+// the application of the block reflector across the generator's block
+// columns.  We provide the same capability via an explicit pool rather than
+// OpenMP so the code is self-contained and the chunking policy is visible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bst::util {
+
+/// Fixed-size pool of worker threads executing index-range chunks.
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 means use the hardware concurrency.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size() + 1; }
+
+  /// Runs body(i) for i in [begin, end), splitting the range across the
+  /// pool plus the calling thread.  Blocks until every index has run.
+  /// `grain` is the minimum chunk size.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Process-wide default pool (lazy, sized from BST_THREADS or hardware).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::size_t begin = 0, end = 0, grain = 1;
+    const std::function<void(std::size_t)>* body = nullptr;
+  };
+
+  void worker_loop();
+  void run_chunks(Task& task);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  std::size_t next_ = 0;       // next unclaimed index of the active task
+  std::size_t inflight_ = 0;   // workers still executing chunks
+  std::size_t generation_ = 0; // bumped per parallel_for to wake workers
+  bool stop_ = false;
+};
+
+}  // namespace bst::util

@@ -1,0 +1,130 @@
+// Tests for the baseline solvers: Levinson, classical Schur, dense solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/classic_schur.h"
+#include "la/blas.h"
+#include "baseline/dense_solver.h"
+#include "baseline/levinson.h"
+#include "core/schur.h"
+#include "la/norms.h"
+#include "la/triangular.h"
+#include "toeplitz/generators.h"
+#include "toeplitz/matvec.h"
+#include "util/rng.h"
+
+namespace bst::baseline {
+namespace {
+
+std::vector<double> first_row_of(const toeplitz::BlockToeplitz& t) {
+  std::vector<double> row(static_cast<std::size_t>(t.order()));
+  for (la::index_t j = 0; j < t.order(); ++j) row[static_cast<std::size_t>(j)] = t.entry(0, j);
+  return row;
+}
+
+class LevinsonSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LevinsonSweep, MatchesDenseSolve) {
+  const la::index_t n = GetParam();
+  toeplitz::BlockToeplitz t = toeplitz::kms(n, 0.6);
+  util::Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<double> x = levinson_solve(first_row_of(t), b);
+  std::vector<double> xd = dense_spd_solve(t.dense().view(), b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x[i], xd[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LevinsonSweep, ::testing::Values(1, 2, 3, 5, 8, 16, 40));
+
+TEST(Levinson, SolvesIndefiniteWithNonsingularMinors) {
+  toeplitz::BlockToeplitz t = toeplitz::random_indefinite(10, 3, /*diag=*/1.5);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  std::vector<double> x = levinson_solve(first_row_of(t), b);
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-7);
+}
+
+TEST(Levinson, ThrowsOnSingularMinor) {
+  toeplitz::BlockToeplitz t = toeplitz::paper_example_6x6();
+  std::vector<double> b(6, 1.0);
+  EXPECT_THROW(levinson_solve(first_row_of(t), b), std::runtime_error);
+}
+
+TEST(Levinson, SizeMismatchThrows) {
+  EXPECT_THROW(levinson_solve({1.0, 0.5}, {1.0}), std::invalid_argument);
+}
+
+TEST(Durbin, SolvesYuleWalker) {
+  toeplitz::BlockToeplitz t = toeplitz::kms(8, 0.5);
+  std::vector<double> r = first_row_of(t);
+  DurbinResult res = durbin(r);
+  // Check T_{n-1} y = -(r_1 .. r_{n-1}).
+  ASSERT_EQ(res.y.size(), 7u);
+  for (la::index_t i = 0; i < 7; ++i) {
+    double s = 0.0;
+    for (la::index_t j = 0; j < 7; ++j) s += t.entry(i, j) * res.y[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(s, -r[static_cast<std::size_t>(i + 1)], 1e-12);
+  }
+  // For a stable AR process all reflection coefficients are inside (-1, 1).
+  for (double k : res.reflection) EXPECT_LT(std::fabs(k), 1.0);
+  EXPECT_GT(res.beta, 0.0);
+}
+
+class ClassicSchurSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClassicSchurSweep, FactorReconstructs) {
+  const la::index_t n = GetParam();
+  toeplitz::BlockToeplitz t = toeplitz::kms(n, 0.55);
+  la::Mat r = classic_schur_factor(first_row_of(t));
+  EXPECT_TRUE(la::is_upper_triangular(r.view(), 0.0));
+  la::Mat rec(n, n);
+  la::gemm(la::Op::Trans, la::Op::None, 1.0, r.view(), r.view(), 0.0, rec.view());
+  EXPECT_LT(la::max_diff(rec.view(), t.dense().view()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClassicSchurSweep, ::testing::Values(1, 2, 4, 9, 16, 33));
+
+TEST(ClassicSchur, AgreesWithBlockSchurM1) {
+  toeplitz::BlockToeplitz t = toeplitz::prolate(20, 0.35);
+  la::Mat rc = classic_schur_factor(first_row_of(t));
+  core::SchurFactor fb = core::block_schur_factor(t);
+  // Same factor up to row signs.
+  for (la::index_t i = 0; i < 20; ++i)
+    for (la::index_t j = 0; j < 20; ++j)
+      EXPECT_NEAR(std::fabs(rc(i, j)), std::fabs(fb.r(i, j)), 1e-8);
+}
+
+TEST(ClassicSchur, SolveAgainstLevinson) {
+  toeplitz::BlockToeplitz t = toeplitz::kms(24, 0.7);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  std::vector<double> xs = classic_schur_solve(first_row_of(t), b);
+  std::vector<double> xl = levinson_solve(first_row_of(t), b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(xs[i], xl[i], 1e-8);
+}
+
+TEST(ClassicSchur, ThrowsOnIndefinite) {
+  EXPECT_THROW(classic_schur_factor({1.0, 2.0, 0.0}), std::runtime_error);
+  EXPECT_THROW(classic_schur_factor({-1.0, 0.0}), std::runtime_error);
+}
+
+TEST(DenseSolvers, SpdAndSymmetricAgree) {
+  toeplitz::BlockToeplitz t = toeplitz::kms(12, 0.4);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  std::vector<double> x1 = dense_spd_solve(t.dense().view(), b);
+  std::vector<double> x2 = dense_sym_solve(t.dense().view(), b);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(x1[i], 1.0, 1e-10);
+    EXPECT_NEAR(x2[i], 1.0, 1e-10);
+  }
+}
+
+TEST(DenseSolvers, SymSolveHandlesIndefinite) {
+  toeplitz::BlockToeplitz t = toeplitz::random_indefinite(8, 17, /*diag=*/1.5);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  std::vector<double> x = dense_sym_solve(t.dense().view(), b);
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace bst::baseline

@@ -1,0 +1,211 @@
+// Tests for the BLAS-style kernels, checked against naive references over
+// parameterized shape sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "la/blas.h"
+#include "la/norms.h"
+#include "util/flops.h"
+#include "util/rng.h"
+
+namespace bst::la {
+namespace {
+
+Mat random_matrix(index_t r, index_t c, util::Rng& rng) {
+  Mat a(r, c);
+  for (index_t j = 0; j < c; ++j)
+    for (index_t i = 0; i < r; ++i) a(i, j) = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+Mat naive_gemm(Op ta, Op tb, double alpha, CView a, CView b, double beta, CView c0) {
+  const index_t m = (ta == Op::None) ? a.rows() : a.cols();
+  const index_t k = (ta == Op::None) ? a.cols() : a.rows();
+  const index_t n = (tb == Op::None) ? b.cols() : b.rows();
+  Mat c(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (index_t l = 0; l < k; ++l) {
+        const double av = (ta == Op::None) ? a(i, l) : a(l, i);
+        const double bv = (tb == Op::None) ? b(l, j) : b(j, l);
+        s += av * bv;
+      }
+      c(i, j) = alpha * s + beta * c0(i, j);
+    }
+  return c;
+}
+
+TEST(Blas1, DotAxpyScalNrm2) {
+  std::vector<double> x{1, 2, 3, 4, 5}, y{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dot(5, x.data(), y.data()), 35.0);
+  axpy(5, 2.0, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[4], 11.0);
+  scal(5, 0.5, y.data());
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  std::vector<double> z{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(nrm2(2, z.data()), 5.0);
+}
+
+TEST(Blas1, Nrm2AvoidsOverflow) {
+  std::vector<double> big{1e200, 1e200};
+  EXPECT_NEAR(nrm2(2, big.data()) / (std::sqrt(2.0) * 1e200), 1.0, 1e-14);
+  std::vector<double> zero{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(nrm2(3, zero.data()), 0.0);
+}
+
+TEST(Blas1, DotHandlesRemainderLengths) {
+  util::Rng rng(5);
+  for (index_t n : {0, 1, 2, 3, 4, 5, 6, 7, 9, 17}) {
+    std::vector<double> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(n));
+    double expect = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = rng.uniform(-1, 1);
+      y[static_cast<std::size_t>(i)] = rng.uniform(-1, 1);
+      expect += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(dot(n, x.data(), y.data()), expect, 1e-13);
+  }
+}
+
+TEST(Blas2, GemvBothOps) {
+  util::Rng rng(9);
+  Mat a = random_matrix(5, 3, rng);
+  std::vector<double> x{1.0, -2.0, 0.5};
+  std::vector<double> y(5, 1.0);
+  gemv(false, 2.0, a.view(), x.data(), 3.0, y.data());
+  for (index_t i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < 3; ++j) s += a(i, j) * x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], 2.0 * s + 3.0, 1e-13);
+  }
+  std::vector<double> xt(5, 0.5), yt(3, 0.0);
+  gemv(true, 1.0, a.view(), xt.data(), 0.0, yt.data());
+  for (index_t j = 0; j < 3; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < 5; ++i) s += a(i, j) * 0.5;
+    EXPECT_NEAR(yt[static_cast<std::size_t>(j)], s, 1e-13);
+  }
+}
+
+TEST(Blas2, GerRank1) {
+  Mat a(3, 2);
+  std::vector<double> x{1, 2, 3}, y{4, 5};
+  ger(2.0, x.data(), y.data(), a.view());
+  EXPECT_DOUBLE_EQ(a(2, 1), 2.0 * 3 * 5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0 * 1 * 4);
+}
+
+// Parameterized gemm sweep over shapes and transpose combinations.
+using GemmParam = std::tuple<int, int, int, int, int>;  // m, n, k, ta, tb
+
+class GemmSweep : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmSweep, MatchesNaive) {
+  const auto [m, n, k, tai, tbi] = GetParam();
+  const Op ta = tai != 0 ? Op::Trans : Op::None;
+  const Op tb = tbi != 0 ? Op::Trans : Op::None;
+  util::Rng rng(static_cast<std::uint64_t>(m * 73 + n * 31 + k * 7 + tai * 2 + tbi));
+  Mat a = (ta == Op::None) ? random_matrix(m, k, rng) : random_matrix(k, m, rng);
+  Mat b = (tb == Op::None) ? random_matrix(k, n, rng) : random_matrix(n, k, rng);
+  Mat c = random_matrix(m, n, rng);
+  Mat expect = naive_gemm(ta, tb, 1.3, a.view(), b.view(), -0.7, c.view());
+  gemm(ta, tb, 1.3, a.view(), b.view(), -0.7, c.view());
+  EXPECT_LT(max_diff(c.view(), expect.view()), 1e-12 * (1 + static_cast<double>(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 8, 17), ::testing::Values(1, 3, 8, 13),
+                       ::testing::Values(1, 4, 9, 32), ::testing::Values(0, 1),
+                       ::testing::Values(0, 1)));
+
+TEST(Gemm, BetaZeroOverwritesNaNs) {
+  Mat a{{1.0}}, b{{2.0}};
+  Mat c(1, 1);
+  c(0, 0) = std::nan("");
+  gemm(Op::None, Op::None, 1.0, a.view(), b.view(), 0.0, c.view());
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+}
+
+TEST(Gemm, KZeroScalesOnly) {
+  Mat a(2, 0), b(0, 2);
+  Mat c{{1, 2}, {3, 4}};
+  gemm(Op::None, Op::None, 1.0, a.view(), b.view(), 2.0, c.view());
+  EXPECT_DOUBLE_EQ(c(1, 1), 8.0);
+}
+
+TEST(Syrk, LowerMatchesGemm) {
+  util::Rng rng(21);
+  Mat a = random_matrix(6, 4, rng);
+  Mat c = random_matrix(6, 6, rng);
+  // Symmetrize reference including the upper half via full gemm.
+  Mat full(6, 6);
+  copy(c.view(), full.view());
+  gemm(Op::None, Op::Trans, 1.5, a.view(), a.view(), 1.0, full.view());
+  syrk_lower(1.5, a.view(), 1.0, c.view());
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = j; i < 6; ++i) EXPECT_NEAR(c(i, j), full(i, j), 1e-12);
+}
+
+class TrsmSweep : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TrsmSweep, SolvesTriangularSystem) {
+  const auto [sidei, uploi, opi, n] = GetParam();
+  const Side side = sidei != 0 ? Side::Right : Side::Left;
+  const Uplo uplo = uploi != 0 ? Uplo::Upper : Uplo::Lower;
+  const Op op = opi != 0 ? Op::Trans : Op::None;
+  util::Rng rng(static_cast<std::uint64_t>(100 + sidei * 8 + uploi * 4 + opi * 2 + n));
+  Mat t = random_matrix(n, n, rng);
+  for (index_t i = 0; i < n; ++i) t(i, i) = 2.0 + rng.uniform();  // well conditioned
+  // Zero the non-referenced triangle to make the reference unambiguous.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      const bool keep = (uplo == Uplo::Lower) ? i >= j : i <= j;
+      if (!keep) t(i, j) = 0.0;
+    }
+  const index_t br = (side == Side::Left) ? n : 5;
+  const index_t bc = (side == Side::Left) ? 5 : n;
+  Mat b = random_matrix(br, bc, rng);
+  Mat x(br, bc);
+  copy(b.view(), x.view());
+  trsm(side, uplo, op, Diag::NonUnit, 1.0, t.view(), x.view());
+  // Verify op(T) X = B (or X op(T) = B).
+  Mat check(br, bc);
+  if (side == Side::Left) {
+    gemm(op, Op::None, 1.0, t.view(), x.view(), 0.0, check.view());
+  } else {
+    gemm(Op::None, op, 1.0, x.view(), t.view(), 0.0, check.view());
+  }
+  EXPECT_LT(max_diff(check.view(), b.view()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, TrsmSweep,
+                         ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                                            ::testing::Values(0, 1),
+                                            ::testing::Values(1, 2, 7, 16)));
+
+TEST(Trsv, UnitDiagonalVariant) {
+  Mat t{{1.0, 0.0}, {0.5, 1.0}};  // stored values; unit diag means diag ignored
+  t(0, 0) = 99.0;                 // must be ignored
+  t(1, 1) = -99.0;
+  std::vector<double> x{2.0, 3.0};
+  trsv(Uplo::Lower, Op::None, Diag::Unit, t.view(), x.data());
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0 - 0.5 * 2.0);
+}
+
+TEST(Flops, GemmChargesTwoMNK) {
+  util::Rng rng(1);
+  Mat a = random_matrix(4, 6, rng), b = random_matrix(6, 5, rng), c(4, 5);
+  util::FlopScope scope;
+  gemm(Op::None, Op::None, 1.0, a.view(), b.view(), 0.0, c.view());
+  EXPECT_EQ(scope.elapsed(), 2u * 4u * 5u * 6u);
+}
+
+}  // namespace
+}  // namespace bst::la

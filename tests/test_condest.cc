@@ -1,0 +1,98 @@
+// Tests for the 1-norm condition estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/dense_solver.h"
+#include "core/schur.h"
+#include "core/solve.h"
+#include "la/condest.h"
+#include "la/norms.h"
+#include "toeplitz/generators.h"
+#include "util/rng.h"
+
+namespace bst::la {
+namespace {
+
+// Exact ||A^{-1}||_1 by dense inversion (columns via solves).
+double exact_invnorm1(CView a) {
+  const index_t n = a.rows();
+  Mat inv(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+    e[static_cast<std::size_t>(j)] = 1.0;
+    std::vector<double> x = baseline::dense_sym_solve(a, e);
+    for (index_t i = 0; i < n; ++i) inv(i, j) = x[static_cast<std::size_t>(i)];
+  }
+  return norm1(inv.view());
+}
+
+TEST(Condest, ExactOnDiagonalMatrix) {
+  const index_t n = 5;
+  Mat a(n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = static_cast<double>(i + 1);
+  auto solve = [&](const std::vector<double>& b, std::vector<double>& x) {
+    x.resize(b.size());
+    for (index_t i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] / a(i, i);
+  };
+  const double est = invnorm1_estimate(n, solve, solve);
+  EXPECT_NEAR(est, 1.0, 1e-12);  // ||A^{-1}||_1 = 1/min diag = 1
+}
+
+class CondestSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CondestSweep, WithinFactorOfExactOnSpdToeplitz) {
+  const index_t n = 16;
+  const double rho = 0.1 * GetParam();
+  toeplitz::BlockToeplitz t = toeplitz::kms(n, rho);
+  Mat dense = t.dense();
+  core::SchurFactor f = core::block_schur_factor(t);
+  auto solve = [&](const std::vector<double>& b, std::vector<double>& x) {
+    x = core::solve_spd(f, b);
+  };
+  const double est = invnorm1_estimate(n, solve, solve);
+  const double exact = exact_invnorm1(dense.view());
+  // Hager's estimate is a lower bound, almost always within a small factor.
+  EXPECT_LE(est, exact * (1.0 + 1e-10));
+  EXPECT_GE(est, exact * 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, CondestSweep, ::testing::Values(1, 3, 5, 7, 9));
+
+TEST(Condest, TracksIllConditioning) {
+  // The prolate matrix's condition number explodes as n grows; the
+  // estimate must grow with it.
+  auto cond_of = [&](index_t n) {
+    toeplitz::BlockToeplitz t = toeplitz::prolate(n, 0.35);
+    core::SchurFactor f = core::block_schur_factor(t);
+    auto solve = [&](const std::vector<double>& b, std::vector<double>& x) {
+      x = core::solve_spd(f, b);
+    };
+    return condest1(n, norm1(t.dense().view()), solve, solve);
+  };
+  const double c8 = cond_of(8);
+  const double c24 = cond_of(24);
+  EXPECT_GT(c24, 10.0 * c8);
+  EXPECT_GT(c8, 1.0);
+}
+
+TEST(Condest, WellConditionedNearOne) {
+  const index_t n = 12;
+  toeplitz::BlockToeplitz t = toeplitz::kms(n, 0.05);  // near identity
+  core::SchurFactor f = core::block_schur_factor(t);
+  auto solve = [&](const std::vector<double>& b, std::vector<double>& x) {
+    x = core::solve_spd(f, b);
+  };
+  const double c = condest1(n, norm1(t.dense().view()), solve, solve);
+  EXPECT_GT(c, 1.0);
+  EXPECT_LT(c, 3.0);
+}
+
+TEST(Condest, ZeroOrder) {
+  auto solve = [](const std::vector<double>&, std::vector<double>& x) { x.clear(); };
+  EXPECT_DOUBLE_EQ(invnorm1_estimate(0, solve, solve), 0.0);
+}
+
+}  // namespace
+}  // namespace bst::la

@@ -1,0 +1,123 @@
+// Tests for the FFT and circulant machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "toeplitz/fft.h"
+#include "util/rng.h"
+
+namespace bst::toeplitz {
+namespace {
+
+std::vector<cplx> naive_dft(const std::vector<cplx>& a, bool inverse) {
+  const std::size_t n = a.size();
+  std::vector<cplx> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx s{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * M_PI * static_cast<double>(k * j) / static_cast<double>(n);
+      s += a[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? s / static_cast<double>(n) : s;
+  }
+  return out;
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+class FftSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSweep, MatchesNaiveDft) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<cplx> a(n);
+  for (auto& v : a) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  std::vector<cplx> expect = naive_dft(a, false);
+  std::vector<cplx> got = a;
+  fft(got, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i].real(), expect[i].real(), 1e-10 * static_cast<double>(n));
+    EXPECT_NEAR(got[i].imag(), expect[i].imag(), 1e-10 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSweep, ::testing::Values(1, 2, 4, 8, 16, 64, 256));
+
+TEST(Fft, RoundTripIdentity) {
+  util::Rng rng(3);
+  std::vector<cplx> a(128);
+  for (auto& v : a) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  std::vector<cplx> b = a;
+  fft(b, false);
+  fft(b, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(b[i].real(), a[i].real(), 1e-12);
+    EXPECT_NEAR(b[i].imag(), a[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, Linearity) {
+  util::Rng rng(4);
+  std::vector<cplx> a(32), b(32), sum(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = cplx(rng.uniform(-1, 1), 0);
+    b[i] = cplx(rng.uniform(-1, 1), 0);
+    sum[i] = 2.0 * a[i] + b[i];
+  }
+  fft(a, false);
+  fft(b, false);
+  fft(sum, false);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const cplx expect = 2.0 * a[i] + b[i];
+    EXPECT_NEAR(sum[i].real(), expect.real(), 1e-12);
+    EXPECT_NEAR(sum[i].imag(), expect.imag(), 1e-12);
+  }
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<cplx> a(16, cplx{0, 0});
+  a[0] = cplx(1, 0);
+  fft(a, false);
+  for (const auto& v : a) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-14);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-14);
+  }
+}
+
+TEST(Circulant, MatchesNaiveCirculantProduct) {
+  util::Rng rng(8);
+  const std::size_t n = 16;
+  std::vector<double> c(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = rng.uniform(-1, 1);
+    x[i] = rng.uniform(-1, 1);
+  }
+  CirculantMultiplier mult(c);
+  std::vector<double> y;
+  mult.apply(x, y);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += c[(i + n - j) % n] * x[j];
+    EXPECT_NEAR(y[i], s, 1e-12);
+  }
+}
+
+TEST(Circulant, IdentityFirstColumn) {
+  std::vector<double> c(8, 0.0);
+  c[0] = 1.0;
+  CirculantMultiplier mult(c);
+  std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8}, y;
+  mult.apply(x, y);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(y[i], x[i], 1e-13);
+}
+
+}  // namespace
+}  // namespace bst::toeplitz

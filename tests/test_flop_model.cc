@@ -1,0 +1,119 @@
+// Tests for the closed-form flop models (paper eqs. 25-32): the k = m
+// specializations printed in the paper, the ordering claims (YTY cheapest
+// to build, VY2 cheapest to apply), and consistency with the instrumented
+// flop counters of the real kernels.
+#include <gtest/gtest.h>
+
+#include "core/block_reflector.h"
+#include "core/flop_model.h"
+#include "core/schur.h"
+#include "toeplitz/generators.h"
+#include "util/flops.h"
+#include "util/rng.h"
+
+namespace bst::core {
+namespace {
+
+TEST(FlopModel, PaperSpecializationsAtKEqualsM) {
+  for (index_t m : {2, 4, 8, 16, 32, 64}) {
+    const double dm = static_cast<double>(m);
+    // Eq. 25: 6m^3 + 1.5m^2 + 11.5m  (the paper's k = m simplification has
+    // a small constant slack; allow 0.5% + O(m) tolerance).
+    EXPECT_NEAR(blocking_flops_accumulated_u(m, m), 6 * dm * dm * dm + 1.5 * dm * dm + 11.5 * dm,
+                0.005 * dm * dm * dm + 20 * dm)
+        << m;
+    EXPECT_NEAR(blocking_flops_vy1(m, m), 2.3333 * dm * dm * dm + 3.75 * dm * dm + 8 * dm,
+                0.01 * dm * dm * dm + 20 * dm)
+        << m;
+    EXPECT_NEAR(blocking_flops_vy2(m, m), 2 * dm * dm * dm + 3 * dm * dm + 8 * dm,
+                0.005 * dm * dm * dm + 20 * dm)
+        << m;
+    EXPECT_NEAR(blocking_flops_yty(m, m), 1.3333 * dm * dm * dm + 3.75 * dm * dm + 8 * dm,
+                0.01 * dm * dm * dm + 20 * dm)
+        << m;
+  }
+}
+
+TEST(FlopModel, BuildOrderingMatchesPaper) {
+  // YTY < VY2 < VY1 << U for all nontrivial m (paper section 6.2).
+  for (index_t m : {2, 4, 8, 16, 32, 64}) {
+    const double u = blocking_flops_accumulated_u(m, m);
+    const double v1 = blocking_flops_vy1(m, m);
+    const double v2 = blocking_flops_vy2(m, m);
+    const double y = blocking_flops_yty(m, m);
+    EXPECT_LT(y, v2) << m;
+    EXPECT_LT(v2, v1) << m;
+    EXPECT_LT(v1, u) << m;
+  }
+}
+
+TEST(FlopModel, ApplicationOrderingMatchesPaper) {
+  // VY2 <= VY1 <= YTY < U at k = m (paper section 6.3, eqs. 29-32; the
+  // YTY and U models coincide exactly at m = 2, so start at m = 4).
+  for (index_t m : {4, 8, 16, 32}) {
+    const index_t p = 64;
+    const double u = application_flops_accumulated_u(m, p, m);
+    const double v1 = application_flops_vy1(m, p, m);
+    const double v2 = application_flops_vy2(m, p, m);
+    const double y = application_flops_yty(m, p, m);
+    EXPECT_LE(v2, v1) << m;
+    EXPECT_LE(v1, y) << m;
+    EXPECT_LT(y, u) << m;
+    // Leading terms: U ~ 7m^3 p, others ~ 5m^3 p.
+    const double dm = static_cast<double>(m), dp = static_cast<double>(p);
+    EXPECT_NEAR(u / (dm * dm * dm * dp), 7.0, 1.2) << m;
+    EXPECT_NEAR(v2 / (dm * dm * dm * dp), 5.0, 1.2) << m;
+  }
+}
+
+TEST(FlopModel, DispatchersCoverAllReps) {
+  for (Representation rep : {Representation::AccumulatedU, Representation::VY1,
+                             Representation::VY2, Representation::YTY,
+                             Representation::Sequential}) {
+    EXPECT_GT(blocking_flops(rep, 8, 8), 0.0) << to_string(rep);
+    EXPECT_GT(application_flops(rep, 8, 16, 8), 0.0) << to_string(rep);
+  }
+}
+
+TEST(FlopModel, FactorizationModelIsLinearInBlockSize) {
+  EXPECT_DOUBLE_EQ(factorization_flops_model(1024, 8) / factorization_flops_model(1024, 4), 2.0);
+  EXPECT_DOUBLE_EQ(factorization_flops_model(2048, 4) / factorization_flops_model(1024, 4), 4.0);
+}
+
+// The instrumented flop counters of the real factorization should be of the
+// same order as the ~4 m_s n^2 model (our kernels do not exploit every bit
+// of sparsity, so allow a generous band).
+TEST(FlopModel, MeasuredFactorizationFlopsNearModel) {
+  toeplitz::BlockToeplitz t = toeplitz::kms(256, 0.5);
+  for (index_t ms : {4, 16}) {
+    SchurOptions opt;
+    opt.block_size = ms;
+    SchurFactor f = block_schur_factor(t, opt);
+    const double model = factorization_flops_model(256, ms);
+    const double measured = static_cast<double>(f.flops);
+    EXPECT_GT(measured, 0.3 * model) << ms;
+    EXPECT_LT(measured, 4.0 * model) << ms;
+  }
+}
+
+// Measured application flops for one step: compare representations against
+// each other on the real kernels (the VY/YTY advantage over U must be
+// visible in the instrumented counts too).
+TEST(FlopModel, MeasuredApplicationAdvantageOverU) {
+  const index_t m = 16, p = 64;
+  toeplitz::BlockToeplitz t = toeplitz::random_spd_block(m, p, 2, 5);
+  auto flops_for = [&](Representation rep) {
+    SchurOptions opt;
+    opt.rep = rep;
+    util::FlopScope scope;
+    SchurFactor f = block_schur_factor(t, opt);
+    (void)f;
+    return static_cast<double>(scope.elapsed());
+  };
+  const double fu = flops_for(Representation::AccumulatedU);
+  const double fvy2 = flops_for(Representation::VY2);
+  EXPECT_LT(fvy2, fu);
+}
+
+}  // namespace
+}  // namespace bst::core

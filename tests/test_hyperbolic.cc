@@ -1,0 +1,138 @@
+// Tests for scalar hyperbolic Householder reflectors (paper section 3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hyperbolic.h"
+#include "la/norms.h"
+#include "util/rng.h"
+
+namespace bst::core {
+namespace {
+
+Signature spd_sig(index_t m) {
+  Signature w(static_cast<std::size_t>(2 * m), 1.0);
+  for (index_t i = 0; i < m; ++i) w[static_cast<std::size_t>(m + i)] = -1.0;
+  return w;
+}
+
+std::vector<double> random_positive_vector(index_t m, util::Rng& rng, index_t pivot) {
+  // Upper entry at `pivot` large enough to dominate the lower part.
+  std::vector<double> u(static_cast<std::size_t>(2 * m), 0.0);
+  double low2 = 0.0;
+  for (index_t i = 0; i < m; ++i) {
+    u[static_cast<std::size_t>(m + i)] = rng.uniform(-1, 1);
+    low2 += u[static_cast<std::size_t>(m + i)] * u[static_cast<std::size_t>(m + i)];
+  }
+  u[static_cast<std::size_t>(pivot)] = std::sqrt(low2) + rng.uniform(0.5, 2.0);
+  return u;
+}
+
+TEST(Hyperbolic, NormUsesSignature) {
+  Signature w{1.0, -1.0};
+  EXPECT_DOUBLE_EQ(hyperbolic_norm({3.0, 2.0}, w), 5.0);
+  EXPECT_DOUBLE_EQ(hyperbolic_norm({2.0, 3.0}, w), -5.0);
+  EXPECT_DOUBLE_EQ(hyperbolic_norm({2.0, 2.0}, w), 0.0);
+}
+
+TEST(Hyperbolic, ReflectorMapsUToSigmaEj) {
+  util::Rng rng(1);
+  const index_t m = 4;
+  Signature w = spd_sig(m);
+  for (index_t pivot = 0; pivot < m; ++pivot) {
+    std::vector<double> u = random_positive_vector(m, rng, pivot);
+    auto r = make_reflector(u, w, pivot);
+    ASSERT_TRUE(r.has_value());
+    std::vector<double> y = u;
+    apply_reflector(*r, w, y.data());
+    for (index_t i = 0; i < 2 * m; ++i) {
+      const double expect = (i == pivot) ? -r->sigma : 0.0;
+      EXPECT_NEAR(y[static_cast<std::size_t>(i)], expect, 1e-12);
+    }
+    // |sigma| = sqrt(u^T W u).
+    EXPECT_NEAR(r->sigma * r->sigma, hyperbolic_norm(u, w), 1e-12);
+  }
+}
+
+TEST(Hyperbolic, DenseReflectorIsWUnitary) {
+  util::Rng rng(2);
+  const index_t m = 3;
+  Signature w = spd_sig(m);
+  std::vector<double> u = random_positive_vector(m, rng, 1);
+  auto r = make_reflector(u, w, 1);
+  ASSERT_TRUE(r.has_value());
+  Mat ud = reflector_dense(*r, w);
+  EXPECT_LT(w_unitarity_error(ud.view(), w), 1e-12);
+}
+
+TEST(Hyperbolic, PreservesHyperbolicNormOfAnyVector) {
+  util::Rng rng(3);
+  const index_t m = 5;
+  Signature w = spd_sig(m);
+  std::vector<double> u = random_positive_vector(m, rng, 2);
+  auto r = make_reflector(u, w, 2);
+  ASSERT_TRUE(r.has_value());
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> v(static_cast<std::size_t>(2 * m));
+    for (auto& x : v) x = rng.uniform(-2, 2);
+    const double before = hyperbolic_norm(v, w);
+    apply_reflector(*r, w, v.data());
+    EXPECT_NEAR(hyperbolic_norm(v, w), before, 1e-10);
+  }
+}
+
+TEST(Hyperbolic, BreakdownOnZeroHyperbolicNorm) {
+  Signature w{1.0, -1.0};
+  EXPECT_FALSE(make_reflector({1.0, 1.0}, w, 0, 1e-12).has_value());
+  EXPECT_FALSE(make_reflector({0.0, 0.0}, w, 0, 1e-12).has_value());
+}
+
+TEST(Hyperbolic, WrongSignRejected) {
+  Signature w{1.0, -1.0};
+  // u^T W u = 1 - 4 < 0 cannot be mapped onto the +1 axis...
+  EXPECT_FALSE(make_reflector({1.0, 2.0}, w, 0).has_value());
+  // ...but is fine onto the -1 axis.
+  auto r = make_reflector({1.0, 2.0}, w, 1);
+  ASSERT_TRUE(r.has_value());
+  std::vector<double> y{1.0, 2.0};
+  apply_reflector(*r, w, y.data());
+  EXPECT_NEAR(y[0], 0.0, 1e-13);
+  EXPECT_NEAR(std::fabs(y[1]), std::sqrt(3.0), 1e-13);
+}
+
+TEST(Hyperbolic, GeneralSignatureReflector) {
+  util::Rng rng(9);
+  Signature w{1.0, -1.0, -1.0, 1.0, -1.0, 1.0};
+  // Build a vector with positive hyperbolic norm, pivot at j = 3 (w = +1).
+  std::vector<double> u{0.3, 0.2, -0.4, 3.0, 0.1, 0.0};
+  const double h = hyperbolic_norm(u, w);
+  ASSERT_GT(h, 0.0);
+  auto r = make_reflector(u, w, 3);
+  ASSERT_TRUE(r.has_value());
+  std::vector<double> y = u;
+  apply_reflector(*r, w, y.data());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(y[i], i == 3 ? -r->sigma : 0.0, 1e-12);
+  }
+  EXPECT_LT(w_unitarity_error(reflector_dense(*r, w).view(), w), 1e-12);
+}
+
+TEST(Hyperbolic, ApplyToMatrixView) {
+  util::Rng rng(4);
+  const index_t m = 2;
+  Signature w = spd_sig(m);
+  std::vector<double> u = random_positive_vector(m, rng, 0);
+  auto r = make_reflector(u, w, 0);
+  ASSERT_TRUE(r.has_value());
+  Mat g(4, 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 4; ++i) g(i, j) = rng.uniform(-1, 1);
+  Mat expect(4, 3);
+  la::copy(g.view(), expect.view());
+  for (index_t j = 0; j < 3; ++j) apply_reflector(*r, w, expect.view().col(j));
+  apply_reflector(*r, w, g.view());
+  EXPECT_LT(la::max_diff(g.view(), expect.view()), 0.0 + 1e-15);
+}
+
+}  // namespace
+}  // namespace bst::core

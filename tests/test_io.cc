@@ -1,0 +1,98 @@
+// Tests for the text I/O layer (file format used by the bst_solve tool).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "la/norms.h"
+#include "toeplitz/generators.h"
+#include "toeplitz/io.h"
+
+namespace bst::toeplitz {
+namespace {
+
+TEST(Io, MatrixRoundTrip) {
+  BlockToeplitz t = random_spd_block(3, 5, 2, 7);
+  std::stringstream ss;
+  write_block_toeplitz(ss, t);
+  BlockToeplitz u = read_block_toeplitz(ss);
+  EXPECT_EQ(u.block_size(), 3);
+  EXPECT_EQ(u.num_blocks(), 5);
+  EXPECT_LT(la::max_diff(t.first_row(), u.first_row()), 0.0 + 1e-18);
+}
+
+TEST(Io, ScalarMatrixRoundTrip) {
+  BlockToeplitz t = kms(9, 0.42);
+  std::stringstream ss;
+  write_block_toeplitz(ss, t);
+  BlockToeplitz u = read_block_toeplitz(ss);
+  for (la::index_t j = 0; j < 9; ++j) EXPECT_DOUBLE_EQ(u.entry(0, j), t.entry(0, j));
+}
+
+TEST(Io, VectorRoundTrip) {
+  std::vector<double> v{1.0, -2.5, 3.25e-17, 0.0, 1e100};
+  std::stringstream ss;
+  write_vector(ss, v);
+  std::vector<double> u = read_vector(ss);
+  ASSERT_EQ(u.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(u[i], v[i]);
+}
+
+TEST(Io, CommentsAndWhitespaceTolerated) {
+  std::stringstream ss(
+      "# a comment line\n"
+      "bst-toeplitz 1 3   # trailing comment\n"
+      "  2.0\n# mid comment\n 0.5\t0.25 ");
+  BlockToeplitz t = read_block_toeplitz(ss);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_DOUBLE_EQ(t.entry(0, 2), 0.25);
+}
+
+TEST(Io, BadHeaderRejected) {
+  std::stringstream ss("toeplitz 1 3 1 0 0");
+  EXPECT_THROW(read_block_toeplitz(ss), std::runtime_error);
+}
+
+TEST(Io, TruncatedInputRejected) {
+  std::stringstream ss("bst-toeplitz 2 2 1.0 0.0");
+  EXPECT_THROW(read_block_toeplitz(ss), std::runtime_error);
+}
+
+TEST(Io, NonNumericEntryRejected) {
+  std::stringstream ss("bst-toeplitz 1 2 1.0 abc");
+  EXPECT_THROW(read_block_toeplitz(ss), std::runtime_error);
+}
+
+TEST(Io, ImplausibleDimensionsRejected) {
+  std::stringstream a("bst-toeplitz 0 3");
+  EXPECT_THROW(read_block_toeplitz(a), std::runtime_error);
+  std::stringstream b("bst-toeplitz -2 3");
+  EXPECT_THROW(read_block_toeplitz(b), std::runtime_error);
+  std::stringstream c("bst-vector -1");
+  EXPECT_THROW(read_vector(c), std::runtime_error);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_block_toeplitz_file("/nonexistent/path.txt"), std::runtime_error);
+  EXPECT_THROW(read_vector_file("/nonexistent/path.txt"), std::runtime_error);
+}
+
+TEST(Io, FileRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  BlockToeplitz t = prolate(12, 0.3);
+  write_block_toeplitz_file(dir + "/t.txt", t);
+  BlockToeplitz u = read_block_toeplitz_file(dir + "/t.txt");
+  EXPECT_LT(la::max_diff(t.first_row(), u.first_row()), 0.0 + 1e-18);
+  std::vector<double> b = rhs_for_ones(t);
+  write_vector_file(dir + "/b.txt", b);
+  std::vector<double> c = read_vector_file(dir + "/b.txt");
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_DOUBLE_EQ(b[i], c[i]);
+}
+
+TEST(Io, AsymmetricLeadingBlockRejectedOnRead) {
+  // The BlockToeplitz constructor validates T1's symmetry.
+  std::stringstream ss("bst-toeplitz 2 2  1.0 0.5  0.0 1.0  0 0 0 0");
+  EXPECT_THROW(read_block_toeplitz(ss), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bst::toeplitz

@@ -1,0 +1,86 @@
+// Tests for the Matrix / view layer.
+#include <gtest/gtest.h>
+
+#include "la/matrix.h"
+#include "la/norms.h"
+
+namespace bst::la {
+namespace {
+
+TEST(Matrix, InitializerListIsRowMajor) {
+  Mat a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), 6.0);
+}
+
+TEST(Matrix, ColumnMajorStorageLayout) {
+  Mat a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.data()[0], 1);
+  EXPECT_DOUBLE_EQ(a.data()[1], 2);
+  EXPECT_DOUBLE_EQ(a.data()[2], 3);
+  EXPECT_DOUBLE_EQ(a.data()[3], 4);
+}
+
+TEST(Matrix, BlockViewSharesStorage) {
+  Mat a(4, 4);
+  View b = a.block(1, 1, 2, 2);
+  b(0, 0) = 9.0;
+  b(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(a(1, 1), 9.0);
+  EXPECT_DOUBLE_EQ(a(2, 2), 7.0);
+  EXPECT_EQ(b.ld(), 4);
+}
+
+TEST(Matrix, NestedBlockViews) {
+  Mat a(6, 6);
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 6; ++i) a(i, j) = static_cast<double>(10 * i + j);
+  View outer = a.block(1, 1, 4, 4);
+  View inner = outer.block(1, 1, 2, 2);
+  EXPECT_DOUBLE_EQ(inner(0, 0), a(2, 2));
+  EXPECT_DOUBLE_EQ(inner(1, 1), a(3, 3));
+}
+
+TEST(Matrix, CopyAndSetZero) {
+  Mat a{{1, 2}, {3, 4}};
+  Mat b(2, 2);
+  copy(a.view(), b.view());
+  EXPECT_DOUBLE_EQ(max_diff(a.view(), b.view()), 0.0);
+  set_zero(b.view());
+  EXPECT_DOUBLE_EQ(max_abs(b.view()), 0.0);
+}
+
+TEST(Matrix, IdentityAndTranspose) {
+  Mat i3 = identity(3);
+  EXPECT_DOUBLE_EQ(i3(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  Mat a{{1, 2, 3}, {4, 5, 6}};
+  Mat at = transpose(a.view());
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at.cols(), 2);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+}
+
+TEST(Norms, FrobeniusOneInfMax) {
+  Mat a{{3, -4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(frobenius(a.view()), 5.0);
+  EXPECT_DOUBLE_EQ(max_abs(a.view()), 4.0);
+  EXPECT_DOUBLE_EQ(norm1(a.view()), 4.0);      // max column abs-sum
+  EXPECT_DOUBLE_EQ(norm_inf(a.view()), 7.0);   // max row abs-sum
+}
+
+TEST(Norms, EmptyAndZero) {
+  Mat z(3, 3);
+  EXPECT_DOUBLE_EQ(frobenius(z.view()), 0.0);
+  EXPECT_DOUBLE_EQ(norm_inf(z.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace bst::la

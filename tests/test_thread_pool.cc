@@ -1,0 +1,70 @@
+// Tests for the work-sharing thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace bst::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int sum = 0;
+  pool.parallel_for(0, 10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, GrainChunksStillCoverRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(97);
+  pool.parallel_for(0, 97, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/8);
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 97);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 100, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, OffsetRange) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.parallel_for(100, 200, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), (100L + 199L) * 100 / 2);
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  auto& pool = ThreadPool::global();
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+}  // namespace
+}  // namespace bst::util

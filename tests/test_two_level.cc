@@ -1,0 +1,126 @@
+// Tests for the two-level blocking scheme (paper section 6.2): building the
+// step reflector in panels of `inner_block` columns must give exactly the
+// same factorization as the single-level path, for every representation,
+// panel size, and signature.
+#include <gtest/gtest.h>
+
+#include "core/block_reflector.h"
+#include "core/schur.h"
+#include "la/norms.h"
+#include "toeplitz/generators.h"
+#include "util/rng.h"
+
+namespace bst::core {
+namespace {
+
+Signature spd_sig(index_t m) {
+  Signature w(static_cast<std::size_t>(2 * m), 1.0);
+  for (index_t i = 0; i < m; ++i) w[static_cast<std::size_t>(m + i)] = -1.0;
+  return w;
+}
+
+void random_pivot_pair(index_t m, util::Rng& rng, Mat& p, Mat& q) {
+  p = Mat(m, m);
+  q = Mat(m, m);
+  for (index_t j = 0; j < m; ++j) {
+    for (index_t i = 0; i <= j; ++i) p(i, j) = rng.uniform(-0.5, 0.5);
+    p(j, j) = rng.uniform(4.0, 6.0);
+    for (index_t i = 0; i < m; ++i) q(i, j) = rng.uniform(-0.5, 0.5);
+  }
+}
+
+const Representation kBlocked[] = {Representation::AccumulatedU, Representation::VY1,
+                                   Representation::VY2, Representation::YTY};
+
+class TwoLevelSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TwoLevelSweep, PanelBuildMatchesSingleLevel) {
+  const auto [repi, m, kb] = GetParam();
+  if (kb >= m) GTEST_SKIP() << "panel covers the whole step";
+  const Representation rep = kBlocked[repi];
+  util::Rng rng(static_cast<std::uint64_t>(repi * 100 + m * 10 + kb));
+  Mat p0, q0;
+  random_pivot_pair(m, rng, p0, q0);
+  const index_t cols = 2 * m;
+  Mat a0(m, cols), b0(m, cols);
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      a0(i, j) = rng.uniform(-1, 1);
+      b0(i, j) = rng.uniform(-1, 1);
+    }
+
+  auto run = [&](index_t inner) {
+    Mat p(m, m), q(m, m), a(m, cols), b(m, cols);
+    la::copy(p0.view(), p.view());
+    la::copy(q0.view(), q.view());
+    la::copy(a0.view(), a.view());
+    la::copy(b0.view(), b.view());
+    BlockReflector bref(rep, m, spd_sig(m));
+    EXPECT_FALSE(bref.build(p.view(), q.view(), 0.0, inner).has_value());
+    bref.apply(a.view(), b.view());
+    return std::make_tuple(std::move(p), std::move(q), std::move(a), std::move(b));
+  };
+  auto [p1, q1, a1, b1] = run(0);
+  auto [p2, q2, a2, b2] = run(kb);
+  EXPECT_LT(la::max_diff(p1.view(), p2.view()), 1e-11);
+  EXPECT_LT(la::max_diff(q1.view(), q2.view()), 1e-11);
+  EXPECT_LT(la::max_diff(a1.view(), a2.view()), 1e-10);
+  EXPECT_LT(la::max_diff(b1.view(), b2.view()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(PanelsAndSizes, TwoLevelSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(4, 6, 8, 12),
+                                            ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(TwoLevel, GeneralSignaturePanels) {
+  // Mixed signature (indefinite leading block): panel W-flips must track.
+  const index_t m = 6;
+  Signature w{1, -1, 1, 1, -1, 1, -1, 1, -1, -1, 1, -1};
+  util::Rng rng(3);
+  Mat p(m, m), q(m, m);
+  for (index_t j = 0; j < m; ++j) {
+    for (index_t i = 0; i <= j; ++i) p(i, j) = rng.uniform(-0.3, 0.3);
+    p(j, j) = rng.uniform(5.0, 6.0);
+    for (index_t i = 0; i < m; ++i) q(i, j) = rng.uniform(-0.3, 0.3);
+  }
+  Mat p1(m, m), q1(m, m), p2(m, m), q2(m, m);
+  la::copy(p.view(), p1.view());
+  la::copy(q.view(), q1.view());
+  la::copy(p.view(), p2.view());
+  la::copy(q.view(), q2.view());
+  BlockReflector one(Representation::VY2, m, w);
+  BlockReflector two(Representation::VY2, m, w);
+  ASSERT_FALSE(one.build(p1.view(), q1.view(), 0.0, 0).has_value());
+  ASSERT_FALSE(two.build(p2.view(), q2.view(), 0.0, 2).has_value());
+  EXPECT_LT(la::max_diff(p1.view(), p2.view()), 1e-11);
+  EXPECT_LT(la::max_diff(q1.view(), q2.view()), 1e-11);
+}
+
+class SchurInnerBlockSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchurInnerBlockSweep, FullFactorizationUnchanged) {
+  const index_t kb = GetParam();
+  toeplitz::BlockToeplitz t = toeplitz::random_spd_block(8, 6, 3, 77);
+  SchurOptions base;
+  SchurOptions two;
+  two.inner_block = kb;
+  SchurFactor f1 = block_schur_factor(t, base);
+  SchurFactor f2 = block_schur_factor(t, two);
+  EXPECT_LT(la::max_diff(f1.r.view(), f2.r.view()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(PanelSizes, SchurInnerBlockSweep, ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(TwoLevel, SequentialRepIgnoresInnerBlock) {
+  toeplitz::BlockToeplitz t = toeplitz::random_spd_block(4, 5, 2, 9);
+  SchurOptions a, b;
+  a.rep = b.rep = Representation::Sequential;
+  b.inner_block = 2;
+  SchurFactor fa = block_schur_factor(t, a);
+  SchurFactor fb = block_schur_factor(t, b);
+  EXPECT_LT(la::max_diff(fa.r.view(), fb.r.view()), 0.0 + 1e-15);
+}
+
+}  // namespace
+}  // namespace bst::core

@@ -1,0 +1,119 @@
+// Tests for util/: RNG determinism and distributions, flop counting,
+// table rendering, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/flops.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace bst::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng r(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Flops, ChargeAndScope) {
+  FlopCounter::reset();
+  FlopCounter::charge(100);
+  EXPECT_EQ(FlopCounter::now(), 100u);
+  {
+    FlopScope scope;
+    FlopCounter::charge(42);
+    EXPECT_EQ(scope.elapsed(), 42u);
+  }
+  std::uint64_t out = 0;
+  {
+    FlopScope scope(&out);
+    FlopCounter::charge(7);
+  }
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(Flops, WallClockAdvances) {
+  const double t0 = wall_seconds();
+  EXPECT_GE(wall_seconds(), t0);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.header({"a", "bb", "ccc"});
+  t.row({std::string("x"), 42LL, 3.25});
+  t.row({std::string("yy"), -1LL, 0.5});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+  EXPECT_NE(s.find("yy"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Cli, ParsesKeysAndDefaults) {
+  const char* argv[] = {"prog", "--n=128", "--flag", "--rate=2.5", "positional"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 128);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_EQ(cli.get("flag", ""), "1");
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(cli.get_int("missing", -7), -7);
+  EXPECT_FALSE(cli.has("positional"));
+}
+
+}  // namespace
+}  // namespace bst::util

@@ -1,0 +1,125 @@
+// Strided-view coverage: every la/ kernel must behave identically when its
+// operands are sub-blocks of larger arrays (ld > rows) -- the way the core
+// algorithm actually calls them.
+#include <gtest/gtest.h>
+
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/norms.h"
+#include "util/rng.h"
+
+namespace bst::la {
+namespace {
+
+// Embeds an r x c matrix at offset (2, 3) of a larger poisoned array and
+// returns the big array; the view must ignore the poison.
+Mat embed(CView small, Mat& big, index_t i0, index_t j0) {
+  for (index_t j = 0; j < big.cols(); ++j)
+    for (index_t i = 0; i < big.rows(); ++i) big(i, j) = 1e9;  // poison
+  View dst = big.block(i0, j0, small.rows(), small.cols());
+  copy(small, dst);
+  return big;
+}
+
+Mat random_matrix(index_t r, index_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Mat a(r, c);
+  for (index_t j = 0; j < c; ++j)
+    for (index_t i = 0; i < r; ++i) a(i, j) = rng.uniform(-1, 1);
+  return a;
+}
+
+class StridedGemm : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StridedGemm, SubBlockOperandsMatchContiguous) {
+  const auto [tai, tbi] = GetParam();
+  const Op ta = tai ? Op::Trans : Op::None;
+  const Op tb = tbi ? Op::Trans : Op::None;
+  const index_t m = 5, n = 4, k = 6;
+  Mat a0 = (ta == Op::None) ? random_matrix(m, k, 1) : random_matrix(k, m, 1);
+  Mat b0 = (tb == Op::None) ? random_matrix(k, n, 2) : random_matrix(n, k, 2);
+  Mat c0 = random_matrix(m, n, 3);
+
+  // Contiguous reference.
+  Mat cref(m, n);
+  copy(c0.view(), cref.view());
+  gemm(ta, tb, 1.5, a0.view(), b0.view(), 0.5, cref.view());
+
+  // Embedded operands.
+  Mat abig(a0.rows() + 4, a0.cols() + 5), bbig(b0.rows() + 3, b0.cols() + 2),
+      cbig(m + 6, n + 1);
+  embed(a0.view(), abig, 2, 3);
+  embed(b0.view(), bbig, 1, 0);
+  embed(c0.view(), cbig, 4, 1);
+  gemm(ta, tb, 1.5, abig.block(2, 3, a0.rows(), a0.cols()),
+       bbig.block(1, 0, b0.rows(), b0.cols()), 0.5, cbig.block(4, 1, m, n));
+  EXPECT_LT(max_diff(cbig.block(4, 1, m, n), cref.view()), 1e-14);
+  // The poison around the destination must be untouched.
+  EXPECT_DOUBLE_EQ(cbig(3, 1), 1e9);
+  EXPECT_DOUBLE_EQ(cbig(4 + m, 1), 1e9);
+  EXPECT_DOUBLE_EQ(cbig(4, 0), 1e9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, StridedGemm,
+                         ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1)));
+
+TEST(StridedKernels, GemvOnSubBlock) {
+  Mat a0 = random_matrix(4, 3, 9);
+  std::vector<double> x{1.0, -1.0, 0.5}, yref(4, 0.25), y(4, 0.25);
+  gemv(false, 2.0, a0.view(), x.data(), 1.0, yref.data());
+  Mat big(10, 10);
+  embed(a0.view(), big, 5, 6);
+  gemv(false, 2.0, big.block(5, 6, 4, 3), x.data(), 1.0, y.data());
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], yref[static_cast<std::size_t>(i)]);
+}
+
+TEST(StridedKernels, GerOnSubBlock) {
+  Mat a0 = random_matrix(3, 3, 11);
+  std::vector<double> x{1, 2, 3}, y{4, 5, 6};
+  Mat ref(3, 3);
+  copy(a0.view(), ref.view());
+  ger(0.5, x.data(), y.data(), ref.view());
+  Mat big(8, 8);
+  embed(a0.view(), big, 2, 2);
+  ger(0.5, x.data(), y.data(), big.block(2, 2, 3, 3));
+  EXPECT_LT(max_diff(big.block(2, 2, 3, 3), ref.view()), 1e-15);
+  EXPECT_DOUBLE_EQ(big(1, 2), 1e9);
+}
+
+TEST(StridedKernels, TrsmOnSubBlock) {
+  util::Rng rng(13);
+  Mat t0(4, 4);
+  for (index_t j = 0; j < 4; ++j) {
+    for (index_t i = j; i < 4; ++i) t0(i, j) = rng.uniform(-1, 1);
+    t0(j, j) = 3.0;
+  }
+  Mat b0 = random_matrix(4, 3, 14);
+  Mat ref(4, 3);
+  copy(b0.view(), ref.view());
+  trsm(Side::Left, Uplo::Lower, Op::None, Diag::NonUnit, 1.0, t0.view(), ref.view());
+  Mat tbig(9, 9), bbig(7, 7);
+  embed(t0.view(), tbig, 3, 3);
+  embed(b0.view(), bbig, 1, 2);
+  trsm(Side::Left, Uplo::Lower, Op::None, Diag::NonUnit, 1.0, tbig.block(3, 3, 4, 4),
+       bbig.block(1, 2, 4, 3));
+  EXPECT_LT(max_diff(bbig.block(1, 2, 4, 3), ref.view()), 1e-13);
+}
+
+TEST(StridedKernels, CholeskyOnSubBlock) {
+  util::Rng rng(17);
+  Mat b = random_matrix(5, 5, 18);
+  Mat a0(5, 5);
+  gemm(Op::None, Op::Trans, 1.0, b.view(), b.view(), 0.0, a0.view());
+  for (index_t i = 0; i < 5; ++i) a0(i, i) += 2.0;
+  Mat ref(5, 5);
+  copy(a0.view(), ref.view());
+  ASSERT_TRUE(cholesky_lower(ref.view(), /*block=*/2));
+  Mat big(12, 12);
+  embed(a0.view(), big, 6, 4);
+  ASSERT_TRUE(cholesky_lower(big.block(6, 4, 5, 5), /*block=*/2));
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = j; i < 5; ++i) EXPECT_NEAR(big(6 + i, 4 + j), ref(i, j), 1e-13);
+}
+
+}  // namespace
+}  // namespace bst::la

@@ -1,0 +1,64 @@
+// bst_gen: generate test matrices in the bst text format.
+//
+//   bst_gen --family=kms|prolate|fgn|ma|ar1|indefinite|singular
+//           [--n=N | --m=M --p=P] [--param=X] [--seed=S] [--out=T.txt]
+//           [--rhs-ones=b.txt]
+//
+// Families:
+//   kms         scalar, T(i,j) = param^|i-j|            (param = rho, 0.7)
+//   prolate     scalar, bandlimited, ill-conditioned    (param = w, 0.35)
+//   fgn         scalar, fractional Gaussian noise       (param = H, 0.75)
+//   ma          block SPD, MA(q)-covariance             (param = q, 2)
+//   ar1         block SPD, AR(1) vector process         (param = phi, 0.6)
+//   indefinite  scalar symmetric indefinite             (param = diag, 1.2)
+//   singular    scalar with singular 2x2 leading minor
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bst.h"
+
+using namespace bst;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  try {
+    const std::string family = cli.get("family", "");
+    const la::index_t n = cli.get_int("n", 64);
+    const la::index_t m = cli.get_int("m", 2);
+    const la::index_t p = cli.get_int("p", 32);
+    const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+    toeplitz::BlockToeplitz t = [&]() -> toeplitz::BlockToeplitz {
+      if (family == "kms") return toeplitz::kms(n, cli.get_double("param", 0.7));
+      if (family == "prolate") return toeplitz::prolate(n, cli.get_double("param", 0.35));
+      if (family == "fgn") return toeplitz::fgn(n, cli.get_double("param", 0.75));
+      if (family == "ma") {
+        return toeplitz::random_spd_block(m, p, cli.get_int("param", 2), seed);
+      }
+      if (family == "ar1") return toeplitz::ar1_block(m, p, seed, cli.get_double("param", 0.6));
+      if (family == "indefinite") {
+        return toeplitz::random_indefinite(n, seed, cli.get_double("param", 1.2));
+      }
+      if (family == "singular") return toeplitz::singular_minor_family(n, seed);
+      throw std::runtime_error(
+          "unknown --family '" + family +
+          "' (kms|prolate|fgn|ma|ar1|indefinite|singular)");
+    }();
+
+    if (cli.has("out")) {
+      toeplitz::write_block_toeplitz_file(cli.get("out", ""), t);
+    } else {
+      toeplitz::write_block_toeplitz(std::cout, t);
+    }
+    if (cli.has("rhs-ones")) {
+      toeplitz::write_vector_file(cli.get("rhs-ones", ""), toeplitz::rhs_for_ones(t));
+    }
+    std::fprintf(stderr, "bst_gen: %s, n = %td (m = %td, p = %td)\n", family.c_str(),
+                 t.order(), t.block_size(), t.num_blocks());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bst_gen: error: %s\n", e.what());
+    return 1;
+  }
+}
