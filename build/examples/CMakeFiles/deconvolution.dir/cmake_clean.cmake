@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deconvolution.dir/deconvolution.cpp.o"
+  "CMakeFiles/deconvolution.dir/deconvolution.cpp.o.d"
+  "deconvolution"
+  "deconvolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deconvolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

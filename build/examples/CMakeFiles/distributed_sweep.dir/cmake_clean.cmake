@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sweep.dir/distributed_sweep.cpp.o"
+  "CMakeFiles/distributed_sweep.dir/distributed_sweep.cpp.o.d"
+  "distributed_sweep"
+  "distributed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_regression.dir/gp_regression.cpp.o"
+  "CMakeFiles/gp_regression.dir/gp_regression.cpp.o.d"
+  "gp_regression"
+  "gp_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indefinite_refinement.dir/indefinite_refinement.cpp.o"
+  "CMakeFiles/indefinite_refinement.dir/indefinite_refinement.cpp.o.d"
+  "indefinite_refinement"
+  "indefinite_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indefinite_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for indefinite_refinement.
+# This may be replaced when dependencies are built.

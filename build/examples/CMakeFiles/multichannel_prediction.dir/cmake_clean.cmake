@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichannel_prediction.dir/multichannel_prediction.cpp.o"
+  "CMakeFiles/multichannel_prediction.dir/multichannel_prediction.cpp.o.d"
+  "multichannel_prediction"
+  "multichannel_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichannel_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_estimation.dir/spectral_estimation.cpp.o"
+  "CMakeFiles/spectral_estimation.dir/spectral_estimation.cpp.o.d"
+  "spectral_estimation"
+  "spectral_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

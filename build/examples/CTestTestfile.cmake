@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;bst_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multichannel_prediction "/root/repo/build/examples/multichannel_prediction")
+set_tests_properties(example_multichannel_prediction PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;bst_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_indefinite_refinement "/root/repo/build/examples/indefinite_refinement")
+set_tests_properties(example_indefinite_refinement PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;bst_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed_sweep "/root/repo/build/examples/distributed_sweep")
+set_tests_properties(example_distributed_sweep PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;bst_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_deconvolution "/root/repo/build/examples/deconvolution")
+set_tests_properties(example_deconvolution PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;bst_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spectral_estimation "/root/repo/build/examples/spectral_estimation")
+set_tests_properties(example_spectral_estimation PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;bst_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gp_regression "/root/repo/build/examples/gp_regression")
+set_tests_properties(example_gp_regression PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;15;bst_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/block_levinson.cc" "src/CMakeFiles/bst.dir/baseline/block_levinson.cc.o" "gcc" "src/CMakeFiles/bst.dir/baseline/block_levinson.cc.o.d"
+  "/root/repo/src/baseline/classic_schur.cc" "src/CMakeFiles/bst.dir/baseline/classic_schur.cc.o" "gcc" "src/CMakeFiles/bst.dir/baseline/classic_schur.cc.o.d"
+  "/root/repo/src/baseline/dense_solver.cc" "src/CMakeFiles/bst.dir/baseline/dense_solver.cc.o" "gcc" "src/CMakeFiles/bst.dir/baseline/dense_solver.cc.o.d"
+  "/root/repo/src/baseline/levinson.cc" "src/CMakeFiles/bst.dir/baseline/levinson.cc.o" "gcc" "src/CMakeFiles/bst.dir/baseline/levinson.cc.o.d"
+  "/root/repo/src/core/block_reflector.cc" "src/CMakeFiles/bst.dir/core/block_reflector.cc.o" "gcc" "src/CMakeFiles/bst.dir/core/block_reflector.cc.o.d"
+  "/root/repo/src/core/flop_model.cc" "src/CMakeFiles/bst.dir/core/flop_model.cc.o" "gcc" "src/CMakeFiles/bst.dir/core/flop_model.cc.o.d"
+  "/root/repo/src/core/generator.cc" "src/CMakeFiles/bst.dir/core/generator.cc.o" "gcc" "src/CMakeFiles/bst.dir/core/generator.cc.o.d"
+  "/root/repo/src/core/hyperbolic.cc" "src/CMakeFiles/bst.dir/core/hyperbolic.cc.o" "gcc" "src/CMakeFiles/bst.dir/core/hyperbolic.cc.o.d"
+  "/root/repo/src/core/indefinite.cc" "src/CMakeFiles/bst.dir/core/indefinite.cc.o" "gcc" "src/CMakeFiles/bst.dir/core/indefinite.cc.o.d"
+  "/root/repo/src/core/refine.cc" "src/CMakeFiles/bst.dir/core/refine.cc.o" "gcc" "src/CMakeFiles/bst.dir/core/refine.cc.o.d"
+  "/root/repo/src/core/schur.cc" "src/CMakeFiles/bst.dir/core/schur.cc.o" "gcc" "src/CMakeFiles/bst.dir/core/schur.cc.o.d"
+  "/root/repo/src/core/solve.cc" "src/CMakeFiles/bst.dir/core/solve.cc.o" "gcc" "src/CMakeFiles/bst.dir/core/solve.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/CMakeFiles/bst.dir/core/solver.cc.o" "gcc" "src/CMakeFiles/bst.dir/core/solver.cc.o.d"
+  "/root/repo/src/la/blas1.cc" "src/CMakeFiles/bst.dir/la/blas1.cc.o" "gcc" "src/CMakeFiles/bst.dir/la/blas1.cc.o.d"
+  "/root/repo/src/la/blas2.cc" "src/CMakeFiles/bst.dir/la/blas2.cc.o" "gcc" "src/CMakeFiles/bst.dir/la/blas2.cc.o.d"
+  "/root/repo/src/la/blas3.cc" "src/CMakeFiles/bst.dir/la/blas3.cc.o" "gcc" "src/CMakeFiles/bst.dir/la/blas3.cc.o.d"
+  "/root/repo/src/la/cholesky.cc" "src/CMakeFiles/bst.dir/la/cholesky.cc.o" "gcc" "src/CMakeFiles/bst.dir/la/cholesky.cc.o.d"
+  "/root/repo/src/la/condest.cc" "src/CMakeFiles/bst.dir/la/condest.cc.o" "gcc" "src/CMakeFiles/bst.dir/la/condest.cc.o.d"
+  "/root/repo/src/la/ldlt.cc" "src/CMakeFiles/bst.dir/la/ldlt.cc.o" "gcc" "src/CMakeFiles/bst.dir/la/ldlt.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/CMakeFiles/bst.dir/la/matrix.cc.o" "gcc" "src/CMakeFiles/bst.dir/la/matrix.cc.o.d"
+  "/root/repo/src/la/norms.cc" "src/CMakeFiles/bst.dir/la/norms.cc.o" "gcc" "src/CMakeFiles/bst.dir/la/norms.cc.o.d"
+  "/root/repo/src/la/triangular.cc" "src/CMakeFiles/bst.dir/la/triangular.cc.o" "gcc" "src/CMakeFiles/bst.dir/la/triangular.cc.o.d"
+  "/root/repo/src/simnet/dist_schur.cc" "src/CMakeFiles/bst.dir/simnet/dist_schur.cc.o" "gcc" "src/CMakeFiles/bst.dir/simnet/dist_schur.cc.o.d"
+  "/root/repo/src/simnet/machine.cc" "src/CMakeFiles/bst.dir/simnet/machine.cc.o" "gcc" "src/CMakeFiles/bst.dir/simnet/machine.cc.o.d"
+  "/root/repo/src/simnet/runtime.cc" "src/CMakeFiles/bst.dir/simnet/runtime.cc.o" "gcc" "src/CMakeFiles/bst.dir/simnet/runtime.cc.o.d"
+  "/root/repo/src/simnet/threaded_schur.cc" "src/CMakeFiles/bst.dir/simnet/threaded_schur.cc.o" "gcc" "src/CMakeFiles/bst.dir/simnet/threaded_schur.cc.o.d"
+  "/root/repo/src/toeplitz/block_toeplitz.cc" "src/CMakeFiles/bst.dir/toeplitz/block_toeplitz.cc.o" "gcc" "src/CMakeFiles/bst.dir/toeplitz/block_toeplitz.cc.o.d"
+  "/root/repo/src/toeplitz/fft.cc" "src/CMakeFiles/bst.dir/toeplitz/fft.cc.o" "gcc" "src/CMakeFiles/bst.dir/toeplitz/fft.cc.o.d"
+  "/root/repo/src/toeplitz/generators.cc" "src/CMakeFiles/bst.dir/toeplitz/generators.cc.o" "gcc" "src/CMakeFiles/bst.dir/toeplitz/generators.cc.o.d"
+  "/root/repo/src/toeplitz/io.cc" "src/CMakeFiles/bst.dir/toeplitz/io.cc.o" "gcc" "src/CMakeFiles/bst.dir/toeplitz/io.cc.o.d"
+  "/root/repo/src/toeplitz/matvec.cc" "src/CMakeFiles/bst.dir/toeplitz/matvec.cc.o" "gcc" "src/CMakeFiles/bst.dir/toeplitz/matvec.cc.o.d"
+  "/root/repo/src/util/cli.cc" "src/CMakeFiles/bst.dir/util/cli.cc.o" "gcc" "src/CMakeFiles/bst.dir/util/cli.cc.o.d"
+  "/root/repo/src/util/flops.cc" "src/CMakeFiles/bst.dir/util/flops.cc.o" "gcc" "src/CMakeFiles/bst.dir/util/flops.cc.o.d"
+  "/root/repo/src/util/fpenv.cc" "src/CMakeFiles/bst.dir/util/fpenv.cc.o" "gcc" "src/CMakeFiles/bst.dir/util/fpenv.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/bst.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/bst.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/bst.dir/util/table.cc.o" "gcc" "src/CMakeFiles/bst.dir/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/bst.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/bst.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_reflector.dir/test_block_reflector.cc.o"
+  "CMakeFiles/test_block_reflector.dir/test_block_reflector.cc.o.d"
+  "test_block_reflector"
+  "test_block_reflector.pdb"
+  "test_block_reflector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_reflector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flop_model.dir/test_flop_model.cc.o"
+  "CMakeFiles/test_flop_model.dir/test_flop_model.cc.o.d"
+  "test_flop_model"
+  "test_flop_model.pdb"
+  "test_flop_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flop_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyperbolic.dir/test_hyperbolic.cc.o"
+  "CMakeFiles/test_hyperbolic.dir/test_hyperbolic.cc.o.d"
+  "test_hyperbolic"
+  "test_hyperbolic.pdb"
+  "test_hyperbolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyperbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indefinite.dir/test_indefinite.cc.o"
+  "CMakeFiles/test_indefinite.dir/test_indefinite.cc.o.d"
+  "test_indefinite"
+  "test_indefinite.pdb"
+  "test_indefinite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indefinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

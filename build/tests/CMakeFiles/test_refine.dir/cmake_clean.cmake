@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refine.dir/test_refine.cc.o"
+  "CMakeFiles/test_refine.dir/test_refine.cc.o.d"
+  "test_refine"
+  "test_refine.pdb"
+  "test_refine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schur.dir/test_schur.cc.o"
+  "CMakeFiles/test_schur.dir/test_schur.cc.o.d"
+  "test_schur"
+  "test_schur.pdb"
+  "test_schur[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

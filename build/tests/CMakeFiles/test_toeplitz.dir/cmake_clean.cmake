@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toeplitz.dir/test_toeplitz.cc.o"
+  "CMakeFiles/test_toeplitz.dir/test_toeplitz.cc.o.d"
+  "test_toeplitz"
+  "test_toeplitz.pdb"
+  "test_toeplitz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toeplitz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_views_strided.dir/test_views_strided.cc.o"
+  "CMakeFiles/test_views_strided.dir/test_views_strided.cc.o.d"
+  "test_views_strided"
+  "test_views_strided.pdb"
+  "test_views_strided[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_views_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bst_gen.dir/bst_gen.cc.o"
+  "CMakeFiles/bst_gen.dir/bst_gen.cc.o.d"
+  "bst_gen"
+  "bst_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bst_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

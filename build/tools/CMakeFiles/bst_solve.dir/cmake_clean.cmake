@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bst_solve.dir/bst_solve.cc.o"
+  "CMakeFiles/bst_solve.dir/bst_solve.cc.o.d"
+  "bst_solve"
+  "bst_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bst_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

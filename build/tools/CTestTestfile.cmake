@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_solve_paper_example "/root/repo/build/tools/bst_solve" "--matrix=/root/repo/build/tools/paper6.txt" "--report" "--out=/root/repo/build/tools/x.txt")
+set_tests_properties(cli_solve_paper_example PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_matrix_fails "/root/repo/build/tools/bst_solve")
+set_tests_properties(cli_missing_matrix_fails PROPERTIES  TIMEOUT "30" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gen_then_solve "sh" "-c" "/root/repo/build/tools/bst_gen --family=singular --n=32 --seed=4                           --out=/root/repo/build/tools/gen.txt                           --rhs-ones=/root/repo/build/tools/rhs.txt &&                         /root/repo/build/tools/bst_solve --matrix=/root/repo/build/tools/gen.txt                           --rhs=/root/repo/build/tools/rhs.txt --report                           --out=/root/repo/build/tools/sol.txt")
+set_tests_properties(cli_gen_then_solve PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gen_unknown_family_fails "/root/repo/build/tools/bst_gen" "--family=bogus")
+set_tests_properties(cli_gen_unknown_family_fails PROPERTIES  TIMEOUT "30" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
