@@ -20,6 +20,11 @@ int main(int argc, char** argv) {
   const long nmax = cli.get_int("nmax", 2048);
   const int reps = static_cast<int>(cli.get_int("reps", 1));
 
+  // Phase-resolved profile of the sweep (the per-span overhead is one
+  // relaxed atomic read-modify-write per phase, negligible at these sizes).
+  util::Tracer::reset();
+  util::Tracer::enable();
+
   std::cout << "# bench_fig10: block Schur MFLOP/s for point Toeplitz, varying m_s\n";
   util::Table rate("Figure 10: sustained MFLOP/s vs problem size and m_s");
   util::Table wall("Wall time (s) vs problem size and m_s");
@@ -54,6 +59,15 @@ int main(int argc, char** argv) {
   wall.precision(3);
   rate.print(std::cout);
   wall.print(std::cout);
+
+  util::Tracer::disable();
+  util::PerfReport report("bench_fig10");
+  report.param("nmax", static_cast<std::int64_t>(nmax));
+  report.param("reps", static_cast<std::int64_t>(reps));
+  report.add_table(rate);
+  report.add_table(wall);
+  const std::string json = cli.get("json", "BENCH_fig10.json");
+  if (json != "none") report.write_file(json);
   std::cout << "paper: on the Y-MP the rate grows superlinearly with m_s for large n,\n"
                "so a working block size m_s > m can reduce wall time despite ~4 m_s n^2 "
                "flops\n";

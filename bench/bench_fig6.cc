@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
             << " (simulated T3D)\n";
   util::Table tab("Figure 6: factor time vs b (adjacent blocks per PE)");
   tab.header({"b", "scheme", "time (s)", "compute (s)", "shift (s)", "barrier idle (s)"});
+  util::PerfReport report("bench_fig6");
+  report.param("n", static_cast<std::int64_t>(n));
+  report.param("np", static_cast<std::int64_t>(np));
   for (la::index_t b : {1, 2, 4, 8, 16, 32, 64}) {
     simnet::DistOptions opt;
     opt.np = np;
@@ -33,9 +36,17 @@ int main(int argc, char** argv) {
     simnet::DistResult r = simnet::dist_schur_model(1, n, opt);
     tab.row({static_cast<long long>(b), std::string(to_string(opt.layout)), r.sim_seconds,
              r.breakdown.compute / np, r.breakdown.shift / np, r.breakdown.barrier / np});
+    if (b == 1) {
+      for (const simnet::PeCommStats& pe : r.comm) {
+        report.add_pe_comm(pe.bytes_sent, pe.bytes_recv, pe.messages);
+      }
+    }
   }
   tab.precision(4);
   tab.print(std::cout);
+  report.add_table(tab);
+  const std::string json = cli.get("json", "BENCH_fig6.json");
+  if (json != "none") report.write_file(json);
   std::cout << "paper: best time at b = 16; times increase again at b = 32, 64\n";
   return 0;
 }

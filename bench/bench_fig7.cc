@@ -23,10 +23,22 @@ int main(int argc, char** argv) {
   util::Table tab("Figure 7: factor time vs b across V1/V2/V3");
   tab.header({"b", "scheme", "time (s)", "compute (s)", "bcast (s)", "shift (s)"});
 
+  util::PerfReport report("bench_fig7");
+  report.param("n", static_cast<std::int64_t>(n));
+  report.param("m", static_cast<std::int64_t>(m));
+  report.param("np", static_cast<std::int64_t>(np));
+
   auto add = [&](double blabel, simnet::DistOptions opt) {
     simnet::DistResult r = simnet::dist_schur_model(m, p, opt);
     tab.row({blabel, std::string(to_string(opt.layout)), r.sim_seconds,
              r.breakdown.compute / np, r.breakdown.broadcast, r.breakdown.shift / np});
+    if (opt.layout == simnet::Layout::V1) {
+      // Per-PE comm volume for the paper's preferred scheme (section 7.1).
+      for (const simnet::PeCommStats& pe : r.comm) {
+        report.add_pe_comm(pe.bytes_sent, pe.bytes_recv, pe.messages);
+      }
+      report.metric("v1_sim_seconds", r.sim_seconds);
+    }
   };
 
   for (la::index_t spread : {4, 2}) {  // b = 1/4, 1/2
@@ -51,6 +63,9 @@ int main(int argc, char** argv) {
   }
   tab.precision(4);
   tab.print(std::cout);
+  report.add_table(tab);
+  const std::string json = cli.get("json", "BENCH_fig7.json");
+  if (json != "none") report.write_file(json);
   std::cout << "paper: for moderate m with N >> NP, V1 (b = 1) gives the fastest "
                "factorization\n";
   return 0;

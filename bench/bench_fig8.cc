@@ -22,6 +22,10 @@ int main(int argc, char** argv) {
             << ", NP=" << np << " (simulated T3D)\n";
   util::Table tab("Figure 8: factor time vs spread (PEs per block)");
   tab.header({"spread", "scheme", "time (s)", "compute (s)", "bcast (s)", "barrier idle (s)"});
+  util::PerfReport report("bench_fig8");
+  report.param("n", static_cast<std::int64_t>(n));
+  report.param("m", static_cast<std::int64_t>(m));
+  report.param("np", static_cast<std::int64_t>(np));
   {
     simnet::DistOptions opt;
     opt.np = np;
@@ -38,9 +42,17 @@ int main(int argc, char** argv) {
     simnet::DistResult r = simnet::dist_schur_model(m, p, opt);
     tab.row({static_cast<long long>(spread), std::string("V3"), r.sim_seconds,
              r.breakdown.compute / np, r.breakdown.broadcast, r.breakdown.barrier / np});
+    if (spread == 8) {  // the paper's optimum: keep its per-PE comm profile
+      for (const simnet::PeCommStats& pe : r.comm) {
+        report.add_pe_comm(pe.bytes_sent, pe.bytes_recv, pe.messages);
+      }
+    }
   }
   tab.precision(4);
   tab.print(std::cout);
+  report.add_table(tab);
+  const std::string json = cli.get("json", "BENCH_fig8.json");
+  if (json != "none") report.write_file(json);
   std::cout << "paper: optimal spread is 8; larger spreads lose to broadcast cost\n";
   return 0;
 }

@@ -30,6 +30,11 @@ int main(int argc, char** argv) {
   }
   tab.precision(4);
   tab.print(std::cout);
+  util::PerfReport report("bench_fig9");
+  report.param("n", static_cast<std::int64_t>(n));
+  report.add_table(tab);
+  const std::string json = cli.get("json", "BENCH_fig9.json");
+  if (json != "none") report.write_file(json);
   std::cout << "paper: m=4 is slower for small NP, faster for large NP "
                "(synchronization amortization + cache-line effects)\n";
   return 0;

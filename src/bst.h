@@ -9,6 +9,8 @@
 //   core::solve_refined          -- iterative refinement driver
 //   simnet::dist_schur_factor    -- distributed-memory simulation (T3D)
 //   baseline::*                  -- Levinson / classical Schur / dense
+//   util::Tracer / TraceSpan     -- structured phase tracing (docs/OBSERVABILITY.md)
+//   util::PerfReport             -- JSON perf-report writer (stable schema)
 #pragma once
 
 #include "baseline/classic_schur.h"
@@ -43,6 +45,8 @@
 #include "util/cli.h"
 #include "util/flops.h"
 #include "util/fpenv.h"
+#include "util/report.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"

@@ -2,13 +2,27 @@
 
 #include <cfloat>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "la/blas.h"
 #include "util/flops.h"
+#include "util/trace.h"
 
 namespace bst::core {
 namespace {
+
+const util::PhaseId kGeneratorPhase = util::Tracer::phase("generator_build");
+const util::PhaseId kBuildPhase = util::Tracer::phase("reflector_build");
+const util::PhaseId kApplyPhase = util::Tracer::phase("reflector_apply");
+const util::PhaseId kSequentialPhase = util::Tracer::phase("indefinite_sequential");
+
+double max_abs(la::CView v) {
+  double mx = 0.0;
+  for (index_t j = 0; j < v.cols(); ++j)
+    for (index_t i = 0; i < v.rows(); ++i) mx = std::max(mx, std::fabs(v(i, j)));
+  return mx;
+}
 
 std::string singular_message(index_t step, index_t column, double hnorm) {
   std::ostringstream os;
@@ -61,9 +75,11 @@ void track_norm(LdlFactor& f, const Reflector& r, double delta) {
 }
 
 // Performs one full indefinite step sequentially, with interchanges and
-// perturbations.  Returns the number of interchanges.
+// perturbations.  Returns the number of interchanges; `min_hnorm` (when
+// non-null) receives the smallest |hyperbolic norm| accepted for a pivot.
 int sequential_step(StepState st, const IndefiniteOptions& opt, double delta, double norm_g1,
-                    std::vector<PerturbationEvent>& events, LdlFactor& f) {
+                    std::vector<PerturbationEvent>& events, LdlFactor& f,
+                    double* min_hnorm = nullptr) {
   Generator& g = *st.g;
   const index_t m = g.m;
   int interchanges = 0;
@@ -121,6 +137,7 @@ int sequential_step(StepState st, const IndefiniteOptions& opt, double delta, do
 
     auto refl = make_reflector(u, g.sig, k, 0.0);
     if (!refl) throw SingularMinor(st.step, k, h);
+    if (min_hnorm != nullptr) *min_hnorm = std::min(*min_hnorm, std::fabs(h));
     track_norm(f, *refl, delta);
     apply_one(*refl, g.sig, m, st.a, st.b);
     // Kill roundoff in the eliminated entries.
@@ -146,7 +163,10 @@ LdlFactor block_schur_indefinite(const toeplitz::BlockToeplitz& t, const Indefin
   const double delta = (opt.delta > 0.0) ? opt.delta : std::cbrt(DBL_EPSILON);
 
   util::FlopScope flops;
-  Generator g = make_generator_indefinite(spec);
+  Generator g = [&] {
+    util::TraceSpan span(kGeneratorPhase);
+    return make_generator_indefinite(spec);
+  }();
   const index_t m = g.m, p = g.p, n = m * p;
 
   LdlFactor f;
@@ -172,6 +192,7 @@ LdlFactor block_schur_indefinite(const toeplitz::BlockToeplitz& t, const Indefin
     // same blocked code as the SPD driver.  Probe on copies of the pivot
     // pair so a breakdown leaves the generator untouched.
     bool blocked_ok = false;
+    double min_h = std::numeric_limits<double>::infinity();
     {
       Mat pcopy(m, m), qcopy(m, m);
       la::copy(g.a_block(0), pcopy.view());
@@ -179,18 +200,34 @@ LdlFactor block_schur_indefinite(const toeplitz::BlockToeplitz& t, const Indefin
       BlockReflector bref(opt.rep, m, g.sig);
       // Probe with the *singular* tolerance so near-breakdowns take the
       // robust sequential path.
-      if (!bref.build(pcopy.view(), qcopy.view(), opt.singular_tol)) {
+      bool built = false;
+      {
+        util::TraceSpan span(kBuildPhase);
+        built = !bref.build(pcopy.view(), qcopy.view(), opt.singular_tol);
+      }
+      if (built) {
         la::copy(pcopy.view(), g.a_block(0));
         la::copy(qcopy.view(), g.b_block(i));
+        util::TraceSpan span(kApplyPhase);
         bref.apply(g.a.block(0, m, m, (active - 1) * m),
                    g.b.block(0, (i + 1) * m, m, (active - 1) * m));
-        for (const Reflector& r : bref.reflectors()) track_norm(f, r, delta);
+        for (const Reflector& r : bref.reflectors()) {
+          track_norm(f, r, delta);
+          min_h = std::min(min_h, r.sigma * r.sigma);
+        }
         blocked_ok = true;
       }
     }
     if (!blocked_ok) {
+      // Interleaved build+apply: charged to its own phase rather than split.
+      util::TraceSpan span(kSequentialPhase);
       StepState st{&g, i, active, a_act, b_act};
-      f.interchanges += sequential_step(st, opt, delta, g.norm_g1, f.perturbations, f);
+      f.interchanges +=
+          sequential_step(st, opt, delta, g.norm_g1, f.perturbations, f, &min_h);
+    }
+    if (util::Tracer::enabled()) {
+      util::Tracer::record_step(i, min_h, std::max(max_abs(la::CView(a_act)),
+                                                   max_abs(la::CView(b_act))));
     }
     emit(i);
   }

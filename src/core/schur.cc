@@ -1,12 +1,40 @@
 #include "core/schur.h"
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/flops.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace bst::core {
 namespace {
+
+const util::PhaseId kGeneratorPhase = util::Tracer::phase("generator_build");
+const util::PhaseId kBuildPhase = util::Tracer::phase("reflector_build");
+const util::PhaseId kApplyPhase = util::Tracer::phase("reflector_apply");
+
+double max_abs(la::CView v) {
+  double mx = 0.0;
+  for (index_t j = 0; j < v.cols(); ++j)
+    for (index_t i = 0; i < v.rows(); ++i) mx = std::max(mx, std::fabs(v(i, j)));
+  return mx;
+}
+
+// Per-step stability diagnostics (recorded only while tracing): the smallest
+// |hyperbolic norm| seen by the step's reflectors -- sigma_k^2 = |u^T W u| by
+// construction (core/hyperbolic.h) -- and the post-step generator magnitude.
+void record_step_diag(const Generator& g, const BlockReflector& bref, index_t step,
+                      index_t active_blocks) {
+  if (!util::Tracer::enabled()) return;
+  double min_h = std::numeric_limits<double>::infinity();
+  for (const Reflector& r : bref.reflectors()) min_h = std::min(min_h, r.sigma * r.sigma);
+  const index_t m = g.m;
+  la::CView a = g.a.block(0, 0, m, active_blocks * m);
+  la::CView b = g.b.block(0, step * m, m, active_blocks * m);
+  util::Tracer::record_step(step, min_h, std::max(max_abs(a), max_abs(b)));
+}
 
 std::string breakdown_message(index_t step, index_t column, double hnorm) {
   std::ostringstream os;
@@ -26,10 +54,13 @@ void apply_to_trailing(Generator& g, const BlockReflector& bref, index_t step,
   View a = g.a.block(0, m, m, trailing * m);
   View b = g.b.block(0, (step + 1) * m, m, trailing * m);
   if (!parallel || trailing < 4) {
+    util::TraceSpan span(kApplyPhase);
     bref.apply(a, b);
     return;
   }
   // Chunk the trailing columns across the pool; each chunk is independent.
+  // The span opens *inside* the worker callback: flops/bytes counters are
+  // thread-local, so each worker must observe its own share.
   auto& pool = util::ThreadPool::global();
   const index_t chunks = std::min<index_t>(trailing, static_cast<index_t>(pool.size()) * 2);
   const index_t per = (trailing + chunks - 1) / chunks;
@@ -37,6 +68,7 @@ void apply_to_trailing(Generator& g, const BlockReflector& bref, index_t step,
     const index_t lo = static_cast<index_t>(c) * per;
     const index_t hi = std::min(trailing, lo + per);
     if (lo >= hi) return;
+    util::TraceSpan span(kApplyPhase);
     bref.apply(a.block(0, lo * m, m, (hi - lo) * m), b.block(0, lo * m, m, (hi - lo) * m));
   });
 }
@@ -55,10 +87,14 @@ void schur_step(Generator& g, index_t step, const SchurOptions& opt) {
   BlockReflector bref(opt.rep, m, g.sig);
   View pivot_p = g.a_block(0);
   View pivot_q = g.b_block(step);
-  if (auto breakdown = bref.build(pivot_p, pivot_q, opt.breakdown_tol, opt.inner_block)) {
-    throw NotPositiveDefinite(step, breakdown->column, breakdown->hnorm);
+  {
+    util::TraceSpan span(kBuildPhase);
+    if (auto breakdown = bref.build(pivot_p, pivot_q, opt.breakdown_tol, opt.inner_block)) {
+      throw NotPositiveDefinite(step, breakdown->column, breakdown->hnorm);
+    }
   }
   apply_to_trailing(g, bref, step, active, opt.parallel);
+  record_step_diag(g, bref, step, active);
 }
 
 std::uint64_t block_schur_stream(const toeplitz::BlockToeplitz& t, const SchurOptions& opt,
@@ -68,7 +104,10 @@ std::uint64_t block_schur_stream(const toeplitz::BlockToeplitz& t, const SchurOp
           ? t
           : t.with_block_size(opt.block_size);
   util::FlopScope flops;
-  Generator g = make_generator_spd(spec);
+  Generator g = [&] {
+    util::TraceSpan span(kGeneratorPhase);
+    return make_generator_spd(spec);
+  }();
   const index_t m = g.m, p = g.p;
   sink(0, g.a.view());
   for (index_t i = 1; i < p; ++i) {

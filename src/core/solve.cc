@@ -1,10 +1,15 @@
 #include "core/solve.h"
 
 #include "la/blas.h"
+#include "util/trace.h"
 
 namespace bst::core {
+namespace {
+const util::PhaseId kSolvePhase = util::Tracer::phase("triangular_solve");
+}  // namespace
 
 void solve_rtdr(CView r, const double* d, const std::vector<double>& b, std::vector<double>& x) {
+  util::TraceSpan span(kSolvePhase);
   const index_t n = r.rows();
   assert(static_cast<index_t>(b.size()) == n);
   x = b;
@@ -19,6 +24,7 @@ void solve_rtdr(CView r, const double* d, const std::vector<double>& b, std::vec
 }
 
 void solve_rtdr_multi(CView r, const double* d, View bx) {
+  util::TraceSpan span(kSolvePhase);
   const index_t n = r.rows();
   assert(bx.rows() == n);
   la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::Trans, la::Diag::NonUnit, 1.0, r, bx);

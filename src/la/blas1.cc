@@ -2,8 +2,12 @@
 
 #include "la/blas.h"
 #include "util/flops.h"
+#include "util/trace.h"
 
 namespace bst::la {
+
+// Byte charges below are operand-footprint estimates: 8 bytes per double
+// read, 16 per element updated in place (read + write back).
 
 double dot(index_t n, const double* x, const double* y) {
   double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
@@ -16,17 +20,20 @@ double dot(index_t n, const double* x, const double* y) {
   }
   for (; i < n; ++i) s0 += x[i] * y[i];
   util::FlopCounter::charge(static_cast<std::uint64_t>(2 * n));
+  util::ByteCounter::charge(static_cast<std::uint64_t>(16 * n));
   return (s0 + s1) + (s2 + s3);
 }
 
 void axpy(index_t n, double alpha, const double* x, double* y) {
   for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
   util::FlopCounter::charge(static_cast<std::uint64_t>(2 * n));
+  util::ByteCounter::charge(static_cast<std::uint64_t>(24 * n));
 }
 
 void scal(index_t n, double alpha, double* x) {
   for (index_t i = 0; i < n; ++i) x[i] *= alpha;
   util::FlopCounter::charge(static_cast<std::uint64_t>(n));
+  util::ByteCounter::charge(static_cast<std::uint64_t>(16 * n));
 }
 
 double nrm2(index_t n, const double* x) {
@@ -40,6 +47,7 @@ double nrm2(index_t n, const double* x) {
     s += v * v;
   }
   util::FlopCounter::charge(static_cast<std::uint64_t>(3 * n));
+  util::ByteCounter::charge(static_cast<std::uint64_t>(16 * n));  // two read passes
   return amax * std::sqrt(s);
 }
 

@@ -1,5 +1,6 @@
 #include "la/blas.h"
 #include "util/flops.h"
+#include "util/trace.h"
 
 namespace bst::la {
 
@@ -28,6 +29,8 @@ void gemv(bool trans, double alpha, CView a, const double* x, double beta, doubl
     }
   }
   util::FlopCounter::charge(static_cast<std::uint64_t>(2 * m * n));
+  // A read once, x read, y updated (operand footprint).
+  util::ByteCounter::charge(static_cast<std::uint64_t>(8 * (m * n + m + 2 * n)));
 }
 
 void ger(double alpha, const double* x, const double* y, View a) {
@@ -38,6 +41,7 @@ void ger(double alpha, const double* x, const double* y, View a) {
     for (index_t i = 0; i < m; ++i) col[i] += ay * x[i];
   }
   util::FlopCounter::charge(static_cast<std::uint64_t>(2 * m * n));
+  util::ByteCounter::charge(static_cast<std::uint64_t>(8 * (2 * m * n + m + n)));
 }
 
 }  // namespace bst::la

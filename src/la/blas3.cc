@@ -2,6 +2,7 @@
 
 #include "la/blas.h"
 #include "util/flops.h"
+#include "util/trace.h"
 
 namespace bst::la {
 namespace {
@@ -114,6 +115,8 @@ void gemm(Op ta, Op tb, double alpha, CView a, CView b, double beta, View c) {
   else gemm_tt(alpha, a, b, c);
 
   util::FlopCounter::charge(static_cast<std::uint64_t>(2 * m * n * k));
+  // Operand footprint: A and B read once, C read and written.
+  util::ByteCounter::charge(static_cast<std::uint64_t>(8 * (m * k + k * n + 2 * m * n)));
 }
 
 void syrk_lower(double alpha, CView a, double beta, View c) {
@@ -136,6 +139,8 @@ void syrk_lower(double alpha, CView a, double beta, View c) {
     }
   }
   util::FlopCounter::charge(static_cast<std::uint64_t>(n * (n + 1) * k));
+  // A read once; the lower triangle of C read and written.
+  util::ByteCounter::charge(static_cast<std::uint64_t>(8 * (n * k + n * (n + 1))));
 }
 
 void trsm(Side side, Uplo uplo, Op op, Diag diag, double alpha, CView t, View b) {
@@ -214,6 +219,9 @@ void trsv(Uplo uplo, Op op, Diag diag, CView t, double* x) {
     }
   }
   util::FlopCounter::charge(static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n));
+  // Half of T read, x read and written.  (trsm delegates here / to axpy+scal,
+  // so it inherits its byte charges from the level-1/2 calls it makes.)
+  util::ByteCounter::charge(static_cast<std::uint64_t>(8 * (n * (n + 1) / 2 + 2 * n)));
 }
 
 }  // namespace bst::la

@@ -8,9 +8,15 @@
 #include "core/generator.h"
 #include "core/schur.h"
 #include "la/blas.h"
+#include "util/trace.h"
 
 namespace bst::simnet {
 namespace {
+
+// Same phase names as the shared-memory driver (core/schur.cc) so a report
+// aggregates build/apply cost identically across backends.
+const util::PhaseId kBuildPhase = util::Tracer::phase("reflector_build");
+const util::PhaseId kApplyPhase = util::Tracer::phase("reflector_apply");
 
 using core::BlockReflector;
 using core::Generator;
@@ -209,6 +215,7 @@ DistResult dist_schur_model(index_t m, index_t p, const DistOptions& opt) {
   DistResult res;
   res.sim_seconds = mach.time();
   res.breakdown = mach.breakdown();
+  res.comm = mach.comm_stats();
   res.steps = p - 1;
   return res;
 }
@@ -267,13 +274,19 @@ DistResult dist_schur_factor(const toeplitz::BlockToeplitz& t, const DistOptions
     // Phase 1: the pivot owner builds the reflector...
     auto& pivot = cols[static_cast<std::size_t>(i)];
     BlockReflector bref(opt.rep, m, g.sig);
-    if (auto bd = bref.build(pivot.a.view(), pivot.b.view(), 1e-13)) {
-      throw core::NotPositiveDefinite(i, bd->column, bd->hnorm);
+    {
+      util::TraceSpan span(kBuildPhase);
+      if (auto bd = bref.build(pivot.a.view(), pivot.b.view(), 1e-13)) {
+        throw core::NotPositiveDefinite(i, bd->column, bd->hnorm);
+      }
     }
     // Phase 2: ...and every PE updates the columns it owns.
-    for (index_t j = i + 1; j < p; ++j) {
-      auto& c = cols[static_cast<std::size_t>(j)];
-      bref.apply(c.a.view(), c.b.view());
+    {
+      util::TraceSpan span(kApplyPhase);
+      for (index_t j = i + 1; j < p; ++j) {
+        auto& c = cols[static_cast<std::size_t>(j)];
+        bref.apply(c.a.view(), c.b.view());
+      }
     }
     charge_step(mach, map, opt, m, i, p);
     emit(i);
@@ -282,6 +295,7 @@ DistResult dist_schur_factor(const toeplitz::BlockToeplitz& t, const DistOptions
   DistResult res;
   res.sim_seconds = mach.time();
   res.breakdown = mach.breakdown();
+  res.comm = mach.comm_stats();
   res.steps = p - 1;
   res.r = std::move(r);
   return res;

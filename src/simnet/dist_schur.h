@@ -52,6 +52,7 @@ struct DistOptions {
 struct DistResult {
   double sim_seconds = 0.0;
   TimeBreakdown breakdown;
+  std::vector<PeCommStats> comm;  // per-PE send/recv volume (paper sec. 7.1)
   index_t steps = 0;
   std::optional<la::Mat> r;  // the n x n factor when requested
 };

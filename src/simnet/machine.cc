@@ -9,6 +9,7 @@ namespace bst::simnet {
 Machine::Machine(int np, MachineParams params) : params_(params) {
   assert(np >= 1);
   clock_.assign(static_cast<std::size_t>(np), 0.0);
+  comm_.assign(static_cast<std::size_t>(np), PeCommStats{});
 }
 
 int Machine::tree_depth() const {
@@ -35,6 +36,9 @@ void Machine::put_many(int src, int dst, double messages, double bytes) {
   s += dt;
   d = std::max(d, s);
   acct_.shift += dt;
+  comm_[static_cast<std::size_t>(src)].bytes_sent += messages * bytes;
+  comm_[static_cast<std::size_t>(src)].messages += messages;
+  comm_[static_cast<std::size_t>(dst)].bytes_recv += messages * bytes;
 }
 
 void Machine::exchange(const std::vector<ShiftMsg>& msgs) {
@@ -47,6 +51,9 @@ void Machine::exchange(const std::vector<ShiftMsg>& msgs) {
     clock_[static_cast<std::size_t>(m.dst)] =
         std::max(clock_[static_cast<std::size_t>(m.dst)], snap[static_cast<std::size_t>(m.src)] + dt);
     acct_.shift += dt;
+    comm_[static_cast<std::size_t>(m.src)].bytes_sent += m.messages * m.bytes;
+    comm_[static_cast<std::size_t>(m.src)].messages += m.messages;
+    comm_[static_cast<std::size_t>(m.dst)].bytes_recv += m.messages * m.bytes;
   }
 }
 
@@ -57,6 +64,11 @@ void Machine::broadcast(int root, double bytes) {
   const double t0 = clock_[static_cast<std::size_t>(root)] + dt;
   for (double& c : clock_) c = std::max(c, t0);
   acct_.broadcast += dt;
+  comm_[static_cast<std::size_t>(root)].bytes_sent += bytes;
+  comm_[static_cast<std::size_t>(root)].messages += 1.0;
+  for (int pe = 0; pe < np(); ++pe) {
+    if (pe != root) comm_[static_cast<std::size_t>(pe)].bytes_recv += bytes;
+  }
 }
 
 void Machine::comm_delay(int pe, double seconds) {

@@ -50,6 +50,16 @@ struct TimeBreakdown {
   [[nodiscard]] double total() const { return compute + broadcast + shift + barrier; }
 };
 
+/// Per-PE communication volume (the quantity the paper's V1/V2/V3 analysis
+/// trades against parallelism; see docs/OBSERVABILITY.md "comm" section).
+/// Broadcasts are attributed root->every other PE; interior tree forwarding
+/// is not broken out.
+struct PeCommStats {
+  double bytes_sent = 0.0;
+  double bytes_recv = 0.0;
+  double messages = 0.0;  // messages injected by this PE
+};
+
 /// Virtual machine: NP processing elements with individual clocks.
 class Machine {
  public:
@@ -96,12 +106,16 @@ class Machine {
   /// `barrier` bucket holds the idle time absorbed at barriers).
   [[nodiscard]] const TimeBreakdown& breakdown() const noexcept { return acct_; }
 
+  /// Per-PE bytes sent/received and messages injected.
+  [[nodiscard]] const std::vector<PeCommStats>& comm_stats() const noexcept { return comm_; }
+
  private:
   [[nodiscard]] int tree_depth() const;
 
   MachineParams params_;
   std::vector<double> clock_;
   TimeBreakdown acct_;
+  std::vector<PeCommStats> comm_;
 };
 
 }  // namespace bst::simnet

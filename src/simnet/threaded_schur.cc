@@ -7,6 +7,7 @@
 #include "core/generator.h"
 #include "core/schur.h"
 #include "simnet/runtime.h"
+#include "util/trace.h"
 
 namespace bst::simnet {
 namespace {
@@ -15,6 +16,14 @@ using core::BlockReflector;
 using core::index_t;
 using core::Reflector;
 using la::Mat;
+
+// Build/apply share names with the sequential driver; the message-passing
+// phases get their own buckets.  Spans run inside the SPMD threads, so the
+// accumulated seconds are summed across PEs (divide by np for per-PE time).
+const util::PhaseId kBuildPhase = util::Tracer::phase("reflector_build");
+const util::PhaseId kApplyPhase = util::Tracer::phase("reflector_apply");
+const util::PhaseId kShiftPhase = util::Tracer::phase("dist_shift");
+const util::PhaseId kGatherPhase = util::Tracer::phase("dist_gather");
 
 // Message tags: disjoint ranges per protocol phase.
 constexpr int kTagShiftBase = 1'000'000;  // + logical column
@@ -101,6 +110,7 @@ la::Mat threaded_schur_factor(const toeplitz::BlockToeplitz& t, const DistOption
 
     // Gather of R block row `step` on PE 0.
     auto gather_row = [&](index_t step) {
+      util::TraceSpan span(kGatherPhase);
       if (me == 0) {
         for (index_t j = step; j < p; ++j) {
           la::View dst = r_out.block(step * m, j * m, m, m);
@@ -124,22 +134,25 @@ la::Mat threaded_schur_factor(const toeplitz::BlockToeplitz& t, const DistOption
       // ---- phase 3: shift A_{j-1} -> A_j --------------------------------
       // Sends first (pre-shift values), then local right-to-left moves,
       // then receives.
-      for (index_t j = i; j < p; ++j) {
-        if (owner(j - 1) == me && owner(j) != me) {
-          comm.send(owner(j), kTagShiftBase + static_cast<int>(j),
-                    flatten(mine.at(j - 1).a.view()));
+      {
+        util::TraceSpan span(kShiftPhase);
+        for (index_t j = i; j < p; ++j) {
+          if (owner(j - 1) == me && owner(j) != me) {
+            comm.send(owner(j), kTagShiftBase + static_cast<int>(j),
+                      flatten(mine.at(j - 1).a.view()));
+          }
         }
-      }
-      for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
-        const index_t j = it->first;
-        if (j >= i && owner(j - 1) == me) {
-          la::copy(mine.at(j - 1).a.view(), it->second.a.view());
+        for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
+          const index_t j = it->first;
+          if (j >= i && owner(j - 1) == me) {
+            la::copy(mine.at(j - 1).a.view(), it->second.a.view());
+          }
         }
-      }
-      for (auto& [j, col] : mine) {
-        if (j >= i && owner(j - 1) != me) {
-          unflatten(comm.recv(owner(j - 1), kTagShiftBase + static_cast<int>(j)),
-                    col.a.view());
+        for (auto& [j, col] : mine) {
+          if (j >= i && owner(j - 1) != me) {
+            unflatten(comm.recv(owner(j - 1), kTagShiftBase + static_cast<int>(j)),
+                      col.a.view());
+          }
         }
       }
 
@@ -147,6 +160,7 @@ la::Mat threaded_schur_factor(const toeplitz::BlockToeplitz& t, const DistOption
       std::vector<double> wire;
       std::optional<core::StepBreakdown> breakdown;
       if (owner(i) == me) {
+        util::TraceSpan span(kBuildPhase);
         Column& pivot = mine.at(i);
         BlockReflector bref(opt.rep, m, sig);
         breakdown = bref.build(pivot.a.view(), pivot.b.view(), 1e-13);
@@ -161,10 +175,13 @@ la::Mat threaded_schur_factor(const toeplitz::BlockToeplitz& t, const DistOption
       }
 
       // ---- phase 2: everyone updates its own trailing columns -----------
-      BlockReflector bref = BlockReflector::from_reflectors(
-          opt.rep, m, sig, unpack_reflectors(wire, m));
-      for (auto& [j, col] : mine) {
-        if (j > i) bref.apply(col.a.view(), col.b.view());
+      {
+        util::TraceSpan span(kApplyPhase);
+        BlockReflector bref = BlockReflector::from_reflectors(
+            opt.rep, m, sig, unpack_reflectors(wire, m));
+        for (auto& [j, col] : mine) {
+          if (j > i) bref.apply(col.a.view(), col.b.view());
+        }
       }
 
       gather_row(i);
@@ -220,6 +237,7 @@ la::Mat threaded_schur_v3(const toeplitz::BlockToeplitz& spec, const DistOptions
     g = core::Generator{};
 
     auto gather_row = [&](index_t step) {
+      util::TraceSpan span(kGatherPhase);
       if (me == 0) {
         for (index_t j = step; j < p; ++j) {
           for (index_t q = 0; q < s; ++q) {
@@ -246,30 +264,37 @@ la::Mat threaded_schur_v3(const toeplitz::BlockToeplitz& spec, const DistOptions
     gather_row(0);
     for (index_t i = 1; i < p; ++i) {
       // ---- shift A_{j-1} -> A_j: same slice index, next group ----------
-      for (index_t j = i; j < p; ++j) {
-        if (group_of(j - 1) == mygroup && group_of(j) != mygroup) {
-          comm.send(slice_owner(j, myq), kTagShiftBase + static_cast<int>(j * s + myq),
-                    flatten(mine.at(j - 1).a.view()));
+      {
+        util::TraceSpan span(kShiftPhase);
+        for (index_t j = i; j < p; ++j) {
+          if (group_of(j - 1) == mygroup && group_of(j) != mygroup) {
+            comm.send(slice_owner(j, myq), kTagShiftBase + static_cast<int>(j * s + myq),
+                      flatten(mine.at(j - 1).a.view()));
+          }
         }
-      }
-      for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
-        const index_t j = it->first;
-        if (j >= i && group_of(j - 1) == mygroup) {
-          la::copy(mine.at(j - 1).a.view(), it->second.a.view());
+        for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
+          const index_t j = it->first;
+          if (j >= i && group_of(j - 1) == mygroup) {
+            la::copy(mine.at(j - 1).a.view(), it->second.a.view());
+          }
         }
-      }
-      for (auto& [j, sl] : mine) {
-        if (j >= i && group_of(j - 1) != mygroup) {
-          unflatten(comm.recv(slice_owner(j - 1, myq),
-                              kTagShiftBase + static_cast<int>(j * s + myq)),
-                    sl.a.view());
+        for (auto& [j, sl] : mine) {
+          if (j >= i && group_of(j - 1) != mygroup) {
+            unflatten(comm.recv(slice_owner(j - 1, myq),
+                                kTagShiftBase + static_cast<int>(j * s + myq)),
+                      sl.a.view());
+          }
         }
       }
 
       // ---- build: pivot columns in order; each owner fans its x out -----
+      // V3 interleaves single-reflector builds with pivot-slice updates, so
+      // the whole per-column loop is charged to the build phase.
       std::vector<Reflector> reflectors;
       reflectors.reserve(static_cast<std::size_t>(m));
       const bool in_pivot_group = (group_of(i) == mygroup);
+      {
+      util::TraceSpan build_span(kBuildPhase);  // closes before the trailing update
       for (index_t k = 0; k < m; ++k) {
         const index_t q = k / ws;        // slice holding pivot column k
         const index_t kl = k - q * ws;   // column within the slice
@@ -307,12 +332,16 @@ la::Mat threaded_schur_v3(const toeplitz::BlockToeplitz& spec, const DistOptions
         }
         reflectors.push_back(std::move(r));
       }
+      }
 
       // ---- trailing update on every slice of blocks j > i ----------------
-      BlockReflector bref =
-          BlockReflector::from_reflectors(opt.rep, m, sig, reflectors);
-      for (auto& [j, sl] : mine) {
-        if (j > i) bref.apply(sl.a.view(), sl.b.view());
+      {
+        util::TraceSpan span(kApplyPhase);
+        BlockReflector bref =
+            BlockReflector::from_reflectors(opt.rep, m, sig, reflectors);
+        for (auto& [j, sl] : mine) {
+          if (j > i) bref.apply(sl.a.view(), sl.b.view());
+        }
       }
 
       gather_row(i);

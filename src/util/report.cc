@@ -1,0 +1,478 @@
+#include "util/report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/trace.h"
+
+namespace bst::util {
+
+// ----- Json value ----------------------------------------------------------
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::Number;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::number(std::uint64_t v) { return number(static_cast<double>(v)); }
+Json Json::number(std::int64_t v) { return number(static_cast<double>(v)); }
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::String;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+void Json::push(Json v) { arr_.push_back(std::move(v)); }
+
+void Json::set(const std::string& key, Json v) {
+  for (auto& [k, val] : obj_) {
+    if (k == key) {
+      val = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan: encode as null (documented in OBSERVABILITY.md).
+    os << "null";
+    return;
+  }
+  // Integral values print without an exponent or trailing ".0" so counters
+  // stay exact and diffable.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    os << buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void indent_to(std::ostream& os, int n) {
+  for (int i = 0; i < n; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::write(std::ostream& os, int indent) const {
+  switch (kind_) {
+    case Kind::Null: os << "null"; return;
+    case Kind::Bool: os << (bool_ ? "true" : "false"); return;
+    case Kind::Number: write_number(os, num_); return;
+    case Kind::String: write_escaped(os, str_); return;
+    case Kind::Array: {
+      if (arr_.empty()) {
+        os << "[]";
+        return;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        indent_to(os, indent + 2);
+        arr_[i].write(os, indent + 2);
+        if (i + 1 < arr_.size()) os << ',';
+        os << '\n';
+      }
+      indent_to(os, indent);
+      os << ']';
+      return;
+    }
+    case Kind::Object: {
+      if (obj_.empty()) {
+        os << "{}";
+        return;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        indent_to(os, indent + 2);
+        write_escaped(os, obj_[i].first);
+        os << ": ";
+        obj_[i].second.write(os, indent + 2);
+        if (i + 1 < obj_.size()) os << ',';
+        os << '\n';
+      }
+      indent_to(os, indent);
+      os << '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+// ----- parser --------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("parse_json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return Json::string(string_body());
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      return Json::boolean(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      return Json::boolean(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return Json::null();
+    }
+    return number();
+  }
+
+  Json object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string_body();
+      skip_ws();
+      expect(':');
+      obj.set(key, value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u for control characters; decode the
+          // BMP code point as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    try {
+      return Json::number(std::stod(s_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json parse_json(const std::string& text) { return Parser(text).parse(); }
+
+// ----- PerfReport ----------------------------------------------------------
+
+PerfReport::PerfReport(std::string tool) : tool_(std::move(tool)) {}
+
+void PerfReport::param(const std::string& key, const std::string& value) {
+  params_.set(key, Json::string(value));
+}
+
+void PerfReport::param(const std::string& key, std::int64_t value) {
+  params_.set(key, Json::number(value));
+}
+
+void PerfReport::param(const std::string& key, double value) {
+  params_.set(key, Json::number(value));
+}
+
+void PerfReport::metric(const std::string& key, double value) {
+  metrics_.set(key, Json::number(value));
+}
+
+void PerfReport::add_table(const Table& table) {
+  Json t = Json::object();
+  t.set("title", Json::string(table.title()));
+  Json cols = Json::array();
+  for (const std::string& h : table.header_labels()) cols.push(Json::string(h));
+  t.set("columns", std::move(cols));
+  Json rows = Json::array();
+  for (const auto& r : table.data()) {
+    Json row = Json::array();
+    for (const Cell& c : r) {
+      if (std::holds_alternative<std::string>(c)) {
+        row.push(Json::string(std::get<std::string>(c)));
+      } else if (std::holds_alternative<long long>(c)) {
+        row.push(Json::number(static_cast<std::int64_t>(std::get<long long>(c))));
+      } else {
+        row.push(Json::number(std::get<double>(c)));
+      }
+    }
+    rows.push(std::move(row));
+  }
+  t.set("rows", std::move(rows));
+  tables_.push(std::move(t));
+}
+
+void PerfReport::add_thread(double busy_seconds, double idle_seconds, std::uint64_t chunks) {
+  Json t = Json::object();
+  t.set("busy_seconds", Json::number(busy_seconds));
+  t.set("idle_seconds", Json::number(idle_seconds));
+  t.set("chunks", Json::number(chunks));
+  threads_.push(std::move(t));
+}
+
+void PerfReport::add_pe_comm(double bytes_sent, double bytes_recv, double messages) {
+  Json p = Json::object();
+  p.set("bytes_sent", Json::number(bytes_sent));
+  p.set("bytes_recv", Json::number(bytes_recv));
+  p.set("messages", Json::number(messages));
+  comm_.push(std::move(p));
+}
+
+Json PerfReport::build(bool include_tracer) const {
+  Json root = Json::object();
+  root.set("schema_version", Json::number(static_cast<std::int64_t>(kReportSchemaVersion)));
+  root.set("tool", Json::string(tool_));
+  if (!params_.members().empty()) root.set("params", params_);
+
+  Json machine = Json::object();
+  machine.set("hardware_concurrency",
+              Json::number(static_cast<std::uint64_t>(std::thread::hardware_concurrency())));
+  machine.set("pointer_bits", Json::number(static_cast<std::uint64_t>(8 * sizeof(void*))));
+  root.set("machine", std::move(machine));
+
+  Json buildinfo = Json::object();
+#if defined(__VERSION__)
+  buildinfo.set("compiler", Json::string(__VERSION__));
+#endif
+#if defined(BST_BUILD_TYPE)
+  buildinfo.set("build_type", Json::string(BST_BUILD_TYPE));
+#endif
+  buildinfo.set("cxx", Json::number(static_cast<std::int64_t>(__cplusplus)));
+  root.set("build", std::move(buildinfo));
+
+  if (include_tracer) {
+    Json phases = Json::object();
+    for (const PhaseStats& ps : Tracer::snapshot()) {
+      Json p = Json::object();
+      p.set("calls", Json::number(ps.calls));
+      p.set("seconds", Json::number(ps.seconds));
+      p.set("flops", Json::number(ps.flops));
+      p.set("bytes", Json::number(ps.bytes));
+      phases.set(ps.name, std::move(p));
+    }
+    if (!phases.members().empty()) root.set("phases", std::move(phases));
+
+    Json steps = Json::array();
+    for (const StepDiag& sd : Tracer::steps()) {
+      Json s = Json::object();
+      s.set("step", Json::number(static_cast<std::int64_t>(sd.step)));
+      s.set("min_hnorm", Json::number(sd.min_hnorm));
+      s.set("max_generator", Json::number(sd.max_generator));
+      steps.push(std::move(s));
+    }
+    if (!steps.items().empty()) root.set("steps", std::move(steps));
+  }
+
+  if (!threads_.items().empty()) root.set("threads", threads_);
+  if (!comm_.items().empty()) root.set("comm", comm_);
+  if (!metrics_.members().empty()) root.set("metrics", metrics_);
+  if (!tables_.items().empty()) root.set("tables", tables_);
+  return root;
+}
+
+void PerfReport::write(std::ostream& os, bool include_tracer) const {
+  build(include_tracer).write(os);
+  os << '\n';
+}
+
+void PerfReport::write_file(const std::string& path, bool include_tracer) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("PerfReport: cannot open '" + path + "' for writing");
+  write(f, include_tracer);
+}
+
+}  // namespace bst::util

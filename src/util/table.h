@@ -31,6 +31,11 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
+  /// Structured access for the JSON report writer (util/report.h).
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header_labels() const noexcept { return header_; }
+  [[nodiscard]] const std::vector<std::vector<Cell>>& data() const noexcept { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

@@ -1,18 +1,32 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
+#include "util/trace.h"
+
 namespace bst::util {
+namespace {
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
   }
+  stats_ = std::vector<StatSlot>(workers);
   // The calling thread participates, so spawn workers-1 threads.
   threads_.reserve(workers - 1);
   for (std::size_t i = 1; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,19 +39,23 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
+  StatSlot& stats = stats_[slot];
   std::size_t seen = 0;
   for (;;) {
     Task task;
     {
+      const bool timed = Tracer::enabled();
+      const std::uint64_t w0 = timed ? now_ns() : 0;
       std::unique_lock lock(mu_);
       cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (timed) stats.idle_ns.fetch_add(now_ns() - w0, std::memory_order_relaxed);
       if (stop_) return;
       seen = generation_;
       task = task_;
       ++inflight_;
     }
-    run_chunks(task);
+    run_chunks(task, stats);
     {
       std::lock_guard lock(mu_);
       --inflight_;
@@ -46,17 +64,25 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run_chunks(Task& task) {
+void ThreadPool::run_chunks(Task& task, StatSlot& stats) {
+  const bool timed = Tracer::enabled();
+  const std::uint64_t t0 = timed ? now_ns() : 0;
+  std::uint64_t executed = 0;
   for (;;) {
     std::size_t lo;
     {
       std::lock_guard lock(mu_);
-      if (next_ >= task.end) return;
+      if (next_ >= task.end) break;
       lo = next_;
       next_ = std::min(task.end, next_ + task.grain);
     }
     const std::size_t hi = std::min(task.end, lo + task.grain);
     for (std::size_t i = lo; i < hi; ++i) (*task.body)(i);
+    ++executed;
+  }
+  if (executed > 0) {
+    stats.chunks.fetch_add(executed, std::memory_order_relaxed);
+    if (timed) stats.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
   }
 }
 
@@ -77,9 +103,29 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     ++generation_;
   }
   cv_start_.notify_all();
-  run_chunks(task);  // the caller helps
+  run_chunks(task, stats_[0]);  // the caller helps, charging slot 0
   std::unique_lock lock(mu_);
   cv_done_.wait(lock, [&] { return inflight_ == 0 && next_ >= task.end; });
+}
+
+std::vector<WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out(stats_.size());
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    out[i].busy_seconds =
+        static_cast<double>(stats_[i].busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+    out[i].idle_seconds =
+        static_cast<double>(stats_[i].idle_ns.load(std::memory_order_relaxed)) * 1e-9;
+    out[i].chunks = stats_[i].chunks.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void ThreadPool::reset_worker_stats() {
+  for (StatSlot& s : stats_) {
+    s.busy_ns.store(0, std::memory_order_relaxed);
+    s.idle_ns.store(0, std::memory_order_relaxed);
+    s.chunks.store(0, std::memory_order_relaxed);
+  }
 }
 
 ThreadPool& ThreadPool::global() {

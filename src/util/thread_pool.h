@@ -6,14 +6,23 @@
 // OpenMP so the code is self-contained and the chunking policy is visible.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace bst::util {
+
+/// Per-worker utilization counters (observability; sampled by worker_stats).
+struct WorkerStats {
+  double busy_seconds = 0.0;  // time executing parallel_for chunks
+  double idle_seconds = 0.0;  // time parked waiting for work
+  std::uint64_t chunks = 0;   // chunks claimed and executed
+};
 
 /// Fixed-size pool of worker threads executing index-range chunks.
 class ThreadPool {
@@ -37,16 +46,34 @@ class ThreadPool {
   /// Process-wide default pool (lazy, sized from BST_THREADS or hardware).
   static ThreadPool& global();
 
+  /// Snapshot of the per-thread utilization counters: slot 0 is the calling
+  /// thread's share of parallel_for work, slots 1..size()-1 the workers.
+  /// Busy/idle times only accumulate while util::Tracer is enabled (the
+  /// instrumentation is two clock reads per chunk batch / wait otherwise
+  /// avoided); chunk counts always accumulate.
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
+  /// Zeroes the utilization counters (e.g. at the start of a profiled run).
+  void reset_worker_stats();
+
  private:
   struct Task {
     std::size_t begin = 0, end = 0, grain = 1;
     const std::function<void(std::size_t)>* body = nullptr;
   };
 
-  void worker_loop();
-  void run_chunks(Task& task);
+  // Padded so workers on different cores do not share counter cache lines.
+  struct alignas(64) StatSlot {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+    std::atomic<std::uint64_t> chunks{0};
+  };
+
+  void worker_loop(std::size_t slot);
+  void run_chunks(Task& task, StatSlot& stats);
 
   std::vector<std::thread> threads_;
+  std::vector<StatSlot> stats_;  // size() entries; fixed after construction
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

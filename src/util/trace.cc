@@ -1,0 +1,123 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+namespace bst::util {
+namespace {
+
+// Fixed-capacity accumulator slots: commit() must stay lock-free, so the
+// registry only ever appends names and the per-phase atomics live in a
+// static array (cache-line padded against false sharing between phases
+// committed from different threads).
+struct alignas(64) PhaseSlot {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> wall_ns{0};
+  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+PhaseSlot g_slots[Tracer::kMaxPhases];
+
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<std::string>& registry() {
+  static std::vector<std::string> names;
+  return names;
+}
+
+std::mutex& steps_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<StepDiag>& step_log() {
+  static std::vector<StepDiag> log;
+  return log;
+}
+
+}  // namespace
+
+thread_local std::uint64_t ByteCounter::count_ = 0;
+
+std::atomic<bool> Tracer::enabled_{false};
+
+PhaseId Tracer::phase(const std::string& name) {
+  std::lock_guard lock(registry_mu());
+  auto& names = registry();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<PhaseId>(i);
+  }
+  if (names.size() >= static_cast<std::size_t>(kMaxPhases)) {
+    throw std::length_error("Tracer: phase registry full (kMaxPhases)");
+  }
+  names.push_back(name);
+  return static_cast<PhaseId>(names.size() - 1);
+}
+
+void Tracer::reset() {
+  for (PhaseSlot& s : g_slots) {
+    s.calls.store(0, std::memory_order_relaxed);
+    s.wall_ns.store(0, std::memory_order_relaxed);
+    s.flops.store(0, std::memory_order_relaxed);
+    s.bytes.store(0, std::memory_order_relaxed);
+  }
+  std::lock_guard lock(steps_mu());
+  step_log().clear();
+}
+
+void Tracer::commit(PhaseId id, std::uint64_t wall_ns, std::uint64_t flops,
+                    std::uint64_t bytes) noexcept {
+  if (id < 0 || id >= kMaxPhases) return;
+  PhaseSlot& s = g_slots[id];
+  s.calls.fetch_add(1, std::memory_order_relaxed);
+  s.wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+  s.flops.fetch_add(flops, std::memory_order_relaxed);
+  s.bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void Tracer::record_step(std::int64_t step, double min_hnorm, double max_generator) {
+  if (!enabled()) return;
+  std::lock_guard lock(steps_mu());
+  step_log().push_back({step, min_hnorm, max_generator});
+}
+
+std::vector<PhaseStats> Tracer::snapshot() {
+  std::vector<std::string> names;
+  {
+    std::lock_guard lock(registry_mu());
+    names = registry();
+  }
+  std::vector<PhaseStats> out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const PhaseSlot& s = g_slots[i];
+    const std::uint64_t calls = s.calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    PhaseStats ps;
+    ps.name = names[i];
+    ps.calls = calls;
+    ps.seconds = static_cast<double>(s.wall_ns.load(std::memory_order_relaxed)) * 1e-9;
+    ps.flops = s.flops.load(std::memory_order_relaxed);
+    ps.bytes = s.bytes.load(std::memory_order_relaxed);
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
+std::vector<StepDiag> Tracer::steps() {
+  std::lock_guard lock(steps_mu());
+  return step_log();
+}
+
+std::uint64_t TraceSpan::now_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace bst::util

@@ -1,0 +1,141 @@
+// Structured tracing: named phase counters + RAII spans.
+//
+// The paper's performance argument is phase-structured -- it attributes the
+// cost of a Schur step to building the block reflector (eqs. 25-28) versus
+// applying it (eqs. 29-32), and its distributed analysis splits time into
+// compute / broadcast / shift buckets.  This layer lets the real code carry
+// the same structure: a TraceSpan charges the wall time, flops and bytes of
+// a region to a named phase, and the accumulated per-phase totals (plus
+// optional per-step numerical diagnostics) feed the JSON perf reports of
+// util/report.h.
+//
+// Design constraints:
+//   * A disabled tracer costs one relaxed atomic load + branch per span --
+//     cheap enough to leave spans permanently in the hot paths.
+//   * Accumulation is thread-safe: spans may open and close on pool workers
+//     or SPMD threads; totals land in per-phase relaxed atomics.
+//   * Spans are *inclusive*: a span nested inside another charges its phase
+//     AND remains part of the outer span's elapsed time/flops.  Phase totals
+//     therefore only sum to end-to-end time across non-overlapping phases.
+//   * Flops/bytes are read from the thread-local FlopCounter/ByteCounter, so
+//     a span only observes work charged on its own thread.  Regions that
+//     fan out to a pool must open the span inside the worker callback (see
+//     core/schur.cc) rather than around the parallel_for.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/flops.h"
+
+namespace bst::util {
+
+/// Thread-local estimate of bytes moved by the la/ kernels (operand reads +
+/// writes per call, not cache-aware), mirroring FlopCounter.  Together with
+/// the flop totals this gives per-phase arithmetic intensity.
+class ByteCounter {
+ public:
+  static void charge(std::uint64_t n) noexcept { count_ += n; }
+  static std::uint64_t now() noexcept { return count_; }
+  static void reset() noexcept { count_ = 0; }
+
+ private:
+  static thread_local std::uint64_t count_;
+};
+
+/// Stable identifier of an interned phase name.
+using PhaseId = int;
+
+/// Accumulated totals of one phase (a snapshot; see Tracer::snapshot).
+struct PhaseStats {
+  std::string name;
+  std::uint64_t calls = 0;    // completed spans
+  double seconds = 0.0;       // summed wall time (inclusive)
+  std::uint64_t flops = 0;    // flops charged on the span's thread
+  std::uint64_t bytes = 0;    // bytes charged on the span's thread
+};
+
+/// Per-step numerical diagnostics (Bojanczyk/Brent/de Hoog-style stability
+/// monitoring): the smallest |hyperbolic norm| met while building the
+/// step's reflectors, and the generator's max-magnitude entry afterwards
+/// (growth relative to Generator::norm_g1 is left to the consumer).
+struct StepDiag {
+  std::int64_t step = 0;
+  double min_hnorm = 0.0;
+  double max_generator = 0.0;
+};
+
+/// Process-wide tracer: a registry of named phases with atomic accumulators.
+///
+/// Typical call-site pattern (the static local interns the name once):
+///
+///   static const util::PhaseId kBuild = util::Tracer::phase("reflector_build");
+///   { util::TraceSpan span(kBuild); bref.build(p, q); }
+class Tracer {
+ public:
+  /// Tracing costs nothing (beyond this test) while disabled.
+  static bool enabled() noexcept { return enabled_.load(std::memory_order_relaxed); }
+  static void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  static void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Interns `name`, returning its id (idempotent: same name, same id).
+  /// Phases live for the process; there is room for kMaxPhases distinct
+  /// names, after which phase() throws std::length_error.
+  static PhaseId phase(const std::string& name);
+
+  /// Zeroes every accumulator and drops recorded step diagnostics (the
+  /// phase registry itself is preserved -- ids stay valid).
+  static void reset();
+
+  /// Adds one completed span to phase `id` (used by TraceSpan; also handy
+  /// for charging externally-measured regions, e.g. per-worker busy time).
+  static void commit(PhaseId id, std::uint64_t wall_ns, std::uint64_t flops,
+                     std::uint64_t bytes) noexcept;
+
+  /// Records a per-step diagnostic (no-op while disabled).
+  static void record_step(std::int64_t step, double min_hnorm, double max_generator);
+
+  /// Copies out every phase with at least one committed span.
+  static std::vector<PhaseStats> snapshot();
+
+  /// Copies out the recorded per-step diagnostics (ordered by record time).
+  static std::vector<StepDiag> steps();
+
+  static constexpr int kMaxPhases = 64;
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span: charges the enclosed wall time and the flops/bytes charged on
+/// this thread to the given phase.  When the tracer is disabled both the
+/// constructor and destructor reduce to a relaxed load + branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(PhaseId id) noexcept {
+    if (!Tracer::enabled()) return;
+    id_ = id;
+    flops0_ = FlopCounter::now();
+    bytes0_ = ByteCounter::now();
+    t0_ = now_ns();
+  }
+  ~TraceSpan() {
+    if (id_ < 0) return;
+    Tracer::commit(id_, now_ns() - t0_, FlopCounter::now() - flops0_,
+                   ByteCounter::now() - bytes0_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  static std::uint64_t now_ns() noexcept;
+
+  PhaseId id_ = -1;  // -1: tracer was disabled at construction
+  std::uint64_t t0_ = 0;
+  std::uint64_t flops0_ = 0;
+  std::uint64_t bytes0_ = 0;
+};
+
+}  // namespace bst::util

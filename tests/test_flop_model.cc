@@ -10,6 +10,7 @@
 #include "toeplitz/generators.h"
 #include "util/flops.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace bst::core {
 namespace {
@@ -113,6 +114,47 @@ TEST(FlopModel, MeasuredApplicationAdvantageOverU) {
   const double fu = flops_for(Representation::AccumulatedU);
   const double fvy2 = flops_for(Representation::VY2);
   EXPECT_LT(fvy2, fu);
+}
+
+// The tracer's per-phase flop totals must agree with the closed-form models:
+// summing eqs. 25-28 (build) and 29-32 (apply) over the p-1 Schur steps
+// predicts what the "reflector_build" / "reflector_apply" phases measure.
+// The agreement is banded, not exact: the build phase also eliminates the
+// m pivot columns (which the blocking models do not count), and the kernels
+// do not exploit every structural zero the models assume.  Measured ratios
+// are ~1.0-1.6x for apply and ~2.9-3.4x for build across representations.
+TEST(FlopModel, TracerPhaseFlopsMatchModels) {
+  const index_t m = 8, p = 24;
+  toeplitz::BlockToeplitz t = toeplitz::random_spd_block(m, p, 2, 5);
+  for (Representation rep : {Representation::AccumulatedU, Representation::VY1,
+                             Representation::VY2, Representation::YTY}) {
+    util::Tracer::reset();
+    util::Tracer::enable();
+    SchurOptions opt;
+    opt.rep = rep;
+    SchurFactor f = block_schur_factor(t, opt);
+    util::Tracer::disable();
+    (void)f;
+
+    double build_model = 0.0, apply_model = 0.0;
+    for (index_t i = 1; i < p; ++i) {
+      build_model += blocking_flops(rep, m, m);
+      const index_t trailing = p - i - 1;
+      if (trailing > 0) apply_model += application_flops(rep, m, trailing, m);
+    }
+
+    double build_meas = 0.0, apply_meas = 0.0;
+    for (const util::PhaseStats& ph : util::Tracer::snapshot()) {
+      if (ph.name == "reflector_build") build_meas = static_cast<double>(ph.flops);
+      if (ph.name == "reflector_apply") apply_meas = static_cast<double>(ph.flops);
+    }
+    util::Tracer::reset();
+
+    EXPECT_GT(build_meas, 1.0 * build_model) << to_string(rep);
+    EXPECT_LT(build_meas, 4.0 * build_model) << to_string(rep);
+    EXPECT_GT(apply_meas, 0.5 * apply_model) << to_string(rep);
+    EXPECT_LT(apply_meas, 2.0 * apply_model) << to_string(rep);
+  }
 }
 
 }  // namespace

@@ -2,12 +2,16 @@
 //
 //   bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] [--ms=K]
 //             [--rep=vy2|vy1|yty|u|seq] [--refine] [--report]
+//             [--profile=out.json]
 //
 // Reads the matrix (and optionally the right-hand side; defaults to
 // T * ones so the expected solution is all-ones), solves with the
 // automatic SPD/indefinite dispatch of core::toeplitz_solve, and writes
 // the solution.  --report prints a one-line summary including the path
-// taken, perturbation/interchange counts and the residual.
+// taken, perturbation/interchange counts and the residual.  --profile
+// enables the structured tracer and writes a schema-stamped JSON perf
+// report (per-phase time/flop/byte breakdown, per-step diagnostics,
+// thread utilization; see docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <iostream>
 
@@ -36,7 +40,8 @@ int main(int argc, char** argv) {
     if (matrix_path.empty()) {
       std::fprintf(stderr,
                    "usage: bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] "
-                   "[--ms=K] [--rep=vy2] [--refine] [--report]\n");
+                   "[--ms=K] [--rep=vy2] [--refine] [--report] "
+                   "[--profile=out.json]\n");
       return 2;
     }
     toeplitz::BlockToeplitz t = toeplitz::read_block_toeplitz_file(matrix_path);
@@ -58,6 +63,13 @@ int main(int argc, char** argv) {
     opt.spd.rep = opt.indefinite.rep = parse_rep(cli.get("rep", "vy2"));
     opt.always_refine = cli.has("refine");
 
+    const std::string profile_path = cli.get("profile", "");
+    if (!profile_path.empty()) {
+      util::Tracer::reset();
+      util::ThreadPool::global().reset_worker_stats();
+      util::Tracer::enable();
+    }
+
     const double t0 = util::wall_seconds();
     core::SolveReport rep = core::toeplitz_solve(t, b, opt);
     const double dt = util::wall_seconds() - t0;
@@ -66,6 +78,26 @@ int main(int argc, char** argv) {
       toeplitz::write_vector_file(cli.get("out", ""), rep.x);
     } else {
       toeplitz::write_vector(std::cout, rep.x);
+    }
+    if (!profile_path.empty()) {
+      util::Tracer::disable();
+      util::PerfReport report("bst_solve");
+      report.param("matrix", matrix_path);
+      report.param("n", static_cast<std::int64_t>(t.order()));
+      report.param("ms", static_cast<std::int64_t>(
+                             opt.spd.block_size ? opt.spd.block_size : t.block_size()));
+      report.param("rep", cli.get("rep", "vy2"));
+      report.param("path", core::to_string(rep.path));
+      report.metric("time_s", dt);
+      report.metric("factor_flops", static_cast<double>(rep.factor_flops));
+      if (rep.final_residual >= 0) report.metric("residual", rep.final_residual);
+      report.metric("refinement_steps", rep.refinement_steps);
+      report.metric("interchanges", rep.interchanges);
+      report.metric("perturbations", static_cast<double>(rep.perturbations));
+      for (const util::WorkerStats& w : util::ThreadPool::global().worker_stats()) {
+        report.add_thread(w.busy_seconds, w.idle_seconds, w.chunks);
+      }
+      report.write_file(profile_path);
     }
     if (cli.has("report")) {
       std::fprintf(stderr,
