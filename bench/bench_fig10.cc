@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   // relaxed atomic read-modify-write per phase, negligible at these sizes).
   util::Tracer::reset();
   util::Tracer::enable();
+  const std::string trace_path = cli.get("trace", "");
+  if (!trace_path.empty()) util::FlightRecorder::enable();
 
   std::cout << "# bench_fig10: block Schur MFLOP/s for point Toeplitz, varying m_s\n";
   util::Table rate("Figure 10: sustained MFLOP/s vs problem size and m_s");
@@ -60,6 +62,10 @@ int main(int argc, char** argv) {
   rate.print(std::cout);
   wall.print(std::cout);
 
+  if (!trace_path.empty()) {
+    util::FlightRecorder::disable();
+    util::FlightRecorder::write_chrome_trace(trace_path);
+  }
   util::Tracer::disable();
   util::PerfReport report("bench_fig10");
   report.param("nmax", static_cast<std::int64_t>(nmax));

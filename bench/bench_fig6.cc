@@ -16,6 +16,12 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const la::index_t n = cli.get_int("n", 4096);
   const int np = static_cast<int>(cli.get_int("np", 16));
+  const std::string trace_path = cli.get("trace", "");
+  if (!trace_path.empty()) {
+    util::Tracer::reset();
+    util::Tracer::enable();
+    util::FlightRecorder::enable();
+  }
 
   std::cout << "# bench_fig6: " << n << " x " << n << " point Toeplitz (m=1), NP=" << np
             << " (simulated T3D)\n";
@@ -44,6 +50,11 @@ int main(int argc, char** argv) {
   }
   tab.precision(4);
   tab.print(std::cout);
+  if (!trace_path.empty()) {
+    util::FlightRecorder::disable();
+    util::Tracer::disable();
+    util::FlightRecorder::write_chrome_trace(trace_path);
+  }
   report.add_table(tab);
   const std::string json = cli.get("json", "BENCH_fig6.json");
   if (json != "none") report.write_file(json);

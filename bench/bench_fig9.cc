@@ -15,6 +15,12 @@ int main(int argc, char** argv) {
   util::enable_flush_to_zero();
   util::Cli cli(argc, argv);
   const la::index_t n = cli.get_int("n", 1024);
+  const std::string trace_path = cli.get("trace", "");
+  if (!trace_path.empty()) {
+    util::Tracer::reset();
+    util::Tracer::enable();
+    util::FlightRecorder::enable();
+  }
 
   std::cout << "# bench_fig9: " << n << " x " << n << " block Toeplitz, m = 2 vs 4 "
             << "(simulated T3D)\n";
@@ -30,6 +36,11 @@ int main(int argc, char** argv) {
   }
   tab.precision(4);
   tab.print(std::cout);
+  if (!trace_path.empty()) {
+    util::FlightRecorder::disable();
+    util::Tracer::disable();
+    util::FlightRecorder::write_chrome_trace(trace_path);
+  }
   util::PerfReport report("bench_fig9");
   report.param("n", static_cast<std::int64_t>(n));
   report.add_table(tab);

@@ -4,9 +4,12 @@
 
 #include "la/blas.h"
 #include "la/ldlt.h"
+#include "util/trace.h"
 
 namespace bst::baseline {
 namespace {
+
+const util::PhaseId kBlockLevinsonPhase = util::Tracer::phase("block_levinson");
 
 using la::CView;
 using la::index_t;
@@ -45,6 +48,7 @@ class SmallSolver {
 
 std::vector<double> block_levinson_solve(const toeplitz::BlockToeplitz& t,
                                          const std::vector<double>& b) {
+  util::TraceSpan span(kBlockLevinsonPhase);
   const index_t m = t.block_size(), p = t.num_blocks();
   if (static_cast<index_t>(b.size()) != t.order()) {
     throw std::invalid_argument("block_levinson_solve: rhs size mismatch");

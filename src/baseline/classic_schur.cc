@@ -5,10 +5,16 @@
 
 #include "la/blas.h"
 #include "util/flops.h"
+#include "util/trace.h"
+#include "util/watchdog.h"
 
 namespace bst::baseline {
+namespace {
+const util::PhaseId kClassicSchurPhase = util::Tracer::phase("classic_schur");
+}  // namespace
 
 la::Mat classic_schur_factor(const std::vector<double>& first_row) {
+  util::TraceSpan span(kClassicSchurPhase);
   const la::index_t n = static_cast<la::index_t>(first_row.size());
   if (n == 0) return la::Mat();
   const double t0 = first_row[0];
@@ -46,6 +52,11 @@ la::Mat classic_schur_factor(const std::vector<double>& first_row) {
       b[static_cast<std::size_t>(i + j)] = c * bv - s * av;
     }
     util::FlopCounter::charge(static_cast<std::uint64_t>(6 * (len - 1) + 8));
+    if (util::Tracer::enabled()) {
+      util::Tracer::record_step(i, h, rho);
+      util::Watchdog::check_step(i, h, 0.0, 0.0);
+      util::Watchdog::check_reflection(i, q / p);  // |q/p| -> 1 is breakdown
+    }
     for (la::index_t j = 0; j < len; ++j) r(i, i + j) = a[static_cast<std::size_t>(j)];
   }
   return r;

@@ -5,17 +5,28 @@
 #include "la/blas.h"
 #include "la/cholesky.h"
 #include "la/ldlt.h"
+#include "util/trace.h"
 
 namespace bst::baseline {
+namespace {
+// The factor phase is this file's own; the solves reuse the solver-wide
+// "triangular_solve" phase so dense and Schur-based paths compare directly.
+const util::PhaseId kDenseFactorPhase = util::Tracer::phase("dense_factor");
+const util::PhaseId kTrsvPhase = util::Tracer::phase("triangular_solve");
+}  // namespace
 
 std::vector<double> dense_spd_solve(la::CView a, const std::vector<double>& b) {
   const la::index_t n = a.rows();
   la::Mat l(n, n);
   la::copy(a, l.view());
-  if (!la::cholesky_lower(l.view())) {
-    throw std::runtime_error("dense_spd_solve: matrix is not positive definite");
+  {
+    util::TraceSpan span(kDenseFactorPhase);
+    if (!la::cholesky_lower(l.view())) {
+      throw std::runtime_error("dense_spd_solve: matrix is not positive definite");
+    }
   }
   std::vector<double> x = b;
+  util::TraceSpan span(kTrsvPhase);
   la::trsv(la::Uplo::Lower, la::Op::None, la::Diag::NonUnit, l.view(), x.data());
   la::trsv(la::Uplo::Lower, la::Op::Trans, la::Diag::NonUnit, l.view(), x.data());
   return x;
@@ -26,10 +37,14 @@ std::vector<double> dense_sym_solve(la::CView a, const std::vector<double>& b) {
   la::Mat l(n, n);
   la::copy(a, l.view());
   std::vector<double> d;
-  if (!la::ldlt_unpivoted(l.view(), d)) {
-    throw std::runtime_error("dense_sym_solve: singular leading principal minor");
+  {
+    util::TraceSpan span(kDenseFactorPhase);
+    if (!la::ldlt_unpivoted(l.view(), d)) {
+      throw std::runtime_error("dense_sym_solve: singular leading principal minor");
+    }
   }
   std::vector<double> x = b;
+  util::TraceSpan span(kTrsvPhase);
   la::trsv(la::Uplo::Lower, la::Op::None, la::Diag::Unit, l.view(), x.data());
   for (la::index_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] /= d[static_cast<std::size_t>(i)];
   la::trsv(la::Uplo::Lower, la::Op::Trans, la::Diag::Unit, l.view(), x.data());

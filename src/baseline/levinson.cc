@@ -4,11 +4,17 @@
 #include <stdexcept>
 
 #include "util/flops.h"
+#include "util/trace.h"
+#include "util/watchdog.h"
 
 namespace bst::baseline {
+namespace {
+const util::PhaseId kLevinsonPhase = util::Tracer::phase("levinson");
+}  // namespace
 
 std::vector<double> levinson_solve(const std::vector<double>& first_row,
                                    const std::vector<double>& b) {
+  util::TraceSpan span(kLevinsonPhase);
   const std::size_t n = first_row.size();
   if (b.size() != n) throw std::invalid_argument("levinson_solve: size mismatch");
   if (n == 0) return {};
@@ -50,6 +56,14 @@ std::vector<double> levinson_solve(const std::vector<double>& first_row,
       y[k] = alpha;
     }
     util::FlopCounter::charge(8 * k + 10);
+    if (util::Tracer::enabled()) {
+      // beta plays the hyperbolic norm's role here (it collapses toward 0 as
+      // a leading minor goes singular); alpha is the reflection coefficient.
+      const std::int64_t step = static_cast<std::int64_t>(k);
+      util::Tracer::record_step(step, beta, std::fabs(alpha));
+      util::Watchdog::check_step(step, beta, 0.0, 0.0);
+      util::Watchdog::check_reflection(step, alpha);
+    }
   }
   return x;
 }

@@ -10,6 +10,9 @@
 //   simnet::dist_schur_factor    -- distributed-memory simulation (T3D)
 //   baseline::*                  -- Levinson / classical Schur / dense
 //   util::Tracer / TraceSpan     -- structured phase tracing (docs/OBSERVABILITY.md)
+//   util::FlightRecorder         -- per-thread event timeline (chrome trace)
+//   util::Metrics                -- log-bucketed latency/size histograms
+//   util::Watchdog               -- numerical-health warnings
 //   util::PerfReport             -- JSON perf-report writer (stable schema)
 #pragma once
 
@@ -43,10 +46,13 @@
 #include "toeplitz/io.h"
 #include "toeplitz/matvec.h"
 #include "util/cli.h"
+#include "util/flight_recorder.h"
 #include "util/flops.h"
 #include "util/fpenv.h"
+#include "util/metrics.h"
 #include "util/report.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+#include "util/watchdog.h"

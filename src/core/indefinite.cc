@@ -8,6 +8,7 @@
 #include "la/blas.h"
 #include "util/flops.h"
 #include "util/trace.h"
+#include "util/watchdog.h"
 
 namespace bst::core {
 namespace {
@@ -108,6 +109,7 @@ int sequential_step(StepState st, const IndefiniteOptions& opt, double delta, do
       const double sign_p = (pk >= 0.0) ? 1.0 : -1.0;
       const double pnew = sign_p * std::sqrt(p2);
       events.push_back({st.step, k, pk, pnew, h});
+      util::Watchdog::warn("pivot_perturbed", st.step, h, opt.singular_tol * u2);
       st.a(k, k) = pnew;
       load_u();
       h = hyperbolic_norm(u, g.sig);
@@ -131,6 +133,7 @@ int sequential_step(StepState st, const IndefiniteOptions& opt, double delta, do
       for (index_t c = 0; c < st.a.cols(); ++c) std::swap(st.a(k, c), st.b(best, c));
       std::swap(g.sig[static_cast<std::size_t>(k)], g.sig[static_cast<std::size_t>(m + best)]);
       ++interchanges;
+      util::Watchdog::warn("pivot_interchange", st.step, h, 0.0);
       load_u();
       h = hyperbolic_norm(u, g.sig);
     }
@@ -184,6 +187,7 @@ LdlFactor block_schur_indefinite(const toeplitz::BlockToeplitz& t, const Indefin
 
   emit(0);
   for (index_t i = 1; i < p; ++i) {
+    util::Tracer::set_step(i);
     const index_t active = p - i;
     View a_act = g.a.block(0, 0, m, active * m);
     View b_act = g.b.block(0, i * m, m, active * m);
@@ -226,8 +230,9 @@ LdlFactor block_schur_indefinite(const toeplitz::BlockToeplitz& t, const Indefin
           sequential_step(st, opt, delta, g.norm_g1, f.perturbations, f, &min_h);
     }
     if (util::Tracer::enabled()) {
-      util::Tracer::record_step(i, min_h, std::max(max_abs(la::CView(a_act)),
-                                                   max_abs(la::CView(b_act))));
+      const double max_gen = std::max(max_abs(la::CView(a_act)), max_abs(la::CView(b_act)));
+      util::Tracer::record_step(i, min_h, max_gen);
+      util::Watchdog::check_step(i, min_h, max_gen, g.norm_g1);
     }
     emit(i);
   }

@@ -2,6 +2,7 @@
 
 #include "la/norms.h"
 #include "util/trace.h"
+#include "util/watchdog.h"
 
 namespace bst::core {
 namespace {
@@ -39,6 +40,7 @@ RefineResult solve_refined(const toeplitz::MatVec& op, const FactorSolve& solve,
     // only bounce around in roundoff.
     if (prev_ndx >= 0.0 && ndx > 0.5 * prev_ndx) {
       res.converged = true;
+      util::Watchdog::check_refine(res.iterations, true, prev_ndx > 0.0 ? ndx / prev_ndx : 1.0);
       break;
     }
     prev_ndx = ndx;
@@ -46,6 +48,9 @@ RefineResult solve_refined(const toeplitz::MatVec& op, const FactorSolve& solve,
     ++res.iterations;
     traced_residual(op, b, res.x, r);
     res.residual_norms.push_back(la::norm2(r));
+  }
+  if (!res.converged) {
+    util::Watchdog::check_refine(res.iterations, false, 0.0);
   }
   return res;
 }

@@ -7,6 +7,7 @@
 #include "util/flops.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+#include "util/watchdog.h"
 
 namespace bst::core {
 namespace {
@@ -33,7 +34,9 @@ void record_step_diag(const Generator& g, const BlockReflector& bref, index_t st
   const index_t m = g.m;
   la::CView a = g.a.block(0, 0, m, active_blocks * m);
   la::CView b = g.b.block(0, step * m, m, active_blocks * m);
-  util::Tracer::record_step(step, min_h, std::max(max_abs(a), max_abs(b)));
+  const double max_gen = std::max(max_abs(a), max_abs(b));
+  util::Tracer::record_step(step, min_h, max_gen);
+  util::Watchdog::check_step(step, min_h, max_gen, g.norm_g1);
 }
 
 std::string breakdown_message(index_t step, index_t column, double hnorm) {
@@ -68,6 +71,7 @@ void apply_to_trailing(Generator& g, const BlockReflector& bref, index_t step,
     const index_t lo = static_cast<index_t>(c) * per;
     const index_t hi = std::min(trailing, lo + per);
     if (lo >= hi) return;
+    util::Tracer::set_step(step);  // workers carry their own step context
     util::TraceSpan span(kApplyPhase);
     bref.apply(a.block(0, lo * m, m, (hi - lo) * m), b.block(0, lo * m, m, (hi - lo) * m));
   });
@@ -82,6 +86,7 @@ NotPositiveDefinite::NotPositiveDefinite(index_t step_, index_t column_, double 
       hnorm(hnorm_) {}
 
 void schur_step(Generator& g, index_t step, const SchurOptions& opt) {
+  util::Tracer::set_step(step);
   const index_t m = g.m;
   const index_t active = g.p - step;  // blocks still in play
   BlockReflector bref(opt.rep, m, g.sig);
@@ -104,6 +109,7 @@ std::uint64_t block_schur_stream(const toeplitz::BlockToeplitz& t, const SchurOp
           ? t
           : t.with_block_size(opt.block_size);
   util::FlopScope flops;
+  util::Tracer::set_step(0);
   Generator g = [&] {
     util::TraceSpan span(kGeneratorPhase);
     return make_generator_spd(spec);

@@ -211,7 +211,10 @@ DistResult dist_schur_model(index_t m, index_t p, const DistOptions& opt) {
   validate(opt);
   OwnerMap map{opt.layout, opt.np, opt.group, opt.spread};
   Machine mach(opt.np, opt.machine);
-  for (index_t i = 1; i < p; ++i) charge_step(mach, map, opt, m, i, p);
+  for (index_t i = 1; i < p; ++i) {
+    util::Tracer::set_step(i);
+    charge_step(mach, map, opt, m, i, p);
+  }
   DistResult res;
   res.sim_seconds = mach.time();
   res.breakdown = mach.breakdown();
@@ -265,6 +268,7 @@ DistResult dist_schur_factor(const toeplitz::BlockToeplitz& t, const DistOptions
   emit(0);
 
   for (index_t i = 1; i < p; ++i) {
+    util::Tracer::set_step(i);
     // Phase 3: shift the A row one block to the right (explicit moves
     // between PE stores, right to left so nothing is overwritten early).
     for (index_t j = p - 1; j >= i; --j) {

@@ -4,7 +4,24 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/metrics.h"
+
 namespace bst::simnet {
+namespace {
+
+// Same histogram as the threaded runtime's Comm::send, so both backends'
+// message-size distributions land in one "simnet_msg_bytes" report entry.
+util::HistId msg_hist() {
+  static const util::HistId id = util::Metrics::histogram("simnet_msg_bytes");
+  return id;
+}
+
+void record_msg_bytes(double bytes) {
+  if (!util::Tracer::enabled() || bytes < 0.0) return;
+  util::Metrics::record(msg_hist(), static_cast<std::uint64_t>(bytes));
+}
+
+}  // namespace
 
 Machine::Machine(int np, MachineParams params) : params_(params) {
   assert(np >= 1);
@@ -36,6 +53,7 @@ void Machine::put_many(int src, int dst, double messages, double bytes) {
   s += dt;
   d = std::max(d, s);
   acct_.shift += dt;
+  record_msg_bytes(bytes);
   comm_[static_cast<std::size_t>(src)].bytes_sent += messages * bytes;
   comm_[static_cast<std::size_t>(src)].messages += messages;
   comm_[static_cast<std::size_t>(dst)].bytes_recv += messages * bytes;
@@ -46,6 +64,7 @@ void Machine::exchange(const std::vector<ShiftMsg>& msgs) {
   for (const ShiftMsg& m : msgs) {
     if (m.src == m.dst || m.messages <= 0.0) continue;
     const double dt = m.messages * (params_.latency + m.bytes / params_.bandwidth);
+    record_msg_bytes(m.bytes);
     clock_[static_cast<std::size_t>(m.src)] =
         std::max(clock_[static_cast<std::size_t>(m.src)], snap[static_cast<std::size_t>(m.src)] + dt);
     clock_[static_cast<std::size_t>(m.dst)] =
@@ -64,6 +83,7 @@ void Machine::broadcast(int root, double bytes) {
   const double t0 = clock_[static_cast<std::size_t>(root)] + dt;
   for (double& c : clock_) c = std::max(c, t0);
   acct_.broadcast += dt;
+  record_msg_bytes(bytes);
   comm_[static_cast<std::size_t>(root)].bytes_sent += bytes;
   comm_[static_cast<std::size_t>(root)].messages += 1.0;
   for (int pe = 0; pe < np(); ++pe) {

@@ -131,6 +131,7 @@ la::Mat threaded_schur_factor(const toeplitz::BlockToeplitz& t, const DistOption
 
     gather_row(0);
     for (index_t i = 1; i < p; ++i) {
+      util::Tracer::set_step(i);
       // ---- phase 3: shift A_{j-1} -> A_j --------------------------------
       // Sends first (pre-shift values), then local right-to-left moves,
       // then receives.
@@ -263,6 +264,7 @@ la::Mat threaded_schur_v3(const toeplitz::BlockToeplitz& spec, const DistOptions
 
     gather_row(0);
     for (index_t i = 1; i < p; ++i) {
+      util::Tracer::set_step(i);
       // ---- shift A_{j-1} -> A_j: same slice index, next group ----------
       {
         util::TraceSpan span(kShiftPhase);

@@ -1,9 +1,16 @@
 #include "toeplitz/fft.h"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 
+#include "util/flops.h"
+#include "util/trace.h"
+
 namespace bst::toeplitz {
+namespace {
+const util::PhaseId kFftPhase = util::Tracer::phase("fft");
+}  // namespace
 
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -15,6 +22,12 @@ void fft(std::vector<cplx>& a, bool inverse) {
   const std::size_t n = a.size();
   assert((n & (n - 1)) == 0 && "fft size must be a power of two");
   if (n <= 1) return;
+  util::TraceSpan span(kFftPhase);
+  // ~5 n log2 n real flops for a radix-2 complex FFT (plus n for the
+  // inverse's scaling pass).
+  const auto log2n = static_cast<std::uint64_t>(std::countr_zero(n));
+  util::FlopCounter::charge(5 * static_cast<std::uint64_t>(n) * log2n +
+                            (inverse ? static_cast<std::uint64_t>(n) : 0));
 
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {

@@ -3,11 +3,17 @@
 #include <cassert>
 
 #include "la/blas.h"
+#include "util/trace.h"
 
 namespace bst::toeplitz {
+namespace {
+const util::PhaseId kMatVecPhase = util::Tracer::phase("toeplitz_matvec");
+const util::PhaseId kFftSetupPhase = util::Tracer::phase("fft_setup");
+}  // namespace
 
 MatVec::MatVec(const BlockToeplitz& t, MatVecMode mode) : t_(t), mode_(mode) {
   if (mode_ != MatVecMode::Fft) return;
+  util::TraceSpan span(kFftSetupPhase);
   const la::index_t m = t_.block_size();
   const la::index_t p = t_.num_blocks();
   nfft_ = next_pow2(static_cast<std::size_t>(2 * p));
@@ -37,6 +43,7 @@ MatVec::MatVec(const BlockToeplitz& t, MatVecMode mode) : t_(t), mode_(mode) {
 }
 
 void MatVec::apply(const std::vector<double>& x, std::vector<double>& y) const {
+  util::TraceSpan span(kMatVecPhase);
   assert(static_cast<la::index_t>(x.size()) == t_.order());
   if (mode_ == MatVecMode::Fft) {
     apply_fft(x, y);

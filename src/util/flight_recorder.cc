@@ -1,0 +1,246 @@
+#include "util/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace bst::util {
+namespace {
+
+struct ThreadRing {
+  explicit ThreadRing(std::uint32_t id, std::size_t capacity)
+      : tid(id), ring(capacity) {}
+
+  std::uint32_t tid;
+  std::atomic<std::uint64_t> head{0};  // total events ever recorded
+  std::vector<FlightEvent> ring;
+
+  void push(const FlightEvent& e) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    ring[static_cast<std::size_t>(h % ring.size())] = e;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;  // never shrinks
+  std::size_t capacity = FlightRecorder::kDefaultCapacity;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: rings must outlive any thread
+  return *r;
+}
+
+// The owning thread's ring, registered on first use.  The pointer stays
+// valid for the process lifetime (rings are only cleared, never freed).
+ThreadRing* my_ring() {
+  static thread_local ThreadRing* ring = [] {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mu);
+    reg.rings.push_back(std::make_unique<ThreadRing>(
+        static_cast<std::uint32_t>(reg.rings.size()), reg.capacity));
+    return reg.rings.back().get();
+  }();
+  return ring;
+}
+
+std::uint64_t bits(double v) noexcept {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+double unbits(std::uint64_t u) noexcept {
+  double v = 0.0;
+  std::memcpy(&v, &u, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::atomic<bool> FlightRecorder::enabled_{false};
+
+void FlightRecorder::enable(std::size_t capacity) {
+  capacity = std::max<std::size_t>(2, capacity);
+  Registry& reg = registry();
+  {
+    std::lock_guard lock(reg.mu);
+    reg.capacity = capacity;
+    for (auto& r : reg.rings) {
+      if (r->ring.size() != capacity) r->ring.assign(capacity, FlightEvent{});
+      r->head.store(0, std::memory_order_relaxed);
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::reset() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (auto& r : reg.rings) r->head.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::begin(PhaseId phase, std::uint64_t ts_ns, std::uint64_t flops_now,
+                           std::uint64_t bytes_now) noexcept {
+  if (!enabled()) return;
+  my_ring()->push({ts_ns, Tracer::current_step(), flops_now, bytes_now, phase,
+                   EventKind::kBegin});
+}
+
+void FlightRecorder::end(PhaseId phase, std::uint64_t ts_ns, std::uint64_t dflops,
+                         std::uint64_t dbytes) noexcept {
+  if (!enabled()) return;
+  my_ring()->push({ts_ns, Tracer::current_step(), dflops, dbytes, phase, EventKind::kEnd});
+}
+
+void FlightRecorder::instant(PhaseId phase, std::int64_t step, double value,
+                             double threshold) noexcept {
+  if (!enabled()) return;
+  my_ring()->push({TraceClock::now_ns(), step, bits(value), bits(threshold), phase,
+                   EventKind::kInstant});
+}
+
+std::vector<ThreadEvents> FlightRecorder::snapshot() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  std::vector<ThreadEvents> out;
+  for (const auto& r : reg.rings) {
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    if (head == 0) continue;
+    const std::uint64_t cap = r->ring.size();
+    ThreadEvents te;
+    te.tid = r->tid;
+    te.dropped = head > cap ? head - cap : 0;
+    const std::uint64_t first = head > cap ? head - cap : 0;
+    te.events.reserve(static_cast<std::size_t>(head - first));
+    for (std::uint64_t i = first; i < head; ++i) {
+      te.events.push_back(r->ring[static_cast<std::size_t>(i % cap)]);
+    }
+    out.push_back(std::move(te));
+  }
+  return out;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+// One chrome-trace event line.  ts/dur are microseconds (chrome's unit);
+// fractional digits keep nanosecond resolution.
+void write_event(std::ostream& os, bool& first, const std::string& name, char ph,
+                 std::uint32_t tid, double ts_us, const std::string& args) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {\"name\": ";
+  write_json_string(os, name);
+  os << ", \"ph\": \"" << ph << "\", \"pid\": 1, \"tid\": " << tid;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", ts_us);
+  os << ", \"ts\": " << buf;
+  if (!args.empty()) os << ", \"args\": {" << args << "}";
+  os << "}";
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void FlightRecorder::write_chrome_trace(std::ostream& os) {
+  const std::vector<ThreadEvents> threads = snapshot();
+  const std::vector<std::string> names = Tracer::phase_names();
+  auto name_of = [&](PhaseId p) -> std::string {
+    if (p >= 0 && static_cast<std::size_t>(p) < names.size()) return names[static_cast<std::size_t>(p)];
+    return "phase_" + std::to_string(p);
+  };
+
+  // Common time origin so threads align in the viewer.
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const ThreadEvents& te : threads) {
+    for (const FlightEvent& e : te.events) t0 = std::min(t0, e.ts_ns);
+  }
+  if (threads.empty()) t0 = 0;
+
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (const ThreadEvents& te : threads) {
+    // Re-balance: drop Ends whose Begin was lost to ring wrap, and Begins
+    // still open at snapshot, so every emitted tid nests B/E exactly.
+    std::vector<char> emit(te.events.size(), 0);
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < te.events.size(); ++i) {
+      const FlightEvent& e = te.events[i];
+      switch (e.kind) {
+        case EventKind::kBegin: stack.push_back(i); break;
+        case EventKind::kEnd:
+          if (!stack.empty()) {
+            emit[stack.back()] = 1;
+            emit[i] = 1;
+            stack.pop_back();
+          }
+          break;
+        case EventKind::kInstant: emit[i] = 1; break;
+      }
+    }
+    for (std::size_t i = 0; i < te.events.size(); ++i) {
+      if (!emit[i]) continue;
+      const FlightEvent& e = te.events[i];
+      const double ts_us = static_cast<double>(e.ts_ns - t0) * 1e-3;
+      switch (e.kind) {
+        case EventKind::kBegin:
+          write_event(os, first, name_of(e.phase), 'B', te.tid, ts_us,
+                      "\"step\": " + std::to_string(e.step));
+          break;
+        case EventKind::kEnd:
+          write_event(os, first, name_of(e.phase), 'E', te.tid, ts_us,
+                      "\"flops\": " + std::to_string(e.a) +
+                          ", \"bytes\": " + std::to_string(e.b));
+          break;
+        case EventKind::kInstant: {
+          std::string args = "\"step\": " + std::to_string(e.step) +
+                             ", \"value\": " + num(unbits(e.a)) +
+                             ", \"threshold\": " + num(unbits(e.b));
+          if (!first) os << ",\n";
+          first = false;
+          os << "    {\"name\": ";
+          write_json_string(os, name_of(e.phase));
+          os << ", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": " << te.tid;
+          char buf[40];
+          std::snprintf(buf, sizeof buf, "%.3f", ts_us);
+          os << ", \"ts\": " << buf << ", \"args\": {" << args << "}}";
+          break;
+        }
+      }
+    }
+    if (te.dropped > 0) {
+      write_event(os, first, "flight_recorder_dropped", 'i', te.tid, 0.0,
+                  "\"dropped\": " + std::to_string(te.dropped));
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+void FlightRecorder::write_chrome_trace(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("FlightRecorder: cannot open '" + path + "' for writing");
+  write_chrome_trace(f);
+}
+
+}  // namespace bst::util

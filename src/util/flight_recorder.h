@@ -1,0 +1,101 @@
+// Event flight recorder: per-thread rings of begin/end/instant records with
+// a Perfetto / chrome://tracing JSON exporter.
+//
+// The Tracer (util/trace.h) accumulates *totals*; the flight recorder keeps
+// the individual events, so a run can be opened in Perfetto's chrome-trace
+// mode and read as a timeline: every reflector build/apply span per Schur
+// step per thread/PE, with its flop/byte deltas, plus instant markers for
+// numerical-health warnings (util/watchdog.h).
+//
+// Design:
+//   * One fixed-capacity ring per recording thread.  The owning thread is
+//     the only writer, so recording is lock-free: a plain slot write plus a
+//     release store of the head index.  The registry of rings takes a mutex
+//     only on a thread's *first* event.
+//   * Overflow wraps: the ring keeps the most recent `capacity` events and
+//     counts the drops.  The exporter re-balances (an End whose Begin was
+//     overwritten, or a Begin still open at snapshot, is dropped) so the
+//     emitted chrome trace always has matched B/E pairs per tid.
+//   * Enabled alongside the Tracer (TraceSpan emits begin/end events when
+//     both are on); `bst_solve --trace=out.json` and the bench_fig*
+//     `--trace=` flag wire it up.  Disabled cost: one relaxed load + branch
+//     on the paths that already test Tracer::enabled().
+//   * Rings live for the process (a few MB per recording thread at the
+//     default capacity); reset()/snapshot() expect no concurrently open
+//     spans, like Tracer::reset().
+//
+// The trace-file format is documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/trace.h"
+
+namespace bst::util {
+
+enum class EventKind : std::uint8_t {
+  kBegin,    // span opened: a/b hold the thread's flop/byte counters
+  kEnd,      // span closed: a/b hold the span's flop/byte deltas
+  kInstant,  // point event (watchdog warning): a/b hold value/threshold bits
+};
+
+/// One flight-recorder record (POD; 48 bytes).
+struct FlightEvent {
+  std::uint64_t ts_ns = 0;   // steady-clock timestamp
+  std::int64_t step = 0;     // Schur step index (Tracer::current_step())
+  std::uint64_t a = 0;       // kind-dependent payload (see EventKind)
+  std::uint64_t b = 0;
+  PhaseId phase = -1;        // interned name (Tracer::phase registry)
+  EventKind kind = EventKind::kBegin;
+};
+
+/// Snapshot of one thread's ring, oldest event first.
+struct ThreadEvents {
+  std::uint32_t tid = 0;            // dense recorder-assigned id
+  std::uint64_t dropped = 0;        // events lost to ring wrap
+  std::vector<FlightEvent> events;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;  // events per thread
+
+  /// Turns recording on.  `capacity` sets the per-thread ring size (rounded
+  /// up to 2); changing it clears existing rings.  Call with no concurrent
+  /// recorders (same contract as Tracer::reset()).
+  static void enable(std::size_t capacity = kDefaultCapacity);
+  static void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  static bool enabled() noexcept { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Clears every ring (tids are preserved; capacity is unchanged).
+  static void reset();
+
+  /// Records a span begin/end for the calling thread (no-ops off).
+  static void begin(PhaseId phase, std::uint64_t ts_ns, std::uint64_t flops_now,
+                    std::uint64_t bytes_now) noexcept;
+  static void end(PhaseId phase, std::uint64_t ts_ns, std::uint64_t dflops,
+                  std::uint64_t dbytes) noexcept;
+
+  /// Records an instant marker (watchdog warnings; no-ops off).
+  static void instant(PhaseId phase, std::int64_t step, double value,
+                      double threshold) noexcept;
+
+  /// Copies out every thread's ring, oldest-first per thread.
+  static std::vector<ThreadEvents> snapshot();
+
+  /// Writes the chrome-trace ("traceEvents") JSON document.  Unmatched
+  /// events are dropped so every emitted tid has balanced B/E pairs.
+  /// write_chrome_trace throws std::runtime_error when the path cannot be
+  /// opened.
+  static void write_chrome_trace(std::ostream& os);
+  static void write_chrome_trace(const std::string& path);
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace bst::util

@@ -1,0 +1,164 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+namespace bst::util {
+namespace {
+
+// One histogram's accumulators.  Min/max use CAS loops (updates are rare
+// once the range has been seen); bucket counts are relaxed fetch-adds.
+struct HistSlot {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max{0};
+  std::atomic<std::uint64_t> buckets[kHistBuckets] = {};
+
+  void record(std::uint64_t v) noexcept {
+    count.fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(v, std::memory_order_relaxed);
+    buckets[hist_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t cur = min.load(std::memory_order_relaxed);
+    while (v < cur && !min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max.load(std::memory_order_relaxed);
+    while (v > cur && !max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() noexcept {
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+    min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    max.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+  }
+};
+
+// Named histograms plus one implicit latency histogram per trace phase.
+HistSlot g_named[Metrics::kMaxHistograms];
+HistSlot g_phase_ns[Tracer::kMaxPhases];
+
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<std::string>& registry() {
+  static std::vector<std::string> names;
+  return names;
+}
+
+HistogramStats snapshot_slot(const HistSlot& s, std::string name) {
+  HistogramStats out;
+  out.name = std::move(name);
+  out.count = s.count.load(std::memory_order_relaxed);
+  out.sum = s.sum.load(std::memory_order_relaxed);
+  out.min = s.min.load(std::memory_order_relaxed);
+  out.max = s.max.load(std::memory_order_relaxed);
+  for (int b = 0; b < kHistBuckets; ++b) {
+    const std::uint64_t c = s.buckets[b].load(std::memory_order_relaxed);
+    if (c != 0) out.buckets.emplace_back(hist_bucket_lo(b), c);
+  }
+  out.p50 = out.quantile(0.50);
+  out.p95 = out.quantile(0.95);
+  out.p99 = out.quantile(0.99);
+  return out;
+}
+
+}  // namespace
+
+int hist_bucket(std::uint64_t v) noexcept {
+  if (v < kHistSubBuckets) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);  // >= 2 here
+  const int sub = static_cast<int>((v >> (msb - 2)) & 3);
+  return kHistSubBuckets * (msb - 1) + sub;
+}
+
+double hist_bucket_lo(int b) noexcept {
+  if (b < kHistSubBuckets) return static_cast<double>(b);
+  const int msb = b / kHistSubBuckets + 1;
+  const int sub = b % kHistSubBuckets;
+  return static_cast<double>(4 + sub) * std::exp2(static_cast<double>(msb - 2));
+}
+
+double hist_bucket_hi(int b) noexcept {
+  if (b < kHistSubBuckets) return static_cast<double>(b + 1);
+  const int msb = b / kHistSubBuckets + 1;
+  const int sub = b % kHistSubBuckets;
+  return static_cast<double>(5 + sub) * std::exp2(static_cast<double>(msb - 2));
+}
+
+double HistogramStats::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank target, then linear interpolation inside the bucket.
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto [lo, c] = buckets[i];
+    const double next = cum + static_cast<double>(c);
+    if (next >= target || i + 1 == buckets.size()) {
+      const double hi = hist_bucket_hi(hist_bucket(static_cast<std::uint64_t>(lo)));
+      const double frac = (c == 0) ? 0.0 : std::clamp((target - cum) / static_cast<double>(c), 0.0, 1.0);
+      // Clamp into the recorded range so tiny histograms stay sensible.
+      return std::clamp(lo + frac * (hi - lo), static_cast<double>(min), static_cast<double>(max));
+    }
+    cum = next;
+  }
+  return static_cast<double>(max);
+}
+
+HistId Metrics::histogram(const std::string& name) {
+  std::lock_guard lock(registry_mu());
+  auto& names = registry();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<HistId>(i);
+  }
+  if (names.size() >= static_cast<std::size_t>(kMaxHistograms)) {
+    throw std::length_error("Metrics: histogram registry full (kMaxHistograms)");
+  }
+  names.push_back(name);
+  return static_cast<HistId>(names.size() - 1);
+}
+
+void Metrics::record(HistId id, std::uint64_t value) noexcept {
+  if (id < 0 || id >= kMaxHistograms) return;
+  g_named[id].record(value);
+}
+
+void Metrics::record_phase_ns(PhaseId id, std::uint64_t ns) noexcept {
+  if (id < 0 || id >= Tracer::kMaxPhases) return;
+  g_phase_ns[id].record(ns);
+}
+
+std::vector<HistogramStats> Metrics::snapshot() {
+  std::vector<std::string> named;
+  {
+    std::lock_guard lock(registry_mu());
+    named = registry();
+  }
+  std::vector<HistogramStats> out;
+  for (std::size_t i = 0; i < named.size(); ++i) {
+    if (g_named[i].count.load(std::memory_order_relaxed) == 0) continue;
+    out.push_back(snapshot_slot(g_named[i], named[i]));
+  }
+  const std::vector<std::string> phases = Tracer::phase_names();
+  for (std::size_t i = 0; i < phases.size() && i < Tracer::kMaxPhases; ++i) {
+    if (g_phase_ns[i].count.load(std::memory_order_relaxed) == 0) continue;
+    out.push_back(snapshot_slot(g_phase_ns[i], phases[i] + "_ns"));
+  }
+  return out;
+}
+
+void Metrics::reset() {
+  for (auto& s : g_named) s.reset();
+  for (auto& s : g_phase_ns) s.reset();
+}
+
+}  // namespace bst::util

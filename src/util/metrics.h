@@ -1,0 +1,94 @@
+// Metrics registry: named log-bucketed latency/size histograms.
+//
+// The aggregate per-phase totals of util/trace.h answer "where did the time
+// go"; the histograms here answer "what was the *distribution*" -- the shape
+// over time the paper's per-step cost analysis (eqs. 25-32) is really about.
+// A phase whose p99 drifts while its mean holds steady is invisible to the
+// Tracer's accumulators but jumps out of a percentile summary.
+//
+// Design, mirroring the Tracer:
+//   * Names are interned once into a fixed table of kMaxHistograms slots;
+//     recording is a relaxed atomic increment into a log-bucketed count
+//     array (no locks, no allocation on the hot path).
+//   * Buckets are logarithmic with 4 linear sub-buckets per octave, so the
+//     relative bucket width is at most 25% over the full uint64 range and
+//     values 0..3 are exact.  Percentiles are estimated by linear
+//     interpolation inside the containing bucket (error bounded by the
+//     bucket width; pinned by tests/test_histogram.cc).
+//   * Recording is NOT internally gated: call sites gate on
+//     util::Tracer::enabled() (every existing site already has the flag in
+//     hand), keeping the disabled cost identical to the rest of the layer.
+//
+// Alongside the explicitly named histograms, every trace phase gets an
+// implicit `<phase>_ns` latency histogram fed by TraceSpan, so per-step
+// reflector build/apply latency distributions come for free wherever spans
+// already exist.  Snapshots land in the perf report's "histograms" section
+// (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/trace.h"
+
+namespace bst::util {
+
+/// Stable identifier of an interned histogram name.
+using HistId = int;
+
+/// Log-bucket geometry: 4 sub-buckets per power of two.
+inline constexpr int kHistSubBuckets = 4;
+/// Total bucket count covering the full uint64 range (values 0..3 map to
+/// buckets 0..3; larger values to 4*(msb-1) + sub, msb in [2, 63]).
+inline constexpr int kHistBuckets = 252;
+
+/// Bucket index containing `v` (total order preserved across buckets).
+[[nodiscard]] int hist_bucket(std::uint64_t v) noexcept;
+/// Inclusive lower / exclusive upper bound of bucket `b`.
+[[nodiscard]] double hist_bucket_lo(int b) noexcept;
+[[nodiscard]] double hist_bucket_hi(int b) noexcept;
+
+/// Copied-out state of one histogram (only non-empty buckets are listed).
+struct HistogramStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  std::vector<std::pair<double, std::uint64_t>> buckets;  // {lower bound, count}
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Interpolated quantile for q in [0, 1] (0 when empty).
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Process-wide histogram registry (accumulators live for the process).
+class Metrics {
+ public:
+  /// Interns `name`, returning its id (idempotent; throws std::length_error
+  /// once kMaxHistograms distinct names exist).
+  static HistId histogram(const std::string& name);
+
+  /// Adds one sample.  Lock-free; callers gate on Tracer::enabled().
+  static void record(HistId id, std::uint64_t value) noexcept;
+
+  /// Adds one sample to the phase's implicit `<phase>_ns` latency
+  /// histogram (used by TraceSpan; callers gate on Tracer::enabled()).
+  static void record_phase_ns(PhaseId id, std::uint64_t ns) noexcept;
+
+  /// Copies out every histogram with at least one sample, named histograms
+  /// first, then the implicit per-phase `<phase>_ns` ones.
+  static std::vector<HistogramStats> snapshot();
+
+  /// Zeroes every accumulator (names/ids are preserved).
+  static void reset();
+
+  static constexpr int kMaxHistograms = 64;
+};
+
+}  // namespace bst::util

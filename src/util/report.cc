@@ -1,5 +1,6 @@
 #include "util/report.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -9,7 +10,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/metrics.h"
 #include "util/trace.h"
+#include "util/watchdog.h"
 
 namespace bst::util {
 
@@ -455,6 +458,42 @@ Json PerfReport::build(bool include_tracer) const {
       steps.push(std::move(s));
     }
     if (!steps.items().empty()) root.set("steps", std::move(steps));
+
+    Json hists = Json::object();
+    for (const HistogramStats& hs : Metrics::snapshot()) {
+      Json h = Json::object();
+      h.set("count", Json::number(hs.count));
+      h.set("min", Json::number(hs.min));
+      h.set("max", Json::number(hs.max));
+      h.set("mean", Json::number(hs.mean()));
+      h.set("p50", Json::number(hs.p50));
+      h.set("p95", Json::number(hs.p95));
+      h.set("p99", Json::number(hs.p99));
+      Json buckets = Json::array();
+      for (const auto& [lo, c] : hs.buckets) {
+        Json b = Json::array();
+        b.push(Json::number(lo));
+        b.push(Json::number(c));
+        buckets.push(std::move(b));
+      }
+      h.set("buckets", std::move(buckets));
+      hists.set(hs.name, std::move(h));
+    }
+    if (!hists.members().empty()) root.set("histograms", std::move(hists));
+
+    Json warnings = Json::array();
+    for (const Warning& w : Watchdog::snapshot()) {
+      Json j = Json::object();
+      j.set("code", Json::string(w.code));
+      j.set("step", Json::number(static_cast<std::int64_t>(w.step)));
+      j.set("value", Json::number(w.value));
+      j.set("threshold", Json::number(w.threshold));
+      warnings.push(std::move(j));
+    }
+    const std::uint64_t kept = warnings.items().size();
+    if (kept > 0) root.set("warnings", std::move(warnings));
+    const std::uint64_t dropped = Watchdog::total() - std::min(Watchdog::total(), kept);
+    if (dropped > 0) root.set("warnings_dropped", Json::number(dropped));
   }
 
   if (!threads_.items().empty()) root.set("threads", threads_);

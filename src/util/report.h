@@ -12,16 +12,22 @@
 //     "build":   { "compiler": "...", "build_type": "...", "cxx": 202002 },
 //     "phases":  { "<phase>": {"calls","seconds","flops","bytes"}, ... },
 //     "steps":   [ {"step","min_hnorm","max_generator"}, ... ],
+//     "histograms": { "<name>": {"count","min","max","mean",
+//                                "p50","p95","p99", "buckets": [[lo,c],...]} },
+//     "warnings": [ {"code","step","value","threshold"}, ... ],
 //     "threads": [ {"busy_seconds","idle_seconds","chunks"}, ... ],
 //     "comm":    [ {"bytes_sent","bytes_recv","messages"}, ... ],
 //     "metrics": { ... scalar results (time_s, residual, ...) },
 //     "tables":  [ {"title","columns",  "rows": [[...], ...]}, ... ]
 //   }
 //
-// "phases"/"steps" come from util::Tracer; "threads" from the ThreadPool
-// worker stats; "comm" from the simulated Machine's per-PE counters.  Empty
-// sections are omitted.  docs/OBSERVABILITY.md documents the schema and its
-// compatibility rules (additive changes only; removals bump schema_version).
+// "phases"/"steps" come from util::Tracer; "histograms" from util::Metrics
+// (log-bucketed latency/size distributions); "warnings" from the
+// numerical-health watchdog (util/watchdog.h); "threads" from the
+// ThreadPool worker stats; "comm" from the simulated Machine's per-PE
+// counters.  Empty sections are omitted.  docs/OBSERVABILITY.md documents
+// the schema and its compatibility rules (additive changes only -- which is
+// why "histograms"/"warnings" did not bump schema_version; removals do).
 //
 // The Json value + parser here are deliberately minimal (objects, arrays,
 // strings, numbers, bools, null; UTF-8 passed through) -- enough to write

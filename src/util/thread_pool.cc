@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "util/metrics.h"
 #include "util/trace.h"
 
 namespace bst::util {
@@ -14,6 +15,12 @@ std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now().time_since_epoch())
           .count());
+}
+
+// Latency of individual parallel_for chunks (load-balance visibility).
+HistId chunk_hist() {
+  static const HistId id = Metrics::histogram("pool_chunk_ns");
+  return id;
 }
 
 }  // namespace
@@ -42,6 +49,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop(std::size_t slot) {
   StatSlot& stats = stats_[slot];
   std::size_t seen = 0;
+  std::uint64_t counter_epoch_seen = counter_epoch_.load(std::memory_order_acquire);
   for (;;) {
     Task task;
     {
@@ -54,6 +62,15 @@ void ThreadPool::worker_loop(std::size_t slot) {
       seen = generation_;
       task = task_;
       ++inflight_;
+    }
+    // Between tasks this worker has no open FlopScope/TraceSpan, so it is
+    // safe to honour a pending counter reset here (never on the caller
+    // thread, whose enclosing spans hold counter baselines).
+    const std::uint64_t epoch = counter_epoch_.load(std::memory_order_acquire);
+    if (epoch != counter_epoch_seen) {
+      counter_epoch_seen = epoch;
+      FlopCounter::reset();
+      ByteCounter::reset();
     }
     run_chunks(task, stats);
     {
@@ -68,6 +85,7 @@ void ThreadPool::run_chunks(Task& task, StatSlot& stats) {
   const bool timed = Tracer::enabled();
   const std::uint64_t t0 = timed ? now_ns() : 0;
   std::uint64_t executed = 0;
+  std::uint64_t prev = t0;  // chunk boundary timestamp (reused across chunks)
   for (;;) {
     std::size_t lo;
     {
@@ -79,6 +97,11 @@ void ThreadPool::run_chunks(Task& task, StatSlot& stats) {
     const std::size_t hi = std::min(task.end, lo + task.grain);
     for (std::size_t i = lo; i < hi; ++i) (*task.body)(i);
     ++executed;
+    if (timed) {
+      const std::uint64_t now = now_ns();
+      Metrics::record(chunk_hist(), now - prev);
+      prev = now;
+    }
   }
   if (executed > 0) {
     stats.chunks.fetch_add(executed, std::memory_order_relaxed);
@@ -126,6 +149,7 @@ void ThreadPool::reset_worker_stats() {
     s.idle_ns.store(0, std::memory_order_relaxed);
     s.chunks.store(0, std::memory_order_relaxed);
   }
+  counter_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -53,7 +53,13 @@ class ThreadPool {
   /// avoided); chunk counts always accumulate.
   [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
 
-  /// Zeroes the utilization counters (e.g. at the start of a profiled run).
+  /// Zeroes the utilization counters (e.g. at the start of a profiled run)
+  /// and schedules a thread-local FlopCounter/ByteCounter reset on every
+  /// worker: each worker re-zeroes its counters before claiming its next
+  /// chunk, so back-to-back profiled solves in one process do not inherit
+  /// the previous run's charges.  The *calling* thread's counters are left
+  /// alone -- an enclosing FlopScope/TraceSpan on the caller must keep its
+  /// baseline (callers reset their own counters explicitly if desired).
   void reset_worker_stats();
 
  private:
@@ -71,6 +77,10 @@ class ThreadPool {
 
   void worker_loop(std::size_t slot);
   void run_chunks(Task& task, StatSlot& stats);
+
+  // Bumped by reset_worker_stats(); workers compare against a thread-local
+  // copy and zero their FlopCounter/ByteCounter when it moved.
+  std::atomic<std::uint64_t> counter_epoch_{0};
 
   std::vector<std::thread> threads_;
   std::vector<StatSlot> stats_;  // size() entries; fixed after construction

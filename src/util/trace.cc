@@ -4,8 +4,14 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/flight_recorder.h"
+#include "util/metrics.h"
+#include "util/watchdog.h"
+
 namespace bst::util {
 namespace {
+
+thread_local std::int64_t t_current_step = 0;
 
 // Fixed-capacity accumulator slots: commit() must stay lock-free, so the
 // registry only ever appends names and the per-phase atomics live in a
@@ -59,6 +65,11 @@ PhaseId Tracer::phase(const std::string& name) {
   return static_cast<PhaseId>(names.size() - 1);
 }
 
+std::vector<std::string> Tracer::phase_names() {
+  std::lock_guard lock(registry_mu());
+  return registry();
+}
+
 void Tracer::reset() {
   for (PhaseSlot& s : g_slots) {
     s.calls.store(0, std::memory_order_relaxed);
@@ -66,9 +77,18 @@ void Tracer::reset() {
     s.flops.store(0, std::memory_order_relaxed);
     s.bytes.store(0, std::memory_order_relaxed);
   }
-  std::lock_guard lock(steps_mu());
-  step_log().clear();
+  {
+    std::lock_guard lock(steps_mu());
+    step_log().clear();
+  }
+  Metrics::reset();
+  Watchdog::reset();
+  FlightRecorder::reset();
 }
+
+void Tracer::set_step(std::int64_t step) noexcept { t_current_step = step; }
+
+std::int64_t Tracer::current_step() noexcept { return t_current_step; }
 
 void Tracer::commit(PhaseId id, std::uint64_t wall_ns, std::uint64_t flops,
                     std::uint64_t bytes) noexcept {
@@ -113,11 +133,28 @@ std::vector<StepDiag> Tracer::steps() {
   return step_log();
 }
 
-std::uint64_t TraceSpan::now_ns() noexcept {
+std::uint64_t TraceClock::now_ns() noexcept {
   using clock = std::chrono::steady_clock;
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now().time_since_epoch())
           .count());
+}
+
+void TraceSpan::open(PhaseId id) noexcept {
+  id_ = id;
+  flops0_ = FlopCounter::now();
+  bytes0_ = ByteCounter::now();
+  t0_ = TraceClock::now_ns();
+  if (FlightRecorder::enabled()) FlightRecorder::begin(id_, t0_, flops0_, bytes0_);
+}
+
+void TraceSpan::close() noexcept {
+  const std::uint64_t t1 = TraceClock::now_ns();
+  const std::uint64_t dflops = FlopCounter::now() - flops0_;
+  const std::uint64_t dbytes = ByteCounter::now() - bytes0_;
+  Tracer::commit(id_, t1 - t0_, dflops, dbytes);
+  Metrics::record_phase_ns(id_, t1 - t0_);
+  if (FlightRecorder::enabled()) FlightRecorder::end(id_, t1, dflops, dbytes);
 }
 
 }  // namespace bst::util

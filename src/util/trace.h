@@ -48,6 +48,11 @@ class ByteCounter {
 /// Stable identifier of an interned phase name.
 using PhaseId = int;
 
+/// The steady clock every observability layer shares (nanoseconds).
+struct TraceClock {
+  static std::uint64_t now_ns() noexcept;
+};
+
 /// Accumulated totals of one phase (a snapshot; see Tracer::snapshot).
 struct PhaseStats {
   std::string name;
@@ -85,9 +90,21 @@ class Tracer {
   /// names, after which phase() throws std::length_error.
   static PhaseId phase(const std::string& name);
 
-  /// Zeroes every accumulator and drops recorded step diagnostics (the
-  /// phase registry itself is preserved -- ids stay valid).
+  /// Every interned phase name, indexed by PhaseId.
+  static std::vector<std::string> phase_names();
+
+  /// Zeroes every accumulator and drops recorded step diagnostics, and
+  /// resets the rest of the observability layer with it -- histograms
+  /// (util/metrics.h), warnings (util/watchdog.h) and flight-recorder rings
+  /// (util/flight_recorder.h) -- so one call arms a clean profiled run.
+  /// Registries (phase and histogram names) are preserved; ids stay valid.
   static void reset();
+
+  /// Thread-local Schur step index attached to flight-recorder events
+  /// (set by the factorization drivers at the top of each step; workers
+  /// set it inside their callbacks).
+  static void set_step(std::int64_t step) noexcept;
+  static std::int64_t current_step() noexcept;
 
   /// Adds one completed span to phase `id` (used by TraceSpan; also handy
   /// for charging externally-measured regions, e.g. per-worker busy time).
@@ -111,26 +128,26 @@ class Tracer {
 
 /// RAII span: charges the enclosed wall time and the flops/bytes charged on
 /// this thread to the given phase.  When the tracer is disabled both the
-/// constructor and destructor reduce to a relaxed load + branch.
+/// constructor and destructor reduce to a relaxed load + branch.  While
+/// enabled, closing a span also feeds the phase's `<phase>_ns` latency
+/// histogram (util/metrics.h) and, when the flight recorder is on, emits
+/// begin/end timeline events (util/flight_recorder.h).
 class TraceSpan {
  public:
   explicit TraceSpan(PhaseId id) noexcept {
     if (!Tracer::enabled()) return;
-    id_ = id;
-    flops0_ = FlopCounter::now();
-    bytes0_ = ByteCounter::now();
-    t0_ = now_ns();
+    open(id);
   }
   ~TraceSpan() {
     if (id_ < 0) return;
-    Tracer::commit(id_, now_ns() - t0_, FlopCounter::now() - flops0_,
-                   ByteCounter::now() - bytes0_);
+    close();
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
-  static std::uint64_t now_ns() noexcept;
+  void open(PhaseId id) noexcept;   // out of line: touches the recorder
+  void close() noexcept;            // out of line: commit + histogram + event
 
   PhaseId id_ = -1;  // -1: tracer was disabled at construction
   std::uint64_t t0_ = 0;

@@ -1,0 +1,87 @@
+#include "util/watchdog.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "util/flight_recorder.h"
+#include "util/trace.h"
+
+namespace bst::util {
+namespace {
+
+struct State {
+  std::mutex mu;
+  std::vector<Warning> log;
+  std::uint64_t total = 0;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+WatchdogLimits& Watchdog::limits() {
+  static WatchdogLimits l;
+  return l;
+}
+
+void Watchdog::warn(const std::string& code, std::int64_t step, double value,
+                    double threshold) {
+  if (!Tracer::enabled()) return;
+  if (FlightRecorder::enabled()) {
+    FlightRecorder::instant(Tracer::phase("warn:" + code), step, value, threshold);
+  }
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  ++s.total;
+  if (s.log.size() < limits().max_warnings) s.log.push_back({code, step, value, threshold});
+}
+
+void Watchdog::check_step(std::int64_t step, double min_hnorm, double max_generator,
+                          double norm_ref) {
+  if (!Tracer::enabled()) return;
+  const WatchdogLimits& l = limits();
+  if (std::fabs(min_hnorm) < l.hnorm_tol) {
+    warn("near_singular_minor", step, min_hnorm, l.hnorm_tol);
+  }
+  if (norm_ref > 0.0 && max_generator > l.max_growth * norm_ref) {
+    warn("generator_growth", step, max_generator / norm_ref, l.max_growth);
+  }
+}
+
+void Watchdog::check_reflection(std::int64_t step, double reflection) {
+  if (!Tracer::enabled()) return;
+  const double r = std::fabs(reflection);
+  if (r > limits().max_reflection) {
+    warn("hyperbolic_rotation_near_1", step, r, limits().max_reflection);
+  }
+}
+
+void Watchdog::check_refine(std::int64_t iterations, bool converged, double stall_ratio) {
+  if (!Tracer::enabled()) return;
+  if (stall_ratio > 0.5) warn("refine_stall", iterations, stall_ratio, 0.5);
+  if (!converged) warn("refine_no_convergence", iterations, stall_ratio, 0.0);
+}
+
+std::vector<Warning> Watchdog::snapshot() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  return s.log;
+}
+
+std::uint64_t Watchdog::total() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  return s.total;
+}
+
+void Watchdog::reset() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  s.log.clear();
+  s.total = 0;
+}
+
+}  // namespace bst::util

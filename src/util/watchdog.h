@@ -1,0 +1,86 @@
+// Numerical-health watchdog: structured warnings for the failure modes the
+// paper's section 8 analyzes.
+//
+// The Schur recursion degrades in recognizable ways before it breaks: a
+// pivot's hyperbolic norm collapses toward zero (near-singular principal
+// minor), the hyperbolic rotation parameter |q/p| approaches 1 (unbounded
+// reflector norm -- the classic-Schur view of the same event), the
+// generator grows far beyond its initial norm, or iterative refinement
+// stalls short of convergence.  The watchdog turns each of these into a
+// structured Warning that lands in the perf report's "warnings" section and
+// (when the flight recorder is on) as an instant marker on the timeline, so
+// a collapsing run is diagnosable from its artifacts alone.
+//
+// Checks are gated on Tracer::enabled() -- like the rest of the
+// observability layer they cost one relaxed load + branch while off.  The
+// thresholds are process-global and mutable (limits()); the defaults are
+// deliberately loose so warnings mean "look at this run", not noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bst::util {
+
+/// Mutable process-global thresholds (see docs/OBSERVABILITY.md).
+struct WatchdogLimits {
+  /// |min hyperbolic norm| below this flags a near-singular minor
+  /// ("near_singular_minor").  The blocked paths record sigma^2, so this is
+  /// compared against sigma^2, not sigma.
+  double hnorm_tol = 1e-10;
+  /// max |generator entry| beyond `max_growth * norm_g1` flags generator
+  /// blowup ("generator_growth").
+  double max_growth = 1e8;
+  /// |q/p| (the scalar hyperbolic rotation parameter) above this flags a
+  /// near-unit rotation ("hyperbolic_rotation_near_1"): the applied
+  /// rotation's norm ~ sqrt((1+r)/(1-r)) is blowing up.
+  double max_reflection = 1.0 - 1e-6;
+  /// Warnings kept verbatim; beyond this only the drop count grows.
+  std::size_t max_warnings = 4096;
+};
+
+/// One structured warning.
+struct Warning {
+  std::string code;        // stable identifier, e.g. "near_singular_minor"
+  std::int64_t step = 0;   // Schur/refinement step it fired on
+  double value = 0.0;      // observed quantity
+  double threshold = 0.0;  // limit it crossed
+};
+
+class Watchdog {
+ public:
+  /// The process-global thresholds (mutate before a run to tighten/loosen).
+  static WatchdogLimits& limits();
+
+  /// Records one warning (no-op while the Tracer is disabled).  Also emits
+  /// a flight-recorder instant event named "warn:<code>" when recording.
+  static void warn(const std::string& code, std::int64_t step, double value,
+                   double threshold);
+
+  /// Per-step health check used by every factorization driver: flags
+  /// near-singular minors and generator growth (norm_ref <= 0 skips the
+  /// growth check, for scalar baselines with no generator).
+  static void check_step(std::int64_t step, double min_hnorm, double max_generator,
+                         double norm_ref);
+
+  /// Flags a near-unit scalar hyperbolic rotation (|q/p| -> 1).
+  static void check_reflection(std::int64_t step, double reflection);
+
+  /// Refinement-health check: flags a stalled correction sequence
+  /// ("refine_stall", ratio = |dx_k|/|dx_{k-1}|) and non-convergence at the
+  /// iteration cap ("refine_no_convergence").
+  static void check_refine(std::int64_t iterations, bool converged, double stall_ratio);
+
+  /// Copies out the recorded warnings (order of arrival).
+  static std::vector<Warning> snapshot();
+
+  /// Warnings recorded since reset, including any dropped past
+  /// limits().max_warnings.
+  static std::uint64_t total();
+
+  /// Drops all recorded warnings (limits are preserved).
+  static void reset();
+};
+
+}  // namespace bst::util

@@ -2,10 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
+#include "util/flops.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace bst::util {
 namespace {
@@ -56,6 +61,67 @@ TEST(ThreadPool, OffsetRange) {
   std::atomic<long> sum{0};
   pool.parallel_for(100, 200, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
   EXPECT_EQ(sum.load(), (100L + 199L) * 100 / 2);
+}
+
+TEST(ThreadPool, ResetWorkerStatsZeroesUtilizationCounters) {
+  ThreadPool pool(3);
+  pool.parallel_for(0, 50, [](std::size_t) {});
+  std::uint64_t chunks = 0;
+  for (const WorkerStats& s : pool.worker_stats()) chunks += s.chunks;
+  EXPECT_GT(chunks, 0u);
+  pool.reset_worker_stats();
+  for (const WorkerStats& s : pool.worker_stats()) {
+    EXPECT_EQ(s.chunks, 0u);
+    EXPECT_DOUBLE_EQ(s.busy_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(s.idle_seconds, 0.0);
+  }
+}
+
+TEST(ThreadPool, ResetWorkerStatsClearsWorkerFlopCountersNotTheCallers) {
+  ThreadPool pool(4);
+  // First run: every participating thread piles up flop charges.
+  pool.parallel_for(0, 64, [](std::size_t) { FlopCounter::charge(1'000'000); });
+  // The caller's thread-local counter must survive the reset (an enclosing
+  // FlopScope/TraceSpan on the caller holds a baseline against it).
+  const std::uint64_t caller_before = FlopCounter::now();
+  pool.reset_worker_stats();
+  EXPECT_EQ(FlopCounter::now(), caller_before);
+
+  // Second run: workers honour the pending reset before their next chunk,
+  // so any thread still carrying the first run's megaflops can only be the
+  // caller (whose counter kept growing from caller_before).
+  std::mutex mu;
+  std::vector<std::uint64_t> observed;
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 64, [&](std::size_t) {
+    FlopCounter::charge(1);
+    calls.fetch_add(1);
+    const std::uint64_t now = FlopCounter::now();
+    std::lock_guard lock(mu);
+    observed.push_back(now);
+  });
+  EXPECT_EQ(calls.load(), 64);
+  for (const std::uint64_t v : observed) {
+    EXPECT_TRUE(v <= 64 || v >= caller_before)
+        << "worker kept a stale counter: " << v;
+  }
+}
+
+TEST(ThreadPool, ChunkLatenciesFeedTheMetricsHistogram) {
+  Tracer::reset();
+  Tracer::enable();
+  ThreadPool pool(2);
+  pool.parallel_for(0, 32, [](std::size_t) {}, /*grain=*/4);
+  Tracer::disable();
+  bool found = false;
+  for (const HistogramStats& h : Metrics::snapshot()) {
+    if (h.name == "pool_chunk_ns") {
+      found = true;
+      EXPECT_GT(h.count, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+  Tracer::reset();
 }
 
 TEST(ThreadPool, GlobalPoolExists) {

@@ -1,0 +1,322 @@
+// bst_report: pretty-printer and perf-regression gate for the schema-v1
+// JSON reports every instrumented binary emits (util/report.h).
+//
+//   bst_report one.json
+//       Pretty-prints the report: params, metrics, per-phase table,
+//       histogram percentiles, warnings, thread utilization.
+//
+//   bst_report --baseline=a.json --candidate=b.json
+//              [--max-regress=50%] [--min-seconds=1e-3]
+//       Diffs two reports: per-phase seconds/flops/bytes deltas, histogram
+//       percentile shifts, warning-count changes.  Exits 3 when any phase
+//       present in both reports slowed down by more than --max-regress
+//       (a fraction, or a percentage with a '%' suffix) -- phases whose
+//       baseline is below --min-seconds are skipped as noise.  This is the
+//       perf gate CI runs between a trunk baseline and a candidate.
+//
+// Exit codes: 0 ok, 1 error (unreadable/malformed input), 2 usage,
+// 3 regression past the threshold.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/report.h"
+
+using bst::util::Json;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+Json load_report(const std::string& path) {
+  Json doc = bst::util::parse_json(slurp(path));
+  if (doc.kind() != Json::Kind::Object || doc.find("schema_version") == nullptr) {
+    throw std::runtime_error("'" + path + "' is not a perf report (no schema_version)");
+  }
+  return doc;
+}
+
+double num_or(const Json* j, double fallback) {
+  return (j != nullptr && j->kind() == Json::Kind::Number) ? j->as_number() : fallback;
+}
+
+// Field of an object-valued member, e.g. field(phase, "seconds").
+double field(const Json& obj, const std::string& key, double fallback = 0.0) {
+  return num_or(obj.find(key), fallback);
+}
+
+std::string fmt(double v) {
+  char buf[48];
+  if (v == 0.0) return "0";
+  const double a = std::fabs(v);
+  if (a >= 1e6 || a < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+std::string pct(double rel) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", rel * 100.0);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printing
+// ---------------------------------------------------------------------------
+
+void print_kv_object(const Json& doc, const char* section, const char* title) {
+  const Json* obj = doc.find(section);
+  if (obj == nullptr || obj->members().empty()) return;
+  std::cout << title << "\n";
+  for (const auto& [k, v] : obj->members()) {
+    std::cout << "  " << k << " = ";
+    switch (v.kind()) {
+      case Json::Kind::Number: std::cout << fmt(v.as_number()); break;
+      case Json::Kind::String: std::cout << v.as_string(); break;
+      case Json::Kind::Bool: std::cout << (v.as_bool() ? "true" : "false"); break;
+      default: std::cout << v.dump(); break;
+    }
+    std::cout << "\n";
+  }
+}
+
+void print_phases(const Json& doc) {
+  const Json* phases = doc.find("phases");
+  if (phases == nullptr || phases->members().empty()) return;
+  std::printf("phases\n  %-24s %10s %12s %14s %14s %10s\n", "phase", "calls", "seconds",
+              "flops", "bytes", "GF/s");
+  for (const auto& [name, ph] : phases->members()) {
+    const double sec = field(ph, "seconds");
+    const double flops = field(ph, "flops");
+    std::printf("  %-24s %10s %12s %14s %14s %10s\n", name.c_str(),
+                fmt(field(ph, "calls")).c_str(), fmt(sec).c_str(), fmt(flops).c_str(),
+                fmt(field(ph, "bytes")).c_str(),
+                sec > 0.0 ? fmt(flops / sec / 1e9).c_str() : "-");
+  }
+}
+
+void print_histograms(const Json& doc) {
+  const Json* hists = doc.find("histograms");
+  if (hists == nullptr || hists->members().empty()) return;
+  std::printf("histograms\n  %-28s %10s %12s %12s %12s %12s\n", "histogram", "count", "p50",
+              "p95", "p99", "max");
+  for (const auto& [name, h] : hists->members()) {
+    std::printf("  %-28s %10s %12s %12s %12s %12s\n", name.c_str(),
+                fmt(field(h, "count")).c_str(), fmt(field(h, "p50")).c_str(),
+                fmt(field(h, "p95")).c_str(), fmt(field(h, "p99")).c_str(),
+                fmt(field(h, "max")).c_str());
+  }
+}
+
+std::map<std::string, std::size_t> warning_counts(const Json& doc) {
+  std::map<std::string, std::size_t> counts;
+  const Json* warnings = doc.find("warnings");
+  if (warnings == nullptr) return counts;
+  for (const Json& w : warnings->items()) {
+    const Json* code = w.find("code");
+    if (code != nullptr && code->kind() == Json::Kind::String) ++counts[code->as_string()];
+  }
+  return counts;
+}
+
+void print_warnings(const Json& doc) {
+  const auto counts = warning_counts(doc);
+  if (counts.empty()) return;
+  std::cout << "warnings\n";
+  for (const auto& [code, n] : counts) std::cout << "  " << code << " x" << n << "\n";
+  const Json* dropped = doc.find("warnings_dropped");
+  if (dropped != nullptr && dropped->as_number() > 0) {
+    std::cout << "  (+" << fmt(dropped->as_number()) << " dropped past the cap)\n";
+  }
+}
+
+void print_threads(const Json& doc) {
+  const Json* threads = doc.find("threads");
+  if (threads == nullptr || threads->items().empty()) return;
+  double busy = 0.0, idle = 0.0, chunks = 0.0;
+  for (const Json& t : threads->items()) {
+    busy += field(t, "busy_seconds");
+    idle += field(t, "idle_seconds");
+    chunks += field(t, "chunks");
+  }
+  std::cout << "threads: " << threads->items().size() << " slots, busy " << fmt(busy)
+            << "s, idle " << fmt(idle) << "s, " << fmt(chunks) << " chunks\n";
+}
+
+int print_report(const std::string& path) {
+  const Json doc = load_report(path);
+  const Json* tool = doc.find("tool");
+  std::cout << "report: " << path << " (tool "
+            << (tool != nullptr ? tool->as_string() : std::string("?")) << ", schema v"
+            << fmt(num_or(doc.find("schema_version"), 0)) << ")\n";
+  print_kv_object(doc, "params", "params");
+  print_kv_object(doc, "metrics", "metrics");
+  print_phases(doc);
+  print_histograms(doc);
+  print_warnings(doc);
+  print_threads(doc);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Diffing
+// ---------------------------------------------------------------------------
+
+// Parses "50%" as 0.5 and "0.5" as 0.5; negative means "no gate".
+double parse_regress(const std::string& s) {
+  if (s.empty()) return -1.0;
+  std::size_t pos = 0;
+  double v = std::stod(s, &pos);
+  if (pos < s.size() && s[pos] == '%') v /= 100.0;
+  return v;
+}
+
+struct DiffStats {
+  int regressions = 0;  // phases past the gate
+};
+
+void diff_phases(const Json& base, const Json& cand, double max_regress, double min_seconds,
+                 DiffStats& stats) {
+  const Json* bp = base.find("phases");
+  const Json* cp = cand.find("phases");
+  if (bp == nullptr && cp == nullptr) return;
+  std::printf("phases (baseline -> candidate)\n  %-24s %12s %12s %10s %10s %10s\n", "phase",
+              "base s", "cand s", "d(sec)", "d(flops)", "d(bytes)");
+  auto rel = [](double b, double c) { return b > 0.0 ? (c - b) / b : 0.0; };
+  // Union of phase names, baseline order first.
+  std::vector<std::string> names;
+  auto collect = [&](const Json* p) {
+    if (p == nullptr) return;
+    for (const auto& [k, v] : p->members()) {
+      (void)v;
+      bool seen = false;
+      for (const std::string& n : names) seen = seen || n == k;
+      if (!seen) names.push_back(k);
+    }
+  };
+  collect(bp);
+  collect(cp);
+  for (const std::string& name : names) {
+    const Json* b = bp != nullptr ? bp->find(name) : nullptr;
+    const Json* c = cp != nullptr ? cp->find(name) : nullptr;
+    if (b == nullptr || c == nullptr) {
+      std::printf("  %-24s %12s %12s %30s\n", name.c_str(),
+                  b != nullptr ? fmt(field(*b, "seconds")).c_str() : "-",
+                  c != nullptr ? fmt(field(*c, "seconds")).c_str() : "-",
+                  b == nullptr ? "(new in candidate)" : "(gone in candidate)");
+      continue;
+    }
+    const double bs = field(*b, "seconds"), cs = field(*c, "seconds");
+    const double dsec = rel(bs, cs);
+    const bool gated = max_regress >= 0.0 && bs >= min_seconds && dsec > max_regress;
+    if (gated) ++stats.regressions;
+    std::printf("  %-24s %12s %12s %10s %10s %10s%s\n", name.c_str(), fmt(bs).c_str(),
+                fmt(cs).c_str(), pct(dsec).c_str(),
+                pct(rel(field(*b, "flops"), field(*c, "flops"))).c_str(),
+                pct(rel(field(*b, "bytes"), field(*c, "bytes"))).c_str(),
+                gated ? "  << REGRESSION" : "");
+  }
+}
+
+void diff_histograms(const Json& base, const Json& cand) {
+  const Json* bh = base.find("histograms");
+  const Json* ch = cand.find("histograms");
+  if (bh == nullptr || ch == nullptr) return;
+  bool any = false;
+  for (const auto& [name, b] : bh->members()) {
+    const Json* c = ch->find(name);
+    if (c == nullptr) continue;
+    if (!any) {
+      std::printf("histograms (baseline -> candidate)\n  %-28s %22s %22s %22s\n", "histogram",
+                  "p50", "p95", "p99");
+      any = true;
+    }
+    auto shift = [&](const char* key) {
+      return fmt(field(b, key)) + " -> " + fmt(field(*c, key));
+    };
+    std::printf("  %-28s %22s %22s %22s\n", name.c_str(), shift("p50").c_str(),
+                shift("p95").c_str(), shift("p99").c_str());
+  }
+}
+
+void diff_warnings(const Json& base, const Json& cand) {
+  const auto bc = warning_counts(base);
+  const auto cc = warning_counts(cand);
+  if (bc.empty() && cc.empty()) return;
+  std::cout << "warnings (baseline -> candidate)\n";
+  std::map<std::string, std::pair<std::size_t, std::size_t>> merged;
+  for (const auto& [k, n] : bc) merged[k].first = n;
+  for (const auto& [k, n] : cc) merged[k].second = n;
+  for (const auto& [code, counts] : merged) {
+    std::cout << "  " << code << " " << counts.first << " -> " << counts.second
+              << (counts.second > counts.first ? "  (more)" : "") << "\n";
+  }
+}
+
+int diff_reports(const std::string& base_path, const std::string& cand_path,
+                 double max_regress, double min_seconds) {
+  const Json base = load_report(base_path);
+  const Json cand = load_report(cand_path);
+  std::cout << "diff: baseline " << base_path << " vs candidate " << cand_path << "\n";
+  DiffStats stats;
+  diff_phases(base, cand, max_regress, min_seconds, stats);
+  diff_histograms(base, cand);
+  diff_warnings(base, cand);
+  if (stats.regressions > 0) {
+    std::cout << "RESULT: " << stats.regressions << " phase(s) regressed past "
+              << pct(max_regress) << " (baseline >= " << fmt(min_seconds) << "s)\n";
+    return 3;
+  }
+  std::cout << "RESULT: no regression past the threshold\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bst::util::Cli cli(argc, argv);
+  // First positional (non --flag) argument, for single-report mode.
+  std::string positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional = arg;
+      break;
+    }
+  }
+  const std::string baseline = cli.get("baseline", "");
+  const std::string candidate = cli.get("candidate", "");
+  try {
+    if (!baseline.empty() && !candidate.empty()) {
+      const double max_regress = parse_regress(cli.get("max-regress", "50%"));
+      const double min_seconds = cli.get_double("min-seconds", 1e-3);
+      return diff_reports(baseline, candidate, max_regress, min_seconds);
+    }
+    if (!positional.empty() && baseline.empty() && candidate.empty()) {
+      return print_report(positional);
+    }
+    std::fprintf(stderr,
+                 "usage: bst_report report.json\n"
+                 "       bst_report --baseline=a.json --candidate=b.json\n"
+                 "                  [--max-regress=50%%] [--min-seconds=1e-3]\n");
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bst_report: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -2,7 +2,7 @@
 //
 //   bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] [--ms=K]
 //             [--rep=vy2|vy1|yty|u|seq] [--refine] [--report]
-//             [--profile=out.json]
+//             [--profile=out.json] [--trace=out.json]
 //
 // Reads the matrix (and optionally the right-hand side; defaults to
 // T * ones so the expected solution is all-ones), solves with the
@@ -11,7 +11,10 @@
 // taken, perturbation/interchange counts and the residual.  --profile
 // enables the structured tracer and writes a schema-stamped JSON perf
 // report (per-phase time/flop/byte breakdown, per-step diagnostics,
-// thread utilization; see docs/OBSERVABILITY.md).
+// latency histograms, watchdog warnings, thread utilization).  --trace
+// additionally arms the flight recorder and writes the run's event
+// timeline as a chrome://tracing / Perfetto JSON file (see
+// docs/OBSERVABILITY.md for both formats).
 #include <cstdio>
 #include <iostream>
 
@@ -41,7 +44,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] "
                    "[--ms=K] [--rep=vy2] [--refine] [--report] "
-                   "[--profile=out.json]\n");
+                   "[--profile=out.json] [--trace=out.json]\n");
       return 2;
     }
     toeplitz::BlockToeplitz t = toeplitz::read_block_toeplitz_file(matrix_path);
@@ -64,10 +67,12 @@ int main(int argc, char** argv) {
     opt.always_refine = cli.has("refine");
 
     const std::string profile_path = cli.get("profile", "");
-    if (!profile_path.empty()) {
+    const std::string trace_path = cli.get("trace", "");
+    if (!profile_path.empty() || !trace_path.empty()) {
       util::Tracer::reset();
       util::ThreadPool::global().reset_worker_stats();
       util::Tracer::enable();
+      if (!trace_path.empty()) util::FlightRecorder::enable();
     }
 
     const double t0 = util::wall_seconds();
@@ -79,8 +84,12 @@ int main(int argc, char** argv) {
     } else {
       toeplitz::write_vector(std::cout, rep.x);
     }
+    if (!trace_path.empty()) {
+      util::FlightRecorder::disable();
+      util::FlightRecorder::write_chrome_trace(trace_path);
+    }
+    if (!profile_path.empty() || !trace_path.empty()) util::Tracer::disable();
     if (!profile_path.empty()) {
-      util::Tracer::disable();
       util::PerfReport report("bst_solve");
       report.param("matrix", matrix_path);
       report.param("n", static_cast<std::int64_t>(t.order()));
