@@ -16,6 +16,7 @@
 //      factorization for VY vs YTY (the YTY volume advantage).
 #include <iostream>
 
+#include "bench_obs.h"
 #include "bst.h"
 
 using namespace bst;
@@ -68,6 +69,9 @@ la::index_t best_spread(double comm_scale, int np, la::index_t m, la::index_t p)
 int main(int argc, char** argv) {
   util::enable_flush_to_zero();
   util::Cli cli(argc, argv);
+  bench::Obs obs(cli);
+  util::PerfReport report("bench_ablation");
+  const double run_t0 = util::wall_seconds();
 
   std::cout << "# bench_ablation: machine-sensitivity + design-choice ablations\n";
 
@@ -78,6 +82,7 @@ int main(int argc, char** argv) {
       tab.row({s, static_cast<long long>(best_b(s, 16, 4096))});
     }
     tab.print(std::cout);
+    report.add_table(tab);
     std::cout << "paper: slower shift => larger optimal b; quicker shift => grouping "
                  "barely helps\n";
   }
@@ -88,11 +93,14 @@ int main(int argc, char** argv) {
       tab.row({s, static_cast<long long>(best_spread(s, 64, 32, 128))});
     }
     tab.print(std::cout);
+    report.add_table(tab);
     std::cout << "paper: cheaper broadcast => larger optimal spread\n";
   }
   {
     const la::index_t n = cli.get_int("n", 1024);
     const la::index_t ms = cli.get_int("ms", 64);
+    report.param("n", static_cast<std::int64_t>(n));
+    report.param("ms", static_cast<std::int64_t>(ms));
     toeplitz::BlockToeplitz t = toeplitz::kms(n, 0.7);
     util::Table tab("(c) two-level blocking: factor time vs inner panel size (m_s = " +
                     std::to_string(ms) + ")");
@@ -107,6 +115,7 @@ int main(int argc, char** argv) {
       tab.row({static_cast<long long>(kb), dt, static_cast<long long>(flops)});
     }
     tab.print(std::cout);
+    report.add_table(tab);
   }
   {
     util::Table tab("(d) broadcast volume per factorization (p = 128 steps)");
@@ -117,7 +126,10 @@ int main(int argc, char** argv) {
       tab.row({static_cast<long long>(m), vy, yty, yty / vy});
     }
     tab.print(std::cout);
+    report.add_table(tab);
     std::cout << "paper (section 6.5): YTY halves the communicated volume\n";
   }
+  report.metric("time_s", util::wall_seconds() - run_t0);
+  obs.finish(report);
   return 0;
 }

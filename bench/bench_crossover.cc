@@ -8,6 +8,7 @@
 // (reusable across right-hand sides) at a comparable O(n^2) cost.
 #include <iostream>
 
+#include "bench_obs.h"
 #include "bst.h"
 
 using namespace bst;
@@ -16,6 +17,8 @@ int main(int argc, char** argv) {
   util::enable_flush_to_zero();
   util::Cli cli(argc, argv);
   const long nmax = cli.get_int("nmax", 2048);
+  bench::Obs obs(cli);
+  const double run_t0 = util::wall_seconds();
 
   std::cout << "# bench_crossover: block Schur vs classical Schur vs Levinson vs dense\n";
   util::Table tab("Time (s) to factor + solve one SPD Toeplitz system");
@@ -62,5 +65,10 @@ int main(int argc, char** argv) {
   }
   tab.precision(4);
   tab.print(std::cout);
+  util::PerfReport report("bench_crossover");
+  report.param("nmax", static_cast<std::int64_t>(nmax));
+  report.metric("time_s", util::wall_seconds() - run_t0);
+  report.add_table(tab);
+  obs.finish(report);
   return 0;
 }

@@ -10,6 +10,7 @@
 // the rate gain beats the flop increase.
 #include <iostream>
 
+#include "bench_obs.h"
 #include "bst.h"
 
 using namespace bst;
@@ -22,10 +23,14 @@ int main(int argc, char** argv) {
 
   // Phase-resolved profile of the sweep (the per-span overhead is one
   // relaxed atomic read-modify-write per phase, negligible at these sizes).
-  util::Tracer::reset();
-  util::Tracer::enable();
-  const std::string trace_path = cli.get("trace", "");
-  if (!trace_path.empty()) util::FlightRecorder::enable();
+  // The tracer stays on even without --profile/--trace/--ledger so the
+  // default --json report carries the phase breakdown.
+  bench::Obs obs(cli);
+  if (!obs.armed()) {
+    util::Tracer::reset();
+    util::Tracer::enable();
+  }
+  const double sweep_t0 = util::wall_seconds();
 
   std::cout << "# bench_fig10: block Schur MFLOP/s for point Toeplitz, varying m_s\n";
   util::Table rate("Figure 10: sustained MFLOP/s vs problem size and m_s");
@@ -62,16 +67,14 @@ int main(int argc, char** argv) {
   rate.print(std::cout);
   wall.print(std::cout);
 
-  if (!trace_path.empty()) {
-    util::FlightRecorder::disable();
-    util::FlightRecorder::write_chrome_trace(trace_path);
-  }
-  util::Tracer::disable();
   util::PerfReport report("bench_fig10");
   report.param("nmax", static_cast<std::int64_t>(nmax));
   report.param("reps", static_cast<std::int64_t>(reps));
+  report.metric("time_s", util::wall_seconds() - sweep_t0);
   report.add_table(rate);
   report.add_table(wall);
+  obs.finish(report);
+  util::Tracer::disable();
   const std::string json = cli.get("json", "BENCH_fig10.json");
   if (json != "none") report.write_file(json);
   std::cout << "paper: on the Y-MP the rate grows superlinearly with m_s for large n,\n"

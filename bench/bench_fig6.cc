@@ -7,6 +7,7 @@
 // dominates (paper section 7.1.5).
 #include <iostream>
 
+#include "bench_obs.h"
 #include "bst.h"
 
 using namespace bst;
@@ -16,12 +17,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const la::index_t n = cli.get_int("n", 4096);
   const int np = static_cast<int>(cli.get_int("np", 16));
-  const std::string trace_path = cli.get("trace", "");
-  if (!trace_path.empty()) {
-    util::Tracer::reset();
-    util::Tracer::enable();
-    util::FlightRecorder::enable();
-  }
+  bench::Obs obs(cli);
 
   std::cout << "# bench_fig6: " << n << " x " << n << " point Toeplitz (m=1), NP=" << np
             << " (simulated T3D)\n";
@@ -30,6 +26,7 @@ int main(int argc, char** argv) {
   util::PerfReport report("bench_fig6");
   report.param("n", static_cast<std::int64_t>(n));
   report.param("np", static_cast<std::int64_t>(np));
+  double best_sim = 1e300;
   for (la::index_t b : {1, 2, 4, 8, 16, 32, 64}) {
     simnet::DistOptions opt;
     opt.np = np;
@@ -40,22 +37,21 @@ int main(int argc, char** argv) {
       opt.group = b;
     }
     simnet::DistResult r = simnet::dist_schur_model(1, n, opt);
+    best_sim = std::min(best_sim, r.sim_seconds);
     tab.row({static_cast<long long>(b), std::string(to_string(opt.layout)), r.sim_seconds,
              r.breakdown.compute / np, r.breakdown.shift / np, r.breakdown.barrier / np});
     if (b == 1) {
       for (const simnet::PeCommStats& pe : r.comm) {
         report.add_pe_comm(pe.bytes_sent, pe.bytes_recv, pe.messages);
       }
+      if (!r.schedule.empty()) report.add_par_analysis(util::analyze_schedule(r.schedule));
     }
   }
   tab.precision(4);
   tab.print(std::cout);
-  if (!trace_path.empty()) {
-    util::FlightRecorder::disable();
-    util::Tracer::disable();
-    util::FlightRecorder::write_chrome_trace(trace_path);
-  }
+  report.metric("sim_seconds", best_sim);
   report.add_table(tab);
+  obs.finish(report);
   const std::string json = cli.get("json", "BENCH_fig6.json");
   if (json != "none") report.write_file(json);
   std::cout << "paper: best time at b = 16; times increase again at b = 32, 64\n";

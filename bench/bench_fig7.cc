@@ -6,6 +6,7 @@
 // (N >> NP), V1 (b = 1) is the fastest scheme (paper section 7.1.6).
 #include <iostream>
 
+#include "bench_obs.h"
 #include "bst.h"
 
 using namespace bst;
@@ -17,12 +18,7 @@ int main(int argc, char** argv) {
   const la::index_t n = cli.get_int("n", 4096);
   const int np = static_cast<int>(cli.get_int("np", 16));
   const la::index_t p = n / m;
-  const std::string trace_path = cli.get("trace", "");
-  if (!trace_path.empty()) {
-    util::Tracer::reset();
-    util::Tracer::enable();
-    util::FlightRecorder::enable();
-  }
+  bench::Obs obs(cli);
 
   std::cout << "# bench_fig7: " << n << " x " << n << " block Toeplitz, m=" << m
             << ", NP=" << np << " (simulated T3D)\n";
@@ -34,8 +30,10 @@ int main(int argc, char** argv) {
   report.param("m", static_cast<std::int64_t>(m));
   report.param("np", static_cast<std::int64_t>(np));
 
+  double best_sim = 1e300;
   auto add = [&](double blabel, simnet::DistOptions opt) {
     simnet::DistResult r = simnet::dist_schur_model(m, p, opt);
+    best_sim = std::min(best_sim, r.sim_seconds);
     tab.row({blabel, std::string(to_string(opt.layout)), r.sim_seconds,
              r.breakdown.compute / np, r.breakdown.broadcast, r.breakdown.shift / np});
     if (opt.layout == simnet::Layout::V1) {
@@ -43,6 +41,7 @@ int main(int argc, char** argv) {
       for (const simnet::PeCommStats& pe : r.comm) {
         report.add_pe_comm(pe.bytes_sent, pe.bytes_recv, pe.messages);
       }
+      if (!r.schedule.empty()) report.add_par_analysis(util::analyze_schedule(r.schedule));
       report.metric("v1_sim_seconds", r.sim_seconds);
     }
   };
@@ -69,12 +68,9 @@ int main(int argc, char** argv) {
   }
   tab.precision(4);
   tab.print(std::cout);
-  if (!trace_path.empty()) {
-    util::FlightRecorder::disable();
-    util::Tracer::disable();
-    util::FlightRecorder::write_chrome_trace(trace_path);
-  }
+  report.metric("sim_seconds", best_sim);
   report.add_table(tab);
+  obs.finish(report);
   const std::string json = cli.get("json", "BENCH_fig7.json");
   if (json != "none") report.write_file(json);
   std::cout << "paper: for moderate m with N >> NP, V1 (b = 1) gives the fastest "

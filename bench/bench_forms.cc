@@ -8,6 +8,7 @@
 // the naive accumulated-U scheme far more expensive than any blocked form.
 #include <iostream>
 
+#include "bench_obs.h"
 #include "bst.h"
 
 using namespace bst;
@@ -18,7 +19,7 @@ namespace {
 constexpr Representation kReps[] = {Representation::AccumulatedU, Representation::VY1,
                                     Representation::VY2, Representation::YTY};
 
-void model_table(la::index_t p) {
+void model_table(la::index_t p, util::PerfReport& report) {
   util::Table build("Blocking flops to form the step reflector (k = m), eqs. 25-28");
   build.header({"m", "U (eq.25)", "VY1 (eq.26)", "VY2 (eq.27)", "YTY (eq.28)"});
   for (la::index_t m : {2, 4, 8, 16, 32, 64}) {
@@ -27,6 +28,7 @@ void model_table(la::index_t p) {
                core::blocking_flops_yty(m, m)});
   }
   build.print(std::cout);
+  report.add_table(build);
 
   util::Table apply("Application flops to a 2m x mp generator (k = m), eqs. 29-32");
   apply.header({"m", "p", "U (eq.29)", "VY1 (eq.30)", "VY2 (eq.31)", "YTY (eq.32)"});
@@ -37,9 +39,10 @@ void model_table(la::index_t p) {
                core::application_flops_yty(m, p, m)});
   }
   apply.print(std::cout);
+  report.add_table(apply);
 }
 
-void measured_table(la::index_t m, la::index_t p) {
+void measured_table(la::index_t m, la::index_t p, util::PerfReport& report) {
   toeplitz::BlockToeplitz t =
       toeplitz::random_spd_block(m, p, 2, /*seed=*/7).with_block_size(m);
   util::Table tab("Measured: full factorization per representation");
@@ -65,6 +68,7 @@ void measured_table(la::index_t m, la::index_t p) {
              static_cast<long long>(f.flops), dt, static_cast<double>(f.flops) / dt / 1e6});
   }
   tab.print(std::cout);
+  report.add_table(tab);
 }
 
 }  // namespace
@@ -73,9 +77,15 @@ int main(int argc, char** argv) {
   util::enable_flush_to_zero();
   util::Cli cli(argc, argv);
   const la::index_t p = cli.get_int("p", 64);
+  bench::Obs obs(cli);
+  util::PerfReport report("bench_forms");
+  report.param("p", static_cast<std::int64_t>(p));
+  const double run_t0 = util::wall_seconds();
   std::cout << "# bench_forms: representation tradeoffs (paper section 6)\n";
-  model_table(p);
-  measured_table(cli.get_int("m", 16), p);
-  measured_table(cli.get_int("m2", 32), cli.get_int("p2", 32));
+  model_table(p, report);
+  measured_table(cli.get_int("m", 16), p, report);
+  measured_table(cli.get_int("m2", 32), cli.get_int("p2", 32), report);
+  report.metric("time_s", util::wall_seconds() - run_t0);
+  obs.finish(report);
   return 0;
 }

@@ -4,6 +4,7 @@
 // dimensions have sufficient performance advantage...").
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.h"
 #include "bst.h"
 
 using namespace bst;
@@ -133,3 +134,17 @@ void BM_ToeplitzMatvecFft(benchmark::State& state) {
 BENCHMARK(BM_ToeplitzMatvecFft)->Arg(1024)->Arg(4096);
 
 }  // namespace
+
+// Custom main (instead of benchmark::benchmark_main) so the shared
+// observability flags work here too: google-benchmark's Initialize strips
+// the flags it recognises and leaves ours in argv.
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bench::Obs obs(cli);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  util::PerfReport report("bench_kernels");
+  obs.finish(report);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared --trace= / --profile= / --ledger= handling for the bench
+// harnesses, so every bench exposes the same observability surface as
+// bst_solve without five copies of the flag-parsing block:
+//
+//   Obs obs(cli);                       // arms Tracer / FlightRecorder
+//   ... run the benchmark ...
+//   util::PerfReport report("bench_x"); // params/metrics/tables as usual
+//   obs.finish(report);                 // trace file, profile file, ledger
+//
+// finish() is safe to call when no flag was given (it does nothing), so
+// benches need no conditionals.  docs/BENCHMARKING.md documents the flags.
+#pragma once
+
+#include <string>
+
+#include "util/cli.h"
+#include "util/flight_recorder.h"
+#include "util/ledger.h"
+#include "util/report.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace bst::bench {
+
+class Obs {
+ public:
+  explicit Obs(const util::Cli& cli)
+      : trace_(cli.get("trace", "")),
+        profile_(cli.get("profile", "")),
+        ledger_(cli.get("ledger", "")) {
+    if (!armed()) return;
+    util::Tracer::reset();
+    util::ThreadPool::global().reset_worker_stats();
+    util::Tracer::enable();
+    if (!trace_.empty()) util::FlightRecorder::enable();
+  }
+
+  /// True when any observability flag was given.
+  [[nodiscard]] bool armed() const noexcept {
+    return !trace_.empty() || !profile_.empty() || !ledger_.empty();
+  }
+
+  /// Stops recording and writes everything that was requested: the chrome
+  /// trace, the JSON profile (with thread-pool utilization attached) and
+  /// the ledger line.  Call once, after the run.
+  void finish(util::PerfReport& report) {
+    if (!armed()) return;
+    if (!trace_.empty()) {
+      util::FlightRecorder::disable();
+      util::FlightRecorder::write_chrome_trace(trace_);
+    }
+    util::Tracer::disable();
+    for (const util::WorkerStats& w : util::ThreadPool::global().worker_stats()) {
+      report.add_thread(w.busy_seconds, w.idle_seconds, w.chunks);
+    }
+    if (!profile_.empty()) report.write_file(profile_);
+    if (!ledger_.empty()) util::append_ledger(ledger_, report.build());
+  }
+
+ private:
+  std::string trace_, profile_, ledger_;
+};
+
+}  // namespace bst::bench

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_obs.h"
 #include "bst.h"
 
 using namespace bst;
@@ -22,7 +23,7 @@ double err(const std::vector<double>& x, const std::vector<double>& ref) {
   return std::sqrt(s);
 }
 
-void paper_example() {
+void paper_example(util::PerfReport& report) {
   toeplitz::BlockToeplitz t = toeplitz::paper_example_6x6();
   core::IndefiniteOptions opt;
   opt.delta = 1e-5;  // cbrt(1e-16), the paper's choice
@@ -85,9 +86,10 @@ void paper_example() {
   }
   tab.precision(5);
   tab.print(std::cout);
+  report.add_table(tab);
 }
 
-void family_table(la::index_t n, int seeds) {
+void family_table(la::index_t n, int seeds, util::PerfReport& report) {
   util::Table tab("Random singular-minor Toeplitz systems (n = " + std::to_string(n) + ")");
   tab.header({"seed", "perturbations", "interchanges", "refine steps", "final rel err"});
   for (int seed = 1; seed <= seeds; ++seed) {
@@ -109,6 +111,7 @@ void family_table(la::index_t n, int seeds) {
   }
   tab.precision(3);
   tab.print(std::cout);
+  report.add_table(tab);
   std::cout << "paper: \"typically two steps of iterative refinement are sufficient\"\n";
 }
 
@@ -117,10 +120,18 @@ void family_table(la::index_t n, int seeds) {
 int main(int argc, char** argv) {
   util::enable_flush_to_zero();
   util::Cli cli(argc, argv);
+  bench::Obs obs(cli);
+  util::PerfReport report("bench_refine");
+  report.param("n", cli.get_int("n", 64));
+  report.param("n2", cli.get_int("n2", 256));
+  report.param("seeds", cli.get_int("seeds", 10));
+  const double run_t0 = util::wall_seconds();
   std::cout << "# bench_refine: singular-minor perturbation + iterative refinement "
                "(paper section 8)\n";
-  paper_example();
-  family_table(cli.get_int("n", 64), static_cast<int>(cli.get_int("seeds", 10)));
-  family_table(cli.get_int("n2", 256), static_cast<int>(cli.get_int("seeds", 10)));
+  paper_example(report);
+  family_table(cli.get_int("n", 64), static_cast<int>(cli.get_int("seeds", 10)), report);
+  family_table(cli.get_int("n2", 256), static_cast<int>(cli.get_int("seeds", 10)), report);
+  report.metric("time_s", util::wall_seconds() - run_t0);
+  obs.finish(report);
   return 0;
 }

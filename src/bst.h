@@ -49,7 +49,9 @@
 #include "util/flight_recorder.h"
 #include "util/flops.h"
 #include "util/fpenv.h"
+#include "util/ledger.h"
 #include "util/metrics.h"
+#include "util/par_analysis.h"
 #include "util/report.h"
 #include "util/rng.h"
 #include "util/table.h"

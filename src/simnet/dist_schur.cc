@@ -8,6 +8,8 @@
 #include "core/generator.h"
 #include "core/schur.h"
 #include "la/blas.h"
+#include "util/flight_recorder.h"
+#include "util/par_analysis.h"
 #include "util/trace.h"
 
 namespace bst::simnet {
@@ -215,11 +217,13 @@ DistResult dist_schur_model(index_t m, index_t p, const DistOptions& opt) {
     util::Tracer::set_step(i);
     charge_step(mach, map, opt, m, i, p);
   }
+  util::emit_schedule(mach.schedule());
   DistResult res;
   res.sim_seconds = mach.time();
   res.breakdown = mach.breakdown();
   res.comm = mach.comm_stats();
   res.steps = p - 1;
+  res.schedule = mach.take_schedule();
   return res;
 }
 
@@ -296,12 +300,14 @@ DistResult dist_schur_factor(const toeplitz::BlockToeplitz& t, const DistOptions
     emit(i);
   }
 
+  util::emit_schedule(mach.schedule());
   DistResult res;
   res.sim_seconds = mach.time();
   res.breakdown = mach.breakdown();
   res.comm = mach.comm_stats();
   res.steps = p - 1;
   res.r = std::move(r);
+  res.schedule = mach.take_schedule();
   return res;
 }
 

@@ -55,6 +55,9 @@ struct DistResult {
   std::vector<PeCommStats> comm;  // per-PE send/recv volume (paper sec. 7.1)
   index_t steps = 0;
   std::optional<la::Mat> r;  // the n x n factor when requested
+  /// Per-PE span capture (empty unless the Tracer was enabled); feed to
+  /// util::analyze_schedule for the comm matrix / critical path sections.
+  util::ParSchedule schedule;
 };
 
 /// Runs the distributed factorization.  With want_factor the numerical

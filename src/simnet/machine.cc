@@ -27,6 +27,16 @@ Machine::Machine(int np, MachineParams params) : params_(params) {
   assert(np >= 1);
   clock_.assign(static_cast<std::size_t>(np), 0.0);
   comm_.assign(static_cast<std::size_t>(np), PeCommStats{});
+  // Capture per-PE spans whenever observability is armed; the schedule is a
+  // few hundred bytes per Schur step, negligible next to the model itself.
+  capture_ = util::Tracer::enabled();
+  sched_.np = np;
+}
+
+void Machine::rec(int pe, util::SpanKind kind, double t0, double t1, double bytes, int peer) {
+  if (!capture_) return;
+  sched_.spans.push_back(
+      {pe, peer, util::Tracer::current_step(), kind, t0, t1, bytes});
 }
 
 int Machine::tree_depth() const {
@@ -38,7 +48,9 @@ int Machine::tree_depth() const {
 
 void Machine::compute(int pe, double flops) {
   const double dt = flops / params_.flop_rate;
-  clock_[static_cast<std::size_t>(pe)] += dt;
+  double& c = clock_[static_cast<std::size_t>(pe)];
+  rec(pe, util::SpanKind::kCompute, c, c + dt);
+  c += dt;
   acct_.compute += dt;
 }
 
@@ -50,7 +62,12 @@ void Machine::put_many(int src, int dst, double messages, double bytes) {
   double& s = clock_[static_cast<std::size_t>(src)];
   double& d = clock_[static_cast<std::size_t>(dst)];
   // Sender is busy for the injections; receiver synchronizes with arrival.
+  rec(src, util::SpanKind::kSend, s, s + dt, messages * bytes, dst);
   s += dt;
+  // The receive span may be zero-length (message arrived before the
+  // receiver would have waited); it still carries the bytes for the
+  // communication matrix.
+  rec(dst, util::SpanKind::kRecv, d, std::max(d, s), messages * bytes, src);
   d = std::max(d, s);
   acct_.shift += dt;
   record_msg_bytes(bytes);
@@ -65,10 +82,14 @@ void Machine::exchange(const std::vector<ShiftMsg>& msgs) {
     if (m.src == m.dst || m.messages <= 0.0) continue;
     const double dt = m.messages * (params_.latency + m.bytes / params_.bandwidth);
     record_msg_bytes(m.bytes);
-    clock_[static_cast<std::size_t>(m.src)] =
-        std::max(clock_[static_cast<std::size_t>(m.src)], snap[static_cast<std::size_t>(m.src)] + dt);
-    clock_[static_cast<std::size_t>(m.dst)] =
-        std::max(clock_[static_cast<std::size_t>(m.dst)], snap[static_cast<std::size_t>(m.src)] + dt);
+    const double arrive = snap[static_cast<std::size_t>(m.src)] + dt;
+    double& sc = clock_[static_cast<std::size_t>(m.src)];
+    double& dc = clock_[static_cast<std::size_t>(m.dst)];
+    rec(m.src, util::SpanKind::kSend, snap[static_cast<std::size_t>(m.src)], arrive,
+        m.messages * m.bytes, m.dst);
+    rec(m.dst, util::SpanKind::kRecv, dc, std::max(dc, arrive), m.messages * m.bytes, m.src);
+    sc = std::max(sc, arrive);
+    dc = std::max(dc, arrive);
     acct_.shift += dt;
     comm_[static_cast<std::size_t>(m.src)].bytes_sent += m.messages * m.bytes;
     comm_[static_cast<std::size_t>(m.src)].messages += m.messages;
@@ -81,7 +102,14 @@ void Machine::broadcast(int root, double bytes) {
   const double per_hop = params_.latency + bytes / params_.bandwidth;
   const double dt = static_cast<double>(depth) * per_hop;
   const double t0 = clock_[static_cast<std::size_t>(root)] + dt;
-  for (double& c : clock_) c = std::max(c, t0);
+  rec(root, util::SpanKind::kBroadcast, clock_[static_cast<std::size_t>(root)], t0, bytes);
+  for (int pe = 0; pe < np(); ++pe) {
+    double& c = clock_[static_cast<std::size_t>(pe)];
+    if (pe != root) {
+      rec(pe, util::SpanKind::kBroadcastRecv, c, std::max(c, t0), bytes, root);
+    }
+    c = std::max(c, t0);
+  }
   acct_.broadcast += dt;
   record_msg_bytes(bytes);
   comm_[static_cast<std::size_t>(root)].bytes_sent += bytes;
@@ -92,14 +120,19 @@ void Machine::broadcast(int root, double bytes) {
 }
 
 void Machine::comm_delay(int pe, double seconds) {
-  clock_[static_cast<std::size_t>(pe)] += seconds;
+  double& c = clock_[static_cast<std::size_t>(pe)];
+  rec(pe, util::SpanKind::kBroadcast, c, c + seconds);
+  c += seconds;
   acct_.broadcast += seconds;
 }
 
 void Machine::barrier() {
   const double cost = static_cast<double>(tree_depth()) * params_.barrier_hop;
   const double tmax = *std::max_element(clock_.begin(), clock_.end());
-  for (double& c : clock_) {
+  for (int pe = 0; pe < np(); ++pe) {
+    double& c = clock_[static_cast<std::size_t>(pe)];
+    if (tmax > c) rec(pe, util::SpanKind::kIdle, c, tmax);
+    rec(pe, util::SpanKind::kBarrier, tmax, tmax + cost);
     acct_.barrier += (tmax - c);  // idle time absorbed at the barrier
     c = tmax + cost;
   }

@@ -13,7 +13,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "util/par_analysis.h"
 
 namespace bst::simnet {
 
@@ -109,13 +112,26 @@ class Machine {
   /// Per-PE bytes sent/received and messages injected.
   [[nodiscard]] const std::vector<PeCommStats>& comm_stats() const noexcept { return comm_; }
 
+  /// Span capture for util::analyze_schedule / util::emit_schedule.  On by
+  /// default while the Tracer is enabled at construction; every primitive
+  /// then records one util::PeSpan per PE it touches (including zero-length
+  /// receive spans, which carry bytes for the communication matrix).
+  void set_capture(bool on) noexcept { capture_ = on; }
+  [[nodiscard]] bool capturing() const noexcept { return capture_; }
+  [[nodiscard]] const util::ParSchedule& schedule() const noexcept { return sched_; }
+  [[nodiscard]] util::ParSchedule take_schedule() noexcept { return std::move(sched_); }
+
  private:
   [[nodiscard]] int tree_depth() const;
+  void rec(int pe, util::SpanKind kind, double t0, double t1, double bytes = 0.0,
+           int peer = -1);
 
   MachineParams params_;
   std::vector<double> clock_;
   TimeBreakdown acct_;
   std::vector<PeCommStats> comm_;
+  bool capture_ = false;
+  util::ParSchedule sched_;
 };
 
 }  // namespace bst::simnet

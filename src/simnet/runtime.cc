@@ -1,8 +1,10 @@
 #include "simnet/runtime.h"
 
 #include <exception>
+#include <string>
 #include <thread>
 
+#include "util/flight_recorder.h"
 #include "util/metrics.h"
 
 namespace bst::simnet {
@@ -73,14 +75,35 @@ class SpmdContext {
 
 int Comm::size() const noexcept { return ctx_->size(); }
 
+namespace {
+
+// Wall-clock spans for the threaded backend's messaging, so a --trace of an
+// SPMD run shows where each PE thread blocks (mirrors the cost model's
+// shift_send/shift_recv virtual spans).
+util::PhaseId send_phase() {
+  static const util::PhaseId id = util::Tracer::phase("msg_send");
+  return id;
+}
+util::PhaseId recv_phase() {
+  static const util::PhaseId id = util::Tracer::phase("msg_recv");
+  return id;
+}
+
+}  // namespace
+
 void Comm::send(int dst, int tag, std::vector<double> data) {
   if (util::Tracer::enabled()) {
     util::Metrics::record(msg_hist(), data.size() * sizeof(double));
   }
+  util::TraceSpan span(send_phase());
+  util::ByteCounter::charge(data.size() * sizeof(double));
   ctx_->send(rank_, dst, tag, std::move(data));
 }
 
-std::vector<double> Comm::recv(int src, int tag) { return ctx_->recv(rank_, src, tag); }
+std::vector<double> Comm::recv(int src, int tag) {
+  util::TraceSpan span(recv_phase());
+  return ctx_->recv(rank_, src, tag);
+}
 
 void Comm::broadcast(int root, std::vector<double>& data) {
   // Naive rooted broadcast on a dedicated tag channel; correctness (not
@@ -106,6 +129,9 @@ void run_spmd(int np, const std::function<void(Comm&)>& body) {
   for (int pe = 0; pe < np; ++pe) {
     threads.emplace_back([&, pe] {
       Comm comm(&ctx, pe);
+      if (util::FlightRecorder::enabled()) {
+        util::FlightRecorder::label_thread("pe:" + std::to_string(pe));
+      }
       try {
         body(comm);
       } catch (...) {

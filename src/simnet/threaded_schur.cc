@@ -24,6 +24,7 @@ const util::PhaseId kBuildPhase = util::Tracer::phase("reflector_build");
 const util::PhaseId kApplyPhase = util::Tracer::phase("reflector_apply");
 const util::PhaseId kShiftPhase = util::Tracer::phase("dist_shift");
 const util::PhaseId kGatherPhase = util::Tracer::phase("dist_gather");
+const util::PhaseId kBarrierPhase = util::Tracer::phase("dist_barrier");
 
 // Message tags: disjoint ranges per protocol phase.
 constexpr int kTagShiftBase = 1'000'000;  // + logical column
@@ -186,7 +187,10 @@ la::Mat threaded_schur_factor(const toeplitz::BlockToeplitz& t, const DistOption
       }
 
       gather_row(i);
-      comm.barrier();
+      {
+        util::TraceSpan span(kBarrierPhase);
+        comm.barrier();
+      }
     }
   });
   return r_out;
@@ -347,7 +351,10 @@ la::Mat threaded_schur_v3(const toeplitz::BlockToeplitz& spec, const DistOptions
       }
 
       gather_row(i);
-      comm.barrier();
+      {
+        util::TraceSpan span(kBarrierPhase);
+        comm.barrier();
+      }
     }
   });
   return r_out;

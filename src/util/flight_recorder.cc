@@ -17,6 +17,8 @@ struct ThreadRing {
       : tid(id), ring(capacity) {}
 
   std::uint32_t tid;
+  std::string label;                   // guarded by the registry mutex
+  bool is_virtual = false;             // virtual_track() ring (virtual time)
   std::atomic<std::uint64_t> head{0};  // total events ever recorded
   std::vector<FlightEvent> ring;
 
@@ -104,7 +106,41 @@ void FlightRecorder::instant(PhaseId phase, std::int64_t step, double value,
                              double threshold) noexcept {
   if (!enabled()) return;
   my_ring()->push({TraceClock::now_ns(), step, bits(value), bits(threshold), phase,
-                   EventKind::kInstant});
+                   EventKind::kInstant, -1});
+}
+
+void FlightRecorder::label_thread(const std::string& label) {
+  ThreadRing* ring = my_ring();
+  std::lock_guard lock(registry().mu);
+  ring->label = label;
+}
+
+std::uint32_t FlightRecorder::virtual_track(const std::string& label) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (const auto& r : reg.rings) {
+    if (r->is_virtual && r->label == label) return r->tid;
+  }
+  reg.rings.push_back(std::make_unique<ThreadRing>(
+      static_cast<std::uint32_t>(reg.rings.size()), reg.capacity));
+  reg.rings.back()->label = label;
+  reg.rings.back()->is_virtual = true;
+  return reg.rings.back()->tid;
+}
+
+void FlightRecorder::virtual_span(std::uint32_t tid, PhaseId phase, std::int64_t step,
+                                  std::uint64_t t0_ns, std::uint64_t t1_ns,
+                                  std::uint64_t bytes, std::int32_t peer) {
+  if (!enabled()) return;
+  Registry& reg = registry();
+  ThreadRing* ring = nullptr;
+  {
+    std::lock_guard lock(reg.mu);
+    if (tid >= reg.rings.size()) return;
+    ring = reg.rings[tid].get();
+  }
+  ring->push({t0_ns, step, 0, 0, phase, EventKind::kBegin, peer});
+  ring->push({t1_ns, step, 0, bytes, phase, EventKind::kEnd, peer});
 }
 
 std::vector<ThreadEvents> FlightRecorder::snapshot() {
@@ -117,6 +153,8 @@ std::vector<ThreadEvents> FlightRecorder::snapshot() {
     const std::uint64_t cap = r->ring.size();
     ThreadEvents te;
     te.tid = r->tid;
+    te.label = r->label;
+    te.virtual_time = r->is_virtual;
     te.dropped = head > cap ? head - cap : 0;
     const std::uint64_t first = head > cap ? head - cap : 0;
     te.events.reserve(static_cast<std::size_t>(head - first));
@@ -171,15 +209,30 @@ void FlightRecorder::write_chrome_trace(std::ostream& os) {
     return "phase_" + std::to_string(p);
   };
 
-  // Common time origin so threads align in the viewer.
+  // Common time origin so threads align in the viewer.  Virtual tracks
+  // (replayed simulated schedules) are already zero-based in virtual time;
+  // only the steady-clock rings need rebasing.
   std::uint64_t t0 = ~std::uint64_t{0};
+  bool any_real = false;
   for (const ThreadEvents& te : threads) {
+    if (te.virtual_time) continue;
+    any_real = true;
     for (const FlightEvent& e : te.events) t0 = std::min(t0, e.ts_ns);
   }
-  if (threads.empty()) t0 = 0;
+  if (!any_real) t0 = 0;
 
   os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
   bool first = true;
+  // Track-name metadata first, so viewers show "pe:<k>" labels.
+  for (const ThreadEvents& te : threads) {
+    if (te.label.empty()) continue;
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << te.tid
+       << ", \"args\": {\"name\": ";
+    write_json_string(os, te.label);
+    os << "}}";
+  }
   for (const ThreadEvents& te : threads) {
     // Re-balance: drop Ends whose Begin was lost to ring wrap, and Begins
     // still open at snapshot, so every emitted tid nests B/E exactly.
@@ -202,17 +255,21 @@ void FlightRecorder::write_chrome_trace(std::ostream& os) {
     for (std::size_t i = 0; i < te.events.size(); ++i) {
       if (!emit[i]) continue;
       const FlightEvent& e = te.events[i];
-      const double ts_us = static_cast<double>(e.ts_ns - t0) * 1e-3;
+      const double ts_us = static_cast<double>(e.ts_ns - (te.virtual_time ? 0 : t0)) * 1e-3;
       switch (e.kind) {
-        case EventKind::kBegin:
-          write_event(os, first, name_of(e.phase), 'B', te.tid, ts_us,
-                      "\"step\": " + std::to_string(e.step));
+        case EventKind::kBegin: {
+          std::string args = "\"step\": " + std::to_string(e.step);
+          if (e.peer >= 0) args += ", \"peer\": " + std::to_string(e.peer);
+          write_event(os, first, name_of(e.phase), 'B', te.tid, ts_us, args);
           break;
-        case EventKind::kEnd:
-          write_event(os, first, name_of(e.phase), 'E', te.tid, ts_us,
-                      "\"flops\": " + std::to_string(e.a) +
-                          ", \"bytes\": " + std::to_string(e.b));
+        }
+        case EventKind::kEnd: {
+          std::string args = "\"flops\": " + std::to_string(e.a) +
+                             ", \"bytes\": " + std::to_string(e.b);
+          if (e.peer >= 0) args += ", \"peer\": " + std::to_string(e.peer);
+          write_event(os, first, name_of(e.phase), 'E', te.tid, ts_us, args);
           break;
+        }
         case EventKind::kInstant: {
           std::string args = "\"step\": " + std::to_string(e.step) +
                              ", \"value\": " + num(unbits(e.a)) +

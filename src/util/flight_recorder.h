@@ -45,18 +45,21 @@ enum class EventKind : std::uint8_t {
 
 /// One flight-recorder record (POD; 48 bytes).
 struct FlightEvent {
-  std::uint64_t ts_ns = 0;   // steady-clock timestamp
+  std::uint64_t ts_ns = 0;   // steady-clock (or virtual) timestamp
   std::int64_t step = 0;     // Schur step index (Tracer::current_step())
   std::uint64_t a = 0;       // kind-dependent payload (see EventKind)
   std::uint64_t b = 0;
   PhaseId phase = -1;        // interned name (Tracer::phase registry)
   EventKind kind = EventKind::kBegin;
+  std::int32_t peer = -1;    // message partner PE (simnet spans; -1 = none)
 };
 
 /// Snapshot of one thread's ring, oldest event first.
 struct ThreadEvents {
   std::uint32_t tid = 0;            // dense recorder-assigned id
   std::uint64_t dropped = 0;        // events lost to ring wrap
+  std::string label;                // display name ("pe:<k>"; "" = unnamed)
+  bool virtual_time = false;        // virtual_track(): ts is virtual, zero-based
   std::vector<FlightEvent> events;
 };
 
@@ -83,6 +86,22 @@ class FlightRecorder {
   /// Records an instant marker (watchdog warnings; no-ops off).
   static void instant(PhaseId phase, std::int64_t step, double value,
                       double threshold) noexcept;
+
+  /// Names the calling thread's track in the exported trace (chrome-trace
+  /// "thread_name" metadata).  The SPMD runtime labels its PE threads
+  /// "pe:<k>" so threaded runs read as per-PE timelines.
+  static void label_thread(const std::string& label);
+
+  /// Registers (or finds) a *virtual* track: a ring owned by no thread,
+  /// used to replay simulated per-PE schedules (util/par_analysis.h) with
+  /// virtual timestamps.  One writer at a time per track.
+  static std::uint32_t virtual_track(const std::string& label);
+
+  /// Appends one balanced begin/end pair to a virtual track.  `bytes` and
+  /// `peer` land in the end event's payload.
+  static void virtual_span(std::uint32_t tid, PhaseId phase, std::int64_t step,
+                           std::uint64_t t0_ns, std::uint64_t t1_ns, std::uint64_t bytes,
+                           std::int32_t peer);
 
   /// Copies out every thread's ring, oldest-first per thread.
   static std::vector<ThreadEvents> snapshot();

@@ -1,0 +1,162 @@
+#include "util/ledger.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <stdexcept>
+
+namespace bst::util {
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+std::string build_git_revision() {
+#if defined(BST_GIT_DESCRIBE)
+  return BST_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string fnv1a_hex(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+Json ledger_entry(const Json& report_doc) {
+  Json e = Json::object();
+  e.set("utc", Json::string(utc_timestamp()));
+  e.set("git", Json::string(build_git_revision()));
+  if (const Json* tool = report_doc.find("tool"); tool != nullptr) e.set("tool", *tool);
+  if (const Json* params = report_doc.find("params"); params != nullptr) {
+    e.set("params_hash", Json::string(fnv1a_hex(params->dump_compact())));
+    e.set("params", *params);
+  } else {
+    e.set("params_hash", Json::string(fnv1a_hex("{}")));
+  }
+  if (const Json* phases = report_doc.find("phases"); phases != nullptr) {
+    Json out = Json::object();
+    for (const auto& [name, ph] : phases->members()) {
+      const Json* sec = ph.find("seconds");
+      if (sec != nullptr && sec->kind() == Json::Kind::Number) out.set(name, *sec);
+    }
+    if (!out.members().empty()) e.set("phases", std::move(out));
+  }
+  if (const Json* metrics = report_doc.find("metrics"); metrics != nullptr) {
+    e.set("metrics", *metrics);
+  }
+  std::uint64_t warnings = 0;
+  if (const Json* w = report_doc.find("warnings"); w != nullptr) warnings += w->items().size();
+  if (const Json* d = report_doc.find("warnings_dropped");
+      d != nullptr && d->kind() == Json::Kind::Number) {
+    warnings += static_cast<std::uint64_t>(d->as_number());
+  }
+  e.set("warnings", Json::number(warnings));
+  return e;
+}
+
+void append_ledger(const std::string& path, const Json& report_doc) {
+  std::ofstream f(path, std::ios::app);
+  if (!f) throw std::runtime_error("ledger: cannot open '" + path + "' for appending");
+  ledger_entry(report_doc).write_compact(f);
+  f << '\n';
+}
+
+std::vector<Json> read_ledger(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("ledger: cannot open '" + path + "'");
+  std::vector<Json> out;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      Json e = parse_json(line);
+      if (e.kind() == Json::Kind::Object) out.push_back(std::move(e));
+    } catch (const std::exception&) {
+      // Corrupt lines (interrupted appends) must not poison the history.
+    }
+  }
+  return out;
+}
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+void collect_keys(const std::vector<Json>& entries, const char* section,
+                  std::vector<std::string>& keys) {
+  for (const Json& e : entries) {
+    const Json* obj = e.find(section);
+    if (obj == nullptr) continue;
+    for (const auto& [k, v] : obj->members()) {
+      if (v.kind() != Json::Kind::Number) continue;
+      const std::string key = std::string(section) + "." + k;
+      if (std::find(keys.begin(), keys.end(), key) == keys.end()) keys.push_back(key);
+    }
+  }
+}
+
+}  // namespace
+
+TrendReport ledger_trend(const std::vector<Json>& entries, double max_regress,
+                         double min_seconds) {
+  TrendReport rep;
+  std::vector<std::string> keys;
+  collect_keys(entries, "phases", keys);
+  collect_keys(entries, "metrics", keys);
+  std::sort(keys.begin(), keys.end());
+
+  for (const std::string& key : keys) {
+    const std::size_t dot = key.find('.');
+    const std::string section = key.substr(0, dot), name = key.substr(dot + 1);
+    TrendStat st;
+    st.key = key;
+    for (const Json& e : entries) {
+      const Json* obj = e.find(section);
+      const Json* v = obj != nullptr ? obj->find(name) : nullptr;
+      if (v != nullptr && v->kind() == Json::Kind::Number) st.values.push_back(v->as_number());
+    }
+    if (st.values.empty()) continue;
+    st.min = *std::min_element(st.values.begin(), st.values.end());
+    st.median = median_of(st.values);
+    st.last = st.values.back();
+    st.baseline = st.values.size() > 1
+                      ? median_of({st.values.begin(), st.values.end() - 1})
+                      : st.last;
+    st.rel = st.baseline > 0.0 ? (st.last - st.baseline) / st.baseline : 0.0;
+    // Only time-denominated series can *fail* the gate; counters and
+    // residuals are informational (a residual rising is a watchdog matter,
+    // not a perf regression).
+    st.gated = section == "phases" || key == "metrics.time_s" || key == "metrics.sim_seconds";
+    st.regressed = st.gated && max_regress >= 0.0 && st.values.size() > 1 &&
+                   st.baseline >= min_seconds && st.rel > max_regress;
+    if (st.regressed) ++rep.regressions;
+    rep.series.push_back(std::move(st));
+  }
+  return rep;
+}
+
+}  // namespace bst::util

@@ -1,0 +1,192 @@
+#include "util/par_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/flight_recorder.h"
+#include "util/trace.h"
+
+namespace bst::util {
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kSend: return "shift_send";
+    case SpanKind::kRecv: return "shift_recv";
+    case SpanKind::kBroadcast: return "broadcast";
+    case SpanKind::kBroadcastRecv: return "broadcast_recv";
+    case SpanKind::kBarrier: return "barrier";
+    case SpanKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kNumKinds = 7;
+
+void usage_add(PeUsage& u, SpanKind k, double dt) {
+  switch (k) {
+    case SpanKind::kCompute: u.compute += dt; break;
+    case SpanKind::kSend: u.send += dt; break;
+    case SpanKind::kRecv: u.recv += dt; break;
+    case SpanKind::kBroadcast:
+    case SpanKind::kBroadcastRecv: u.broadcast += dt; break;
+    case SpanKind::kBarrier: u.barrier += dt; break;
+    case SpanKind::kIdle: u.idle += dt; break;
+  }
+}
+
+// Predecessor preference along the critical path: when several spans end
+// exactly where the current one starts (a barrier release matches every
+// arriving PE), attribute the path to real work first and idle time last.
+int kind_priority(SpanKind k) {
+  switch (k) {
+    case SpanKind::kCompute: return 0;
+    case SpanKind::kSend: return 1;
+    case SpanKind::kBroadcast: return 2;
+    case SpanKind::kRecv: return 3;
+    case SpanKind::kBroadcastRecv: return 4;
+    case SpanKind::kBarrier: return 5;
+    case SpanKind::kIdle: return 6;
+  }
+  return 7;
+}
+
+}  // namespace
+
+ParAnalysis analyze_schedule(const ParSchedule& sched) {
+  ParAnalysis a;
+  const int np = std::max(sched.np, 1);
+  a.per_pe.assign(static_cast<std::size_t>(np), PeUsage{});
+  a.comm_matrix.assign(static_cast<std::size_t>(np),
+                       std::vector<double>(static_cast<std::size_t>(np), 0.0));
+  a.critical_by_kind.assign(kNumKinds, 0.0);
+  if (sched.empty()) return a;
+
+  for (const PeSpan& s : sched.spans) {
+    a.makespan = std::max(a.makespan, s.t1);
+    if (s.pe >= 0 && s.pe < np) {
+      usage_add(a.per_pe[static_cast<std::size_t>(s.pe)], s.kind, s.seconds());
+    }
+    if ((s.kind == SpanKind::kRecv || s.kind == SpanKind::kBroadcastRecv) && s.peer >= 0 &&
+        s.peer < np && s.pe >= 0 && s.pe < np) {
+      a.comm_matrix[static_cast<std::size_t>(s.peer)][static_cast<std::size_t>(s.pe)] += s.bytes;
+    }
+  }
+
+  double max_compute = 0.0, sum_compute = 0.0;
+  for (const PeUsage& u : a.per_pe) {
+    max_compute = std::max(max_compute, u.compute);
+    sum_compute += u.compute;
+  }
+  a.imbalance = sum_compute > 0.0 ? max_compute / (sum_compute / np) : 0.0;
+
+  // ---- critical path -------------------------------------------------------
+  // Dependency structure of the capture: every span starts at its PE's
+  // clock and every clock advance is a max() against a predecessor's end
+  // time, so the critical predecessor of a span is exactly a span whose end
+  // equals its start (same PE, or the sender/straggler across PEs).  Walk
+  // back from the span that ends at the makespan, matching end times within
+  // a tolerance; zero-length spans carry no time and are skipped.
+  std::vector<const PeSpan*> by_end;
+  by_end.reserve(sched.spans.size());
+  for (const PeSpan& s : sched.spans) {
+    if (s.seconds() > 0.0) by_end.push_back(&s);
+  }
+  if (by_end.empty()) return a;
+  std::sort(by_end.begin(), by_end.end(),
+            [](const PeSpan* x, const PeSpan* y) { return x->t1 < y->t1; });
+
+  const double tol = std::max(1e-12, a.makespan * 1e-12);
+  const PeSpan* cur = nullptr;
+  // Start from the latest-ending span (preferring real work on ties).
+  {
+    double best_t1 = by_end.back()->t1;
+    for (auto it = by_end.rbegin(); it != by_end.rend() && (*it)->t1 >= best_t1 - tol; ++it) {
+      if (cur == nullptr || kind_priority((*it)->kind) < kind_priority(cur->kind)) cur = *it;
+    }
+  }
+
+  std::vector<const PeSpan*> chain;
+  const std::size_t max_chain = sched.spans.size() + 1;  // cycle guard
+  while (cur != nullptr && chain.size() < max_chain) {
+    chain.push_back(cur);
+    const double target = cur->t0;
+    if (target <= tol) break;
+    // All positive-length spans ending within tol of `target`.
+    auto lo = std::lower_bound(by_end.begin(), by_end.end(), target - tol,
+                               [](const PeSpan* s, double t) { return s->t1 < t; });
+    const PeSpan* best = nullptr;
+    for (auto it = lo; it != by_end.end() && (*it)->t1 <= target + tol; ++it) {
+      const PeSpan* s = *it;
+      if (s == cur || s->t0 >= target - tol) continue;  // must carry time backwards
+      if (best == nullptr) {
+        best = s;
+        continue;
+      }
+      const int ps = kind_priority(s->kind), pb = kind_priority(best->kind);
+      if (ps < pb || (ps == pb && s->pe == cur->pe && best->pe != cur->pe)) best = s;
+    }
+    cur = best;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  for (const PeSpan* s : chain) {
+    a.critical_path_seconds += s->seconds();
+    a.critical_by_kind[static_cast<std::size_t>(s->kind)] += s->seconds();
+    if (!a.critical_path.empty() && a.critical_path.back().pe == s->pe &&
+        a.critical_path.back().kind == s->kind) {
+      CritSegment& seg = a.critical_path.back();
+      seg.seconds += s->seconds();
+      seg.first_step = std::min(seg.first_step, s->step);
+      seg.last_step = std::max(seg.last_step, s->step);
+    } else {
+      a.critical_path.push_back({s->pe, s->kind, s->step, s->step, s->seconds()});
+    }
+  }
+  a.critical_slack = a.makespan - a.critical_path_seconds;
+  return a;
+}
+
+void emit_schedule(const ParSchedule& sched) {
+  if (!FlightRecorder::enabled() || sched.empty()) return;
+
+  static const PhaseId kKindPhase[kNumKinds] = {
+      Tracer::phase("compute"),       Tracer::phase("shift_send"),
+      Tracer::phase("shift_recv"),    Tracer::phase("broadcast"),
+      Tracer::phase("broadcast_recv"), Tracer::phase("barrier"),
+      Tracer::phase("idle"),
+  };
+
+  // Replay per PE in start order so every virtual track's events are
+  // chronological and its begin/end pairs nest trivially.
+  std::vector<std::vector<const PeSpan*>> per_pe(static_cast<std::size_t>(std::max(sched.np, 1)));
+  for (const PeSpan& s : sched.spans) {
+    if (s.seconds() <= 0.0) continue;  // zero-length: matrix-only records
+    if (s.pe < 0 || s.pe >= sched.np) continue;
+    per_pe[static_cast<std::size_t>(s.pe)].push_back(&s);
+  }
+  for (int pe = 0; pe < sched.np; ++pe) {
+    auto& spans = per_pe[static_cast<std::size_t>(pe)];
+    if (spans.empty()) continue;
+    std::stable_sort(spans.begin(), spans.end(), [](const PeSpan* x, const PeSpan* y) {
+      return x->t0 < y->t0;
+    });
+    const std::uint32_t tid = FlightRecorder::virtual_track("pe:" + std::to_string(pe));
+    std::uint64_t prev_end = 0;
+    for (const PeSpan* s : spans) {
+      // Virtual nanoseconds; clamp fp jitter so spans never overlap.
+      std::uint64_t t0 = static_cast<std::uint64_t>(std::llround(s->t0 * 1e9));
+      std::uint64_t t1 = static_cast<std::uint64_t>(std::llround(s->t1 * 1e9));
+      t0 = std::max(t0, prev_end);
+      t1 = std::max(t1, t0);
+      prev_end = t1;
+      FlightRecorder::virtual_span(tid, kKindPhase[static_cast<int>(s->kind)], s->step, t0, t1,
+                                   static_cast<std::uint64_t>(s->bytes), s->peer);
+    }
+  }
+}
+
+}  // namespace bst::util

@@ -1,0 +1,119 @@
+// Post-processing of captured parallel-run schedules: per-PE timelines,
+// the PE x PE communication matrix, and the critical path.
+//
+// The paper's whole experimental argument (section 7, figs. 6-9) is about
+// *where time goes on each PE* -- compute vs. broadcast vs. shift vs.
+// barrier under the V1/V2/V3 layouts.  The simulated Machine (and, for
+// labels only, the threaded SPMD runtime) records one PeSpan per primitive
+// per PE while the Tracer is enabled; this module turns that schedule into
+// the quantities the figures are drawn from:
+//
+//   * per-PE busy/comm/idle breakdown (who is the straggler?),
+//   * a PE x PE byte matrix (who talks to whom, and how much?),
+//   * a load-imbalance index (max/mean compute time),
+//   * the critical path through the send/recv/barrier dependency graph:
+//     the longest chain of spans in which each span starts exactly where
+//     its predecessor ends -- on the same PE, or across PEs through a
+//     message arrival or a barrier release.  Its length telescopes to the
+//     simulated makespan; `consistent()` checks that invariant.
+//
+// The same schedule replays into the flight recorder as one virtual track
+// per PE ("pe:<k>", emit_schedule), so `--trace=` opens as a per-PE Gantt
+// chart in Perfetto / chrome://tracing.  Report sections built from a
+// ParAnalysis are documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bst::util {
+
+/// What a PE was doing during a span (the paper's accounting buckets,
+/// with communication split into its send/receive sides).
+enum class SpanKind : std::uint8_t {
+  kCompute,        // local arithmetic
+  kSend,           // injecting a point-to-point message (shift traffic)
+  kRecv,           // waiting for / synchronizing with a message arrival
+  kBroadcast,      // root side of a tree broadcast (or modeled comm delay)
+  kBroadcastRecv,  // leaf side: waiting for the broadcast front
+  kBarrier,        // inside the barrier tree
+  kIdle,           // stalled at a barrier waiting for the straggler
+};
+
+const char* to_string(SpanKind k);
+
+/// One captured span of one PE's virtual clock.  Zero-length spans are
+/// legal (a message that arrives before the receiver would have waited
+/// still carries bytes for the communication matrix).
+struct PeSpan {
+  int pe = 0;
+  int peer = -1;         // message partner (dst for kSend, src for k*Recv)
+  std::int64_t step = 0; // Schur step (Tracer::current_step() at capture)
+  SpanKind kind = SpanKind::kCompute;
+  double t0 = 0.0;       // virtual seconds
+  double t1 = 0.0;
+  double bytes = 0.0;    // payload volume (kSend / k*Recv)
+
+  [[nodiscard]] double seconds() const noexcept { return t1 - t0; }
+};
+
+/// A whole run's capture: every PE's spans, in capture order.
+struct ParSchedule {
+  int np = 0;
+  std::vector<PeSpan> spans;
+
+  [[nodiscard]] bool empty() const noexcept { return spans.empty(); }
+};
+
+/// Per-PE time totals by bucket (virtual seconds).
+struct PeUsage {
+  double compute = 0.0;
+  double send = 0.0;
+  double recv = 0.0;
+  double broadcast = 0.0;  // root + leaf sides
+  double barrier = 0.0;
+  double idle = 0.0;
+
+  [[nodiscard]] double comm() const noexcept { return send + recv + broadcast; }
+};
+
+/// One merged segment of the critical path: consecutive chain spans on the
+/// same PE with the same kind, chronological order.
+struct CritSegment {
+  int pe = 0;
+  SpanKind kind = SpanKind::kCompute;
+  std::int64_t first_step = 0;
+  std::int64_t last_step = 0;
+  double seconds = 0.0;
+};
+
+/// Everything analyze_schedule() derives from a ParSchedule.
+struct ParAnalysis {
+  double makespan = 0.0;                         // max span end time
+  std::vector<PeUsage> per_pe;                   // indexed by PE
+  std::vector<std::vector<double>> comm_matrix;  // [src][dst] payload bytes
+  double imbalance = 0.0;                        // max/mean per-PE compute
+  std::vector<CritSegment> critical_path;        // chronological segments
+  double critical_path_seconds = 0.0;            // sum of segment seconds
+  double critical_slack = 0.0;                   // makespan - path length
+  /// Per-kind totals along the critical path, indexed by SpanKind.
+  std::vector<double> critical_by_kind;
+
+  /// The invariant the capture must satisfy: the critical path telescopes
+  /// (gaplessly) from the makespan back to t = 0.
+  [[nodiscard]] bool consistent(double rel_tol = 1e-9) const noexcept {
+    return critical_slack <= rel_tol * (makespan > 0.0 ? makespan : 1.0);
+  }
+};
+
+/// Derives timelines, the communication matrix, the imbalance index and
+/// the critical path from a captured schedule.
+ParAnalysis analyze_schedule(const ParSchedule& sched);
+
+/// Replays the schedule into the flight recorder as one virtual track per
+/// PE (labelled "pe:<k>", balanced begin/end pairs with byte/peer payloads)
+/// so write_chrome_trace() yields a per-PE Gantt.  No-op while the
+/// recorder is off or the schedule is empty.
+void emit_schedule(const ParSchedule& sched);
+
+}  // namespace bst::util

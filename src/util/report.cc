@@ -171,6 +171,41 @@ std::string Json::dump() const {
   return os.str();
 }
 
+void Json::write_compact(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::Null: os << "null"; return;
+    case Kind::Bool: os << (bool_ ? "true" : "false"); return;
+    case Kind::Number: write_number(os, num_); return;
+    case Kind::String: write_escaped(os, str_); return;
+    case Kind::Array: {
+      os << '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) os << ',';
+        arr_[i].write_compact(os);
+      }
+      os << ']';
+      return;
+    }
+    case Kind::Object: {
+      os << '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) os << ',';
+        write_escaped(os, obj_[i].first);
+        os << ':';
+        obj_[i].second.write_compact(os);
+      }
+      os << '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump_compact() const {
+  std::ostringstream os;
+  write_compact(os);
+  return os.str();
+}
+
 // ----- parser --------------------------------------------------------------
 
 namespace {
@@ -415,6 +450,59 @@ void PerfReport::add_pe_comm(double bytes_sent, double bytes_recv, double messag
   comm_.push(std::move(p));
 }
 
+void PerfReport::add_par_analysis(const ParAnalysis& a) {
+  Json tl = Json::object();
+  tl.set("makespan", Json::number(a.makespan));
+  tl.set("imbalance", Json::number(a.imbalance));
+  Json per_pe = Json::array();
+  for (const PeUsage& u : a.per_pe) {
+    Json p = Json::object();
+    p.set("compute", Json::number(u.compute));
+    p.set("send", Json::number(u.send));
+    p.set("recv", Json::number(u.recv));
+    p.set("broadcast", Json::number(u.broadcast));
+    p.set("barrier", Json::number(u.barrier));
+    p.set("idle", Json::number(u.idle));
+    per_pe.push(std::move(p));
+  }
+  tl.set("per_pe", std::move(per_pe));
+  pe_timeline_ = std::move(tl);
+
+  Json cm = Json::object();
+  Json rows = Json::array();
+  for (const auto& row : a.comm_matrix) {
+    Json r = Json::array();
+    for (const double v : row) r.push(Json::number(v));
+    rows.push(std::move(r));
+  }
+  cm.set("bytes", std::move(rows));
+  comm_matrix_ = std::move(cm);
+
+  Json cp = Json::object();
+  cp.set("seconds", Json::number(a.critical_path_seconds));
+  cp.set("slack", Json::number(a.critical_slack));
+  cp.set("consistent", Json::boolean(a.consistent()));
+  Json by_kind = Json::object();
+  for (std::size_t k = 0; k < a.critical_by_kind.size(); ++k) {
+    if (a.critical_by_kind[k] > 0.0) {
+      by_kind.set(to_string(static_cast<SpanKind>(k)), Json::number(a.critical_by_kind[k]));
+    }
+  }
+  cp.set("by_kind", std::move(by_kind));
+  Json segs = Json::array();
+  for (const CritSegment& seg : a.critical_path) {
+    Json j = Json::object();
+    j.set("pe", Json::number(static_cast<std::int64_t>(seg.pe)));
+    j.set("kind", Json::string(to_string(seg.kind)));
+    j.set("first_step", Json::number(seg.first_step));
+    j.set("last_step", Json::number(seg.last_step));
+    j.set("seconds", Json::number(seg.seconds));
+    segs.push(std::move(j));
+  }
+  cp.set("segments", std::move(segs));
+  critical_path_ = std::move(cp);
+}
+
 Json PerfReport::build(bool include_tracer) const {
   Json root = Json::object();
   root.set("schema_version", Json::number(static_cast<std::int64_t>(kReportSchemaVersion)));
@@ -438,8 +526,14 @@ Json PerfReport::build(bool include_tracer) const {
   root.set("build", std::move(buildinfo));
 
   if (include_tracer) {
+    // Phase interning, histogram registration and warning arrival orders
+    // all depend on thread timing; sort every keyed section so identical
+    // runs serialize byte-identically (and bst_report diffs stay stable).
     Json phases = Json::object();
-    for (const PhaseStats& ps : Tracer::snapshot()) {
+    std::vector<PhaseStats> phase_stats = Tracer::snapshot();
+    std::sort(phase_stats.begin(), phase_stats.end(),
+              [](const PhaseStats& x, const PhaseStats& y) { return x.name < y.name; });
+    for (const PhaseStats& ps : phase_stats) {
       Json p = Json::object();
       p.set("calls", Json::number(ps.calls));
       p.set("seconds", Json::number(ps.seconds));
@@ -460,7 +554,10 @@ Json PerfReport::build(bool include_tracer) const {
     if (!steps.items().empty()) root.set("steps", std::move(steps));
 
     Json hists = Json::object();
-    for (const HistogramStats& hs : Metrics::snapshot()) {
+    std::vector<HistogramStats> hist_stats = Metrics::snapshot();
+    std::sort(hist_stats.begin(), hist_stats.end(),
+              [](const HistogramStats& x, const HistogramStats& y) { return x.name < y.name; });
+    for (const HistogramStats& hs : hist_stats) {
       Json h = Json::object();
       h.set("count", Json::number(hs.count));
       h.set("min", Json::number(hs.min));
@@ -482,7 +579,14 @@ Json PerfReport::build(bool include_tracer) const {
     if (!hists.members().empty()) root.set("histograms", std::move(hists));
 
     Json warnings = Json::array();
-    for (const Warning& w : Watchdog::snapshot()) {
+    std::vector<Warning> warns = Watchdog::snapshot();
+    std::sort(warns.begin(), warns.end(), [](const Warning& x, const Warning& y) {
+      if (x.step != y.step) return x.step < y.step;
+      if (x.code != y.code) return x.code < y.code;
+      if (x.value != y.value) return x.value < y.value;
+      return x.threshold < y.threshold;
+    });
+    for (const Warning& w : warns) {
       Json j = Json::object();
       j.set("code", Json::string(w.code));
       j.set("step", Json::number(static_cast<std::int64_t>(w.step)));
@@ -498,6 +602,9 @@ Json PerfReport::build(bool include_tracer) const {
 
   if (!threads_.items().empty()) root.set("threads", threads_);
   if (!comm_.items().empty()) root.set("comm", comm_);
+  if (pe_timeline_.kind() == Json::Kind::Object) root.set("pe_timeline", pe_timeline_);
+  if (comm_matrix_.kind() == Json::Kind::Object) root.set("comm_matrix", comm_matrix_);
+  if (critical_path_.kind() == Json::Kind::Object) root.set("critical_path", critical_path_);
   if (!metrics_.members().empty()) root.set("metrics", metrics_);
   if (!tables_.items().empty()) root.set("tables", tables_);
   return root;

@@ -17,6 +17,9 @@
 //     "warnings": [ {"code","step","value","threshold"}, ... ],
 //     "threads": [ {"busy_seconds","idle_seconds","chunks"}, ... ],
 //     "comm":    [ {"bytes_sent","bytes_recv","messages"}, ... ],
+//     "pe_timeline":   { "makespan", "imbalance", "per_pe": [...] },
+//     "comm_matrix":   { "bytes": [[...], ...] },
+//     "critical_path": { "seconds","slack","by_kind", "segments": [...] },
 //     "metrics": { ... scalar results (time_s, residual, ...) },
 //     "tables":  [ {"title","columns",  "rows": [[...], ...]}, ... ]
 //   }
@@ -42,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/par_analysis.h"
 #include "util/table.h"
 
 namespace bst::util {
@@ -83,6 +87,10 @@ class Json {
   void write(std::ostream& os, int indent = 0) const;
   [[nodiscard]] std::string dump() const;
 
+  /// Serializes without any whitespace (one line; the ledger entry format).
+  void write_compact(std::ostream& os) const;
+  [[nodiscard]] std::string dump_compact() const;
+
  private:
   Kind kind_ = Kind::Null;
   bool bool_ = false;
@@ -119,6 +127,12 @@ class PerfReport {
   /// Attaches one per-PE {bytes_sent, bytes_recv, messages} entry.
   void add_pe_comm(double bytes_sent, double bytes_recv, double messages);
 
+  /// Attaches the parallel-schedule sections derived by analyze_schedule():
+  /// "pe_timeline" (per-PE busy/comm/idle breakdown + imbalance index),
+  /// "comm_matrix" (PE x PE payload bytes) and "critical_path" (the
+  /// phase-attributed longest chain; see docs/OBSERVABILITY.md).
+  void add_par_analysis(const ParAnalysis& a);
+
   /// Builds the document: schema header, machine/build info, the Tracer's
   /// phases and step diagnostics (when `include_tracer`), and everything
   /// attached above.
@@ -136,6 +150,9 @@ class PerfReport {
   Json tables_ = Json::array();
   Json threads_ = Json::array();
   Json comm_ = Json::array();
+  Json pe_timeline_ = Json::null();
+  Json comm_matrix_ = Json::null();
+  Json critical_path_ = Json::null();
 };
 
 }  // namespace bst::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -56,6 +57,32 @@ void Table::print(std::ostream& os) const {
   rule();
   for (const auto& r : text) line(r);
   rule();
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char kRamp[] = ".:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof kRamp) - 1;
+  double lo = 0.0, hi = 0.0;
+  bool seen = false;
+  for (const double v : values) {
+    if (!std::isfinite(v)) continue;
+    lo = seen ? std::min(lo, v) : v;
+    hi = seen ? std::max(hi, v) : v;
+    seen = true;
+  }
+  std::string out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    if (!std::isfinite(v)) {
+      out.push_back('?');
+    } else if (hi <= lo) {
+      out.push_back('-');
+    } else {
+      const int level = static_cast<int>((v - lo) / (hi - lo) * (kLevels - 1) + 0.5);
+      out.push_back(kRamp[std::clamp(level, 0, kLevels - 1)]);
+    }
+  }
+  return out;
 }
 
 }  // namespace bst::util

@@ -43,4 +43,9 @@ class Table {
   int precision_ = 5;
 };
 
+/// One character per value, min-max normalized onto an ASCII density ramp
+/// (".:-=+*#%@"); non-finite values render as '?', a constant series as
+/// all-'-'.  Used by `bst_report --trend` to show a metric's history inline.
+std::string sparkline(const std::vector<double>& values);
+
 }  // namespace bst::util

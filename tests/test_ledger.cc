@@ -1,0 +1,175 @@
+// Tests for util/ledger: entry distillation, JSONL round-trip, the trend
+// gate semantics behind `bst_report --trend`, and the report-determinism
+// guarantees the ledger relies on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bst.h"
+
+using namespace bst;
+
+namespace {
+
+// Temp-file path in the test's working directory, removed on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(std::string name) : path(std::move(name)) { std::remove(path.c_str()); }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+util::Json entry_with(double solve_s, double residual) {
+  util::Json phases = util::Json::object();
+  phases.set("solve", util::Json::number(solve_s));
+  util::Json metrics = util::Json::object();
+  metrics.set("residual", util::Json::number(residual));
+  util::Json e = util::Json::object();
+  e.set("phases", std::move(phases));
+  e.set("metrics", std::move(metrics));
+  return e;
+}
+
+}  // namespace
+
+TEST(Ledger, UtcTimestampShape) {
+  const std::string ts = util::utc_timestamp();
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(Ledger, Fnv1aKnownVectors) {
+  EXPECT_EQ(util::fnv1a_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(util::fnv1a_hex("a"), "af63dc4c8601ec8c");
+  EXPECT_NE(util::fnv1a_hex("{\"n\":256}"), util::fnv1a_hex("{\"n\":512}"));
+}
+
+TEST(Ledger, EntryDistillsReportDocument) {
+  util::PerfReport report("test_tool");
+  report.param("n", static_cast<std::int64_t>(128));
+  report.metric("time_s", 0.25);
+  const util::Json entry = util::ledger_entry(report.build(/*include_tracer=*/false));
+
+  ASSERT_NE(entry.find("utc"), nullptr);
+  ASSERT_NE(entry.find("git"), nullptr);
+  ASSERT_NE(entry.find("tool"), nullptr);
+  EXPECT_EQ(entry.find("tool")->as_string(), "test_tool");
+  ASSERT_NE(entry.find("params_hash"), nullptr);
+  ASSERT_NE(entry.find("params"), nullptr);
+  ASSERT_NE(entry.find("metrics"), nullptr);
+  EXPECT_DOUBLE_EQ(entry.find("metrics")->find("time_s")->as_number(), 0.25);
+  ASSERT_NE(entry.find("warnings"), nullptr);
+  EXPECT_DOUBLE_EQ(entry.find("warnings")->as_number(), 0.0);
+  // One line, no whitespace: the JSONL contract.
+  const std::string line = entry.dump_compact();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.find(": "), std::string::npos);
+}
+
+TEST(Ledger, AppendReadRoundTripSkipsCorruptLines) {
+  TempFile f("test_ledger_roundtrip.jsonl");
+  util::PerfReport report("test_tool");
+  report.metric("time_s", 1.0);
+  const util::Json doc = report.build(false);
+  util::append_ledger(f.path, doc);
+  util::append_ledger(f.path, doc);
+  {
+    std::ofstream os(f.path, std::ios::app);
+    os << "{not json\n\n";  // corrupt + blank line must not poison the rest
+  }
+  util::append_ledger(f.path, doc);
+
+  const std::vector<util::Json> entries = util::read_ledger(f.path);
+  ASSERT_EQ(entries.size(), 3u);
+  for (const util::Json& e : entries) EXPECT_EQ(e.find("tool")->as_string(), "test_tool");
+  EXPECT_THROW(util::read_ledger("no_such_ledger_file.jsonl"), std::runtime_error);
+}
+
+TEST(Ledger, TrendFlagsRegressionOfLastAgainstRollingMedian) {
+  std::vector<util::Json> entries{entry_with(1.0, 1e-12), entry_with(1.0, 1e-12),
+                                  entry_with(2.0, 5e-12)};
+  const util::TrendReport trend = util::ledger_trend(entries, /*max_regress=*/0.5,
+                                                     /*min_seconds=*/0.0);
+  EXPECT_EQ(trend.regressions, 1);
+  bool saw_solve = false, saw_residual = false;
+  for (const util::TrendStat& s : trend.series) {
+    if (s.key == "phases.solve") {
+      saw_solve = true;
+      EXPECT_TRUE(s.gated);
+      EXPECT_TRUE(s.regressed);
+      EXPECT_DOUBLE_EQ(s.baseline, 1.0);
+      EXPECT_DOUBLE_EQ(s.last, 2.0);
+      EXPECT_NEAR(s.rel, 1.0, 1e-12);
+    }
+    if (s.key == "metrics.residual") {
+      saw_residual = true;
+      // Residuals are reported but never fail the gate (5x jump here).
+      EXPECT_FALSE(s.gated);
+      EXPECT_FALSE(s.regressed);
+    }
+  }
+  EXPECT_TRUE(saw_solve);
+  EXPECT_TRUE(saw_residual);
+}
+
+TEST(Ledger, TrendRespectsNoiseFloorAndDisabledGate) {
+  std::vector<util::Json> entries{entry_with(1e-5, 0), entry_with(1e-5, 0),
+                                  entry_with(1e-3, 0)};
+  // Baseline 1e-5 is under the 1e-3 noise floor: a 100x jump is ignored.
+  EXPECT_EQ(util::ledger_trend(entries, 0.5, 1e-3).regressions, 0);
+  // max_regress < 0 disables gating entirely.
+  std::vector<util::Json> bad{entry_with(1.0, 0), entry_with(1.0, 0), entry_with(10.0, 0)};
+  EXPECT_EQ(util::ledger_trend(bad, -1.0, 0.0).regressions, 0);
+}
+
+TEST(Ledger, SparklineShapes) {
+  const std::string ramp = util::sparkline({0.0, 1.0, 2.0, 3.0});
+  ASSERT_EQ(ramp.size(), 4u);
+  EXPECT_EQ(ramp.front(), '.');
+  EXPECT_EQ(ramp.back(), '@');
+  EXPECT_EQ(util::sparkline({5.0, 5.0, 5.0}), "---");
+  const std::string with_nan = util::sparkline({0.0, std::nan(""), 1.0});
+  EXPECT_EQ(with_nan[1], '?');
+  EXPECT_TRUE(util::sparkline({}).empty());
+}
+
+TEST(Ledger, ReportBuildIsDeterministic) {
+  // Two identical reports serialize byte-identically, and the tracer's
+  // phase section comes out sorted by name regardless of registration
+  // order -- both needed for stable ledger diffs.
+  util::Tracer::reset();
+  util::Tracer::enable();
+  const util::PhaseId zz = util::Tracer::phase("zz_last_registered");
+  const util::PhaseId aa = util::Tracer::phase("aa_first_alphabetically");
+  { util::TraceSpan span(zz); }
+  { util::TraceSpan span(aa); }
+  util::Tracer::disable();
+
+  auto make = [] {
+    util::PerfReport r("det_tool");
+    r.param("n", static_cast<std::int64_t>(64));
+    r.metric("time_s", 0.5);
+    return r.build();
+  };
+  const util::Json a = make();
+  EXPECT_EQ(a.dump(), make().dump());
+
+  const util::Json* phases = a.find("phases");
+  ASSERT_NE(phases, nullptr);
+  std::string prev;
+  bool saw_both = false;
+  for (const auto& [name, stats] : phases->members()) {
+    EXPECT_LE(prev, name);
+    prev = name;
+    saw_both |= name == "zz_last_registered";
+  }
+  EXPECT_TRUE(saw_both);
+  util::Tracer::reset();
+}

@@ -5,6 +5,11 @@
 //       Pretty-prints the report: params, metrics, per-phase table,
 //       histogram percentiles, warnings, thread utilization.
 //
+//   bst_report one.json --pe
+//       Additionally prints the parallel-run sections (per-PE timeline
+//       summary, PE x PE communication matrix, critical path) captured by
+//       simnet runs.
+//
 //   bst_report --baseline=a.json --candidate=b.json
 //              [--max-regress=50%] [--min-seconds=1e-3]
 //       Diffs two reports: per-phase seconds/flops/bytes deltas, histogram
@@ -13,6 +18,13 @@
 //       (a fraction, or a percentage with a '%' suffix) -- phases whose
 //       baseline is below --min-seconds are skipped as noise.  This is the
 //       perf gate CI runs between a trunk baseline and a candidate.
+//
+//   bst_report --trend=runs.jsonl [--max-regress=50%] [--min-seconds=1e-3]
+//       Trend view over a perf ledger (util/ledger.h): per-series
+//       min/median/last with an ASCII sparkline of the history.  Exits 3
+//       when the *last* entry of any gated series (phase seconds,
+//       metrics.time_s/sim_seconds) regresses past --max-regress relative
+//       to the rolling median of the prior entries.
 //
 // Exit codes: 0 ok, 1 error (unreadable/malformed input), 2 usage,
 // 3 regression past the threshold.
@@ -26,7 +38,9 @@
 #include <vector>
 
 #include "util/cli.h"
+#include "util/ledger.h"
 #include "util/report.h"
+#include "util/table.h"
 
 using bst::util::Json;
 
@@ -158,7 +172,65 @@ void print_threads(const Json& doc) {
             << "s, idle " << fmt(idle) << "s, " << fmt(chunks) << " chunks\n";
 }
 
-int print_report(const std::string& path) {
+void print_pe_sections(const Json& doc) {
+  const Json* tl = doc.find("pe_timeline");
+  if (tl != nullptr) {
+    std::printf("pe_timeline (makespan %ss, imbalance %s)\n", fmt(field(*tl, "makespan")).c_str(),
+                fmt(field(*tl, "imbalance")).c_str());
+    const Json* per_pe = tl->find("per_pe");
+    if (per_pe != nullptr) {
+      std::printf("  %-4s %12s %12s %12s %12s %12s %12s\n", "pe", "compute", "send", "recv",
+                  "broadcast", "barrier", "idle");
+      int pe = 0;
+      for (const Json& u : per_pe->items()) {
+        std::printf("  %-4d %12s %12s %12s %12s %12s %12s\n", pe++,
+                    fmt(field(u, "compute")).c_str(), fmt(field(u, "send")).c_str(),
+                    fmt(field(u, "recv")).c_str(), fmt(field(u, "broadcast")).c_str(),
+                    fmt(field(u, "barrier")).c_str(), fmt(field(u, "idle")).c_str());
+      }
+    }
+  }
+  const Json* cm = doc.find("comm_matrix");
+  if (cm != nullptr) {
+    const Json* rows = cm->find("bytes");
+    if (rows != nullptr && !rows->items().empty()) {
+      std::printf("comm_matrix (bytes, src row -> dst col)\n  %-6s", "");
+      for (std::size_t j = 0; j < rows->items().size(); ++j) std::printf(" %10zu", j);
+      std::printf("\n");
+      for (std::size_t i = 0; i < rows->items().size(); ++i) {
+        std::printf("  pe:%-3zu", i);
+        for (const Json& v : rows->items()[i].items()) {
+          std::printf(" %10s", fmt(v.as_number()).c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  const Json* cp = doc.find("critical_path");
+  if (cp != nullptr) {
+    std::printf("critical_path (%ss, slack %ss)\n", fmt(field(*cp, "seconds")).c_str(),
+                fmt(field(*cp, "slack")).c_str());
+    const Json* by_kind = cp->find("by_kind");
+    if (by_kind != nullptr) {
+      for (const auto& [kind, v] : by_kind->members()) {
+        std::printf("  %-16s %12s\n", kind.c_str(), fmt(v.as_number()).c_str());
+      }
+    }
+    const Json* segs = cp->find("segments");
+    if (segs != nullptr && !segs->items().empty()) {
+      std::printf("  segments (%zu): pe/kind/steps/seconds\n", segs->items().size());
+      for (const Json& seg : segs->items()) {
+        const Json* kind = seg.find("kind");
+        std::printf("    pe:%-3s %-16s %s..%s %12s\n", fmt(field(seg, "pe")).c_str(),
+                    kind != nullptr ? kind->as_string().c_str() : "?",
+                    fmt(field(seg, "first_step")).c_str(), fmt(field(seg, "last_step")).c_str(),
+                    fmt(field(seg, "seconds")).c_str());
+      }
+    }
+  }
+}
+
+int print_report(const std::string& path, bool pe_sections) {
   const Json doc = load_report(path);
   const Json* tool = doc.find("tool");
   std::cout << "report: " << path << " (tool "
@@ -170,6 +242,40 @@ int print_report(const std::string& path) {
   print_histograms(doc);
   print_warnings(doc);
   print_threads(doc);
+  if (pe_sections) print_pe_sections(doc);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Ledger trend
+// ---------------------------------------------------------------------------
+
+int trend_report(const std::string& ledger_path, double max_regress, double min_seconds) {
+  const std::vector<Json> entries = bst::util::read_ledger(ledger_path);
+  if (entries.empty()) {
+    std::fprintf(stderr, "bst_report: '%s' has no parseable ledger entries\n",
+                 ledger_path.c_str());
+    return 1;
+  }
+  std::cout << "trend: " << ledger_path << " (" << entries.size() << " entries)\n";
+  const bst::util::TrendReport trend =
+      bst::util::ledger_trend(entries, max_regress, min_seconds);
+  std::printf("  %-28s %4s %12s %12s %12s %9s  %s\n", "series", "n", "min", "median", "last",
+              "vs med", "history");
+  for (const bst::util::TrendStat& st : trend.series) {
+    std::printf("  %-28s %4zu %12s %12s %12s %9s  %s%s\n", st.key.c_str(), st.values.size(),
+                fmt(st.min).c_str(), fmt(st.median).c_str(), fmt(st.last).c_str(),
+                st.values.size() > 1 ? pct(st.rel).c_str() : "-",
+                bst::util::sparkline(st.values).c_str(),
+                st.regressed ? "  << REGRESSION" : "");
+  }
+  if (trend.regressions > 0) {
+    std::cout << "RESULT: " << trend.regressions << " series regressed past "
+              << pct(max_regress) << " vs the rolling median (baseline >= "
+              << fmt(min_seconds) << "s)\n";
+    return 3;
+  }
+  std::cout << "RESULT: no regression past the threshold\n";
   return 0;
 }
 
@@ -301,19 +407,25 @@ int main(int argc, char** argv) {
   }
   const std::string baseline = cli.get("baseline", "");
   const std::string candidate = cli.get("candidate", "");
+  const std::string trend = cli.get("trend", "");
   try {
+    const double max_regress = parse_regress(cli.get("max-regress", "50%"));
+    const double min_seconds = cli.get_double("min-seconds", 1e-3);
+    if (!trend.empty()) {
+      return trend_report(trend, max_regress, min_seconds);
+    }
     if (!baseline.empty() && !candidate.empty()) {
-      const double max_regress = parse_regress(cli.get("max-regress", "50%"));
-      const double min_seconds = cli.get_double("min-seconds", 1e-3);
       return diff_reports(baseline, candidate, max_regress, min_seconds);
     }
     if (!positional.empty() && baseline.empty() && candidate.empty()) {
-      return print_report(positional);
+      return print_report(positional, cli.has("pe"));
     }
     std::fprintf(stderr,
-                 "usage: bst_report report.json\n"
+                 "usage: bst_report report.json [--pe]\n"
                  "       bst_report --baseline=a.json --candidate=b.json\n"
-                 "                  [--max-regress=50%%] [--min-seconds=1e-3]\n");
+                 "                  [--max-regress=50%%] [--min-seconds=1e-3]\n"
+                 "       bst_report --trend=runs.jsonl [--max-regress=50%%] "
+                 "[--min-seconds=1e-3]\n");
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bst_report: error: %s\n", e.what());

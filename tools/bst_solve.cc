@@ -2,7 +2,10 @@
 //
 //   bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] [--ms=K]
 //             [--rep=vy2|vy1|yty|u|seq] [--refine] [--report]
-//             [--profile=out.json] [--trace=out.json]
+//             [--profile=out.json] [--trace=out.json] [--ledger=runs.jsonl]
+//
+//   bst_solve --np=4 [--layout=v1|v2|v3] [--group=G] [--spread=S]
+//             [--matrix=T.txt | --n=256] [--ms=8] ...
 //
 // Reads the matrix (and optionally the right-hand side; defaults to
 // T * ones so the expected solution is all-ones), solves with the
@@ -13,8 +16,18 @@
 // report (per-phase time/flop/byte breakdown, per-step diagnostics,
 // latency histograms, watchdog warnings, thread utilization).  --trace
 // additionally arms the flight recorder and writes the run's event
-// timeline as a chrome://tracing / Perfetto JSON file (see
-// docs/OBSERVABILITY.md for both formats).
+// timeline as a chrome://tracing / Perfetto JSON file.  --ledger appends
+// one compact JSONL line (UTC time, git revision, params hash, phase
+// seconds, metrics, warning count) for `bst_report --trend`.
+//
+// With --np the solve runs on the simulated distributed machine
+// (simnet/dist_schur.h): the V1/V2 layouts really factor on per-PE
+// storage and back-substitute through R^T R x = b; V3 is cost-model only
+// (no solution vector).  Without --matrix a synthetic SPD Kac-Murdock-
+// Szego system of order --n is used, so layout experiments need no input
+// files.  The profile then carries the per-PE sections ("pe_timeline",
+// "comm_matrix", "critical_path") and the trace shows one "pe:<k>" track
+// per simulated PE (see docs/OBSERVABILITY.md for all formats).
 #include <cstdio>
 #include <iostream>
 
@@ -33,6 +46,116 @@ core::Representation parse_rep(const std::string& s) {
   throw std::runtime_error("unknown --rep '" + s + "' (vy1|vy2|yty|u|seq)");
 }
 
+simnet::Layout parse_layout(const std::string& s) {
+  if (s == "v1") return simnet::Layout::V1;
+  if (s == "v2") return simnet::Layout::V2;
+  if (s == "v3") return simnet::Layout::V3;
+  throw std::runtime_error("unknown --layout '" + s + "' (v1|v2|v3)");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] "
+               "[--ms=K] [--rep=vy2] [--refine] [--report] "
+               "[--profile=out.json] [--trace=out.json] [--ledger=runs.jsonl]\n"
+               "       bst_solve --np=4 [--layout=v1|v2|v3] [--group=G] [--spread=S] "
+               "[--matrix=T.txt | --n=256] [--ms=8] ...\n");
+  return 2;
+}
+
+// Finishes an observed run: trace file, profile file, ledger line.
+void finish_observability(util::PerfReport& report, const std::string& profile_path,
+                          const std::string& trace_path, const std::string& ledger_path) {
+  if (!trace_path.empty()) {
+    util::FlightRecorder::disable();
+    util::FlightRecorder::write_chrome_trace(trace_path);
+  }
+  util::Tracer::disable();
+  if (!profile_path.empty()) report.write_file(profile_path);
+  if (!ledger_path.empty()) util::append_ledger(ledger_path, report.build());
+}
+
+// The distributed (simulated) solve path.
+int run_simnet(const util::Cli& cli, const toeplitz::BlockToeplitz& t,
+               const std::vector<double>& b, const std::string& matrix_label,
+               const std::string& profile_path, const std::string& trace_path,
+               const std::string& ledger_path) {
+  simnet::DistOptions dopt;
+  dopt.np = cli.get_int("np", 4);
+  dopt.layout = parse_layout(cli.get("layout", "v1"));
+  dopt.group = cli.get_int("group", 4);
+  dopt.spread = cli.get_int("spread", 2);
+  dopt.rep = parse_rep(cli.get("rep", "vy2"));
+  dopt.block_size = cli.get_int("ms", 0);
+  const bool want_factor = dopt.layout != simnet::Layout::V3;
+
+  const double t0 = util::wall_seconds();
+  simnet::DistResult res = simnet::dist_schur_factor(t, dopt, want_factor);
+  const double dt = util::wall_seconds() - t0;
+
+  double residual = -1.0;
+  if (want_factor) {
+    std::vector<double> x;
+    core::solve_rtdr(std::as_const(*res.r).view(), nullptr, b, x);
+    std::vector<double> r;
+    toeplitz::MatVec op(t);
+    op.residual(b, x, r);
+    residual = la::norm2(r);
+    if (cli.has("out")) {
+      toeplitz::write_vector_file(cli.get("out", ""), x);
+    } else if (profile_path.empty() && trace_path.empty()) {
+      toeplitz::write_vector(std::cout, x);
+    }
+  }
+
+  const util::ParAnalysis analysis = util::analyze_schedule(res.schedule);
+  if (!res.schedule.empty() && !analysis.consistent()) {
+    std::fprintf(stderr,
+                 "bst_solve: warning: critical path (%.9e s) does not telescope to the "
+                 "simulated makespan (%.9e s)\n",
+                 analysis.critical_path_seconds, analysis.makespan);
+  }
+
+  util::PerfReport report("bst_solve");
+  report.param("matrix", matrix_label);
+  report.param("n", static_cast<std::int64_t>(t.order()));
+  report.param("ms", static_cast<std::int64_t>(dopt.block_size ? dopt.block_size
+                                                               : t.block_size()));
+  report.param("rep", cli.get("rep", "vy2"));
+  report.param("np", static_cast<std::int64_t>(dopt.np));
+  report.param("layout", simnet::to_string(dopt.layout));
+  if (dopt.layout == simnet::Layout::V2) {
+    report.param("group", static_cast<std::int64_t>(dopt.group));
+  }
+  if (dopt.layout == simnet::Layout::V3) {
+    report.param("spread", static_cast<std::int64_t>(dopt.spread));
+  }
+  report.metric("time_s", dt);
+  report.metric("sim_seconds", res.sim_seconds);
+  report.metric("sim_compute_s", res.breakdown.compute);
+  report.metric("sim_broadcast_s", res.breakdown.broadcast);
+  report.metric("sim_shift_s", res.breakdown.shift);
+  report.metric("sim_barrier_s", res.breakdown.barrier);
+  report.metric("steps", static_cast<double>(res.steps));
+  if (residual >= 0) report.metric("residual", residual);
+  for (const simnet::PeCommStats& c : res.comm) {
+    report.add_pe_comm(c.bytes_sent, c.bytes_recv, c.messages);
+  }
+  if (!res.schedule.empty()) report.add_par_analysis(analysis);
+  finish_observability(report, profile_path, trace_path, ledger_path);
+
+  if (cli.has("report")) {
+    std::fprintf(stderr,
+                 "bst_solve: n=%td np=%d layout=%s sim=%.3fms (compute %.3f / bcast %.3f / "
+                 "shift %.3f / barrier %.3f ms) imbalance=%.3f residual=%s%.3e\n",
+                 t.order(), dopt.np, simnet::to_string(dopt.layout), res.sim_seconds * 1e3,
+                 res.breakdown.compute * 1e3, res.breakdown.broadcast * 1e3,
+                 res.breakdown.shift * 1e3, res.breakdown.barrier * 1e3, analysis.imbalance,
+                 residual < 0 ? "(not computed) " : "", residual < 0 ? 0.0 : residual);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -40,14 +163,18 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   try {
     const std::string matrix_path = cli.get("matrix", "");
-    if (matrix_path.empty()) {
-      std::fprintf(stderr,
-                   "usage: bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] "
-                   "[--ms=K] [--rep=vy2] [--refine] [--report] "
-                   "[--profile=out.json] [--trace=out.json]\n");
-      return 2;
-    }
-    toeplitz::BlockToeplitz t = toeplitz::read_block_toeplitz_file(matrix_path);
+    const bool simulate = cli.has("np");
+    if (matrix_path.empty() && !simulate) return usage();
+
+    toeplitz::BlockToeplitz t = [&] {
+      if (!matrix_path.empty()) return toeplitz::read_block_toeplitz_file(matrix_path);
+      // Synthetic SPD default for layout experiments: a KMS system of
+      // order --n re-blocked to --ms.
+      const la::index_t n = cli.get_int("n", 256);
+      const la::index_t ms = cli.get_int("ms", 8);
+      return toeplitz::kms(n, 0.5).with_block_size(ms);
+    }();
+    const std::string matrix_label = matrix_path.empty() ? "kms" : matrix_path;
 
     std::vector<double> b;
     if (cli.has("rhs")) {
@@ -60,20 +187,26 @@ int main(int argc, char** argv) {
       b = toeplitz::rhs_for_ones(t);
     }
 
-    core::SolveOptions opt;
-    opt.spd.block_size = cli.get_int("ms", 0);
-    opt.indefinite.block_size = opt.spd.block_size;
-    opt.spd.rep = opt.indefinite.rep = parse_rep(cli.get("rep", "vy2"));
-    opt.always_refine = cli.has("refine");
-
     const std::string profile_path = cli.get("profile", "");
     const std::string trace_path = cli.get("trace", "");
-    if (!profile_path.empty() || !trace_path.empty()) {
+    const std::string ledger_path = cli.get("ledger", "");
+    const bool observe = !profile_path.empty() || !trace_path.empty() || !ledger_path.empty();
+    if (observe) {
       util::Tracer::reset();
       util::ThreadPool::global().reset_worker_stats();
       util::Tracer::enable();
       if (!trace_path.empty()) util::FlightRecorder::enable();
     }
+
+    if (simulate) {
+      return run_simnet(cli, t, b, matrix_label, profile_path, trace_path, ledger_path);
+    }
+
+    core::SolveOptions opt;
+    opt.spd.block_size = cli.get_int("ms", 0);
+    opt.indefinite.block_size = opt.spd.block_size;
+    opt.spd.rep = opt.indefinite.rep = parse_rep(cli.get("rep", "vy2"));
+    opt.always_refine = cli.has("refine");
 
     const double t0 = util::wall_seconds();
     core::SolveReport rep = core::toeplitz_solve(t, b, opt);
@@ -84,14 +217,9 @@ int main(int argc, char** argv) {
     } else {
       toeplitz::write_vector(std::cout, rep.x);
     }
-    if (!trace_path.empty()) {
-      util::FlightRecorder::disable();
-      util::FlightRecorder::write_chrome_trace(trace_path);
-    }
-    if (!profile_path.empty() || !trace_path.empty()) util::Tracer::disable();
-    if (!profile_path.empty()) {
+    if (observe) {
       util::PerfReport report("bst_solve");
-      report.param("matrix", matrix_path);
+      report.param("matrix", matrix_label);
       report.param("n", static_cast<std::int64_t>(t.order()));
       report.param("ms", static_cast<std::int64_t>(
                              opt.spd.block_size ? opt.spd.block_size : t.block_size()));
@@ -106,7 +234,7 @@ int main(int argc, char** argv) {
       for (const util::WorkerStats& w : util::ThreadPool::global().worker_stats()) {
         report.add_thread(w.busy_seconds, w.idle_seconds, w.chunks);
       }
-      report.write_file(profile_path);
+      finish_observability(report, profile_path, trace_path, ledger_path);
     }
     if (cli.has("report")) {
       std::fprintf(stderr,
