@@ -52,8 +52,7 @@ int main(int argc, char** argv) {
   report.metric("sim_seconds", best_sim);
   report.add_table(tab);
   obs.finish(report);
-  const std::string json = cli.get("json", "BENCH_fig6.json");
-  if (json != "none") report.write_file(json);
+  obs.write_default_json(report, "BENCH_fig6.json");
   std::cout << "paper: best time at b = 16; times increase again at b = 32, 64\n";
   return 0;
 }

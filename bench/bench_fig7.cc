@@ -71,8 +71,7 @@ int main(int argc, char** argv) {
   report.metric("sim_seconds", best_sim);
   report.add_table(tab);
   obs.finish(report);
-  const std::string json = cli.get("json", "BENCH_fig7.json");
-  if (json != "none") report.write_file(json);
+  obs.write_default_json(report, "BENCH_fig7.json");
   std::cout << "paper: for moderate m with N >> NP, V1 (b = 1) gives the fastest "
                "factorization\n";
   return 0;

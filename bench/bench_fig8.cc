@@ -59,8 +59,7 @@ int main(int argc, char** argv) {
   report.metric("sim_seconds", best_sim);
   report.add_table(tab);
   obs.finish(report);
-  const std::string json = cli.get("json", "BENCH_fig8.json");
-  if (json != "none") report.write_file(json);
+  obs.write_default_json(report, "BENCH_fig8.json");
   std::cout << "paper: optimal spread is 8; larger spreads lose to broadcast cost\n";
   return 0;
 }

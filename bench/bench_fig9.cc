@@ -40,8 +40,7 @@ int main(int argc, char** argv) {
   report.metric("sim_seconds", best_sim);
   report.add_table(tab);
   obs.finish(report);
-  const std::string json = cli.get("json", "BENCH_fig9.json");
-  if (json != "none") report.write_file(json);
+  obs.write_default_json(report, "BENCH_fig9.json");
   std::cout << "paper: m=4 is slower for small NP, faster for large NP "
                "(synchronization amortization + cache-line effects)\n";
   return 0;

@@ -6,13 +6,30 @@
 //   ... run the benchmark ...
 //   util::PerfReport report("bench_x"); // params/metrics/tables as usual
 //   obs.finish(report);                 // trace file, profile file, ledger
+//   obs.write_default_json(report, "BENCH_x.json");  // --json / BST_BENCH_OUT
 //
-// finish() is safe to call when no flag was given (it does nothing), so
-// benches need no conditionals.  docs/BENCHMARKING.md documents the flags.
+// finish() is safe to call when no flag was given (it does nothing beyond
+// attaching the attainment section), so benches need no conditionals.
+//
+// Calibration (util/calibrate.h) is auto-loaded from --calibration=<path>
+// or the BST_CALIBRATION environment variable (load-only: benches never
+// spend time measuring; run `bst_solve --calibrate=prof.json` once).  When
+// a profile is present -- or a bench fed per-phase flop models via
+// add_phase_model() -- finish() attaches the "attainment" report section.
+//
+// The default JSON output honors BST_BENCH_OUT: when set, BENCH_*.json
+// lands in that directory so CI can collect every bench artifact from one
+// place.  --json=<path> overrides; --json=none suppresses.
+// docs/BENCHMARKING.md documents the flags.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "util/attainment.h"
+#include "util/calibrate.h"
 #include "util/cli.h"
 #include "util/flight_recorder.h"
 #include "util/ledger.h"
@@ -27,7 +44,13 @@ class Obs {
   explicit Obs(const util::Cli& cli)
       : trace_(cli.get("trace", "")),
         profile_(cli.get("profile", "")),
-        ledger_(cli.get("ledger", "")) {
+        ledger_(cli.get("ledger", "")),
+        json_flag_(cli.get("json", "")) {
+    std::string cal_path = cli.get("calibration", "");
+    if (cal_path.empty()) {
+      if (const char* env = std::getenv("BST_CALIBRATION"); env != nullptr) cal_path = env;
+    }
+    if (!cal_path.empty()) load_calibration(cal_path);
     if (!armed()) return;
     util::Tracer::reset();
     util::ThreadPool::global().reset_worker_stats();
@@ -40,25 +63,92 @@ class Obs {
     return !trace_.empty() || !profile_.empty() || !ledger_.empty();
   }
 
-  /// Stops recording and writes everything that was requested: the chrome
-  /// trace, the JSON profile (with thread-pool utilization attached) and
-  /// the ledger line.  Call once, after the run.
-  void finish(util::PerfReport& report) {
-    if (!armed()) return;
-    if (!trace_.empty()) {
-      util::FlightRecorder::disable();
-      util::FlightRecorder::write_chrome_trace(trace_);
+  [[nodiscard]] bool has_calibration() const noexcept { return has_cal_; }
+
+  /// Accumulates a modeled flop budget for one phase (summed across calls,
+  /// so sweeps add one model per configuration); joined against the
+  /// measured counters in finish().
+  void add_phase_model(const util::PhaseModel& pm) {
+    for (util::PhaseModel& m : models_) {
+      if (m.phase == pm.phase) {
+        m.model_flops += pm.model_flops;
+        m.paper_flops += pm.paper_flops;
+        return;
+      }
     }
-    util::Tracer::disable();
-    for (const util::WorkerStats& w : util::ThreadPool::global().worker_stats()) {
-      report.add_thread(w.busy_seconds, w.idle_seconds, w.chunks);
+    models_.push_back(pm);
+  }
+  void add_phase_models(const std::vector<util::PhaseModel>& pms) {
+    for (const util::PhaseModel& pm : pms) add_phase_model(pm);
+  }
+
+  /// Stops recording, attaches the attainment section (when a calibration
+  /// profile or phase models are available) and writes everything that was
+  /// requested: the chrome trace, the JSON profile (with thread-pool
+  /// utilization attached) and the ledger line.  Call once, after the run.
+  void finish(util::PerfReport& report) {
+    if (armed()) {
+      if (!trace_.empty()) {
+        util::FlightRecorder::disable();
+        util::FlightRecorder::write_chrome_trace(trace_);
+      }
+      util::Tracer::disable();
+      for (const util::WorkerStats& w : util::ThreadPool::global().worker_stats()) {
+        report.add_thread(w.busy_seconds, w.idle_seconds, w.chunks);
+      }
+    }
+    if (has_cal_ || !models_.empty()) {
+      const util::Json doc = report.build();
+      report.set_attainment(
+          util::attainment_section(doc, has_cal_ ? &cal_json_ : nullptr, models_));
     }
     if (!profile_.empty()) report.write_file(profile_);
     if (!ledger_.empty()) util::append_ledger(ledger_, report.build());
   }
 
+  /// Resolves the bench's default JSON output path: --json=<path> wins,
+  /// --json=none suppresses, otherwise $BST_BENCH_OUT/<default_name> when
+  /// the environment variable is set, else <default_name> in the CWD.
+  [[nodiscard]] std::string json_path(const std::string& default_name) const {
+    if (!json_flag_.empty()) return json_flag_ == "none" ? std::string() : json_flag_;
+    if (const char* dir = std::getenv("BST_BENCH_OUT"); dir != nullptr && dir[0] != '\0') {
+      std::string path(dir);
+      if (path.back() != '/') path.push_back('/');
+      return path + default_name;
+    }
+    return default_name;
+  }
+
+  /// Writes the report to json_path(default_name) unless suppressed.
+  void write_default_json(const util::PerfReport& report, const std::string& default_name) const {
+    const std::string path = json_path(default_name);
+    if (!path.empty()) report.write_file(path);
+  }
+
  private:
-  std::string trace_, profile_, ledger_;
+  void load_calibration(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: warning: cannot open calibration '%s'\n", path.c_str());
+      return;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+    std::fclose(f);
+    try {
+      cal_json_ = util::Calibration::from_json(util::parse_json(text)).to_json();
+      has_cal_ = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench: warning: bad calibration '%s': %s\n", path.c_str(), e.what());
+    }
+  }
+
+  std::string trace_, profile_, ledger_, json_flag_;
+  util::Json cal_json_;
+  bool has_cal_ = false;
+  std::vector<util::PhaseModel> models_;
 };
 
 }  // namespace bst::bench

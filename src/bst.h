@@ -14,6 +14,7 @@
 //   util::Metrics                -- log-bucketed latency/size histograms
 //   util::Watchdog               -- numerical-health warnings
 //   util::PerfReport             -- JSON perf-report writer (stable schema)
+//   util::Calibration            -- machine ceilings for roofline/attainment
 #pragma once
 
 #include "baseline/classic_schur.h"
@@ -45,6 +46,8 @@
 #include "toeplitz/generators.h"
 #include "toeplitz/io.h"
 #include "toeplitz/matvec.h"
+#include "util/attainment.h"
+#include "util/calibrate.h"
 #include "util/cli.h"
 #include "util/flight_recorder.h"
 #include "util/flops.h"

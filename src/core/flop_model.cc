@@ -81,6 +81,75 @@ double application_flops(Representation rep, index_t m, index_t p, index_t k) {
   return 0.0;
 }
 
+double blocking_flops_impl(Representation rep, index_t m_, index_t k_) {
+  const double m = d(m_), k = d(k_);
+  // Per reflector j (0-based pivot): make_reflector charges 3*2m (the
+  // hyperbolic norm) + 2*2m + 8, and the restricted pivot-column update
+  // charges (m - j)(5m + 4) (block_reflector.cc, single-level cend = m).
+  double f = k * (10 * m + 8) + (5 * m + 4) * (k * m - k * (k - 1) / 2.0);
+  switch (rep) {
+    case Representation::AccumulatedU:
+      // accumulate(): one 2m x 2m gemv + one 2m x 2m ger per reflector.
+      f += 16 * m * m * k;
+      break;
+    case Representation::VY1:
+    case Representation::VY2:
+      // Two 2m x j gemvs (VY1) or a gemv + ger pair (VY2) at reflector j.
+      f += 4 * m * k * (k - 1);
+      break;
+    case Representation::YTY:
+      // One 2m x j gemv plus the j(j+1) triangular T-row update.
+      f += 2 * m * k * (k - 1) + (k - 1) * k * (2 * k - 1) / 6.0 + k * (k - 1) / 2.0;
+      break;
+    case Representation::Sequential:
+      break;
+  }
+  return f;
+}
+
+double application_flops_impl(Representation rep, index_t m_, index_t p_, index_t k_) {
+  const double m = d(m_), k = d(k_), l = d(m_) * d(p_);
+  switch (rep) {
+    case Representation::AccumulatedU:
+      // Four m x m gemms against the m x l panel halves.
+      return 8 * m * m * l;
+    case Representation::VY1:
+      // Z = Y^T [A;B] (two gemms), pivot-sparse V_up (2kl), V_low gemm.
+      return (6 * m * k + 2 * k) * l;
+    case Representation::VY2:
+      // Z gemm + diagonal Y_up (2kl), triangular V_up (k(k+1)l), V_low gemm.
+      return (4 * m * k + k * (k + 1) + 2 * k) * l;
+    case Representation::YTY:
+      // Z gemm + diag (2kl), triangular T (k(k+1)l), diag (2kl), Y_low gemm.
+      return (4 * m * k + k * (k + 1) + 4 * k) * l;
+    case Representation::Sequential:
+      return k * (5 * m + 4) * l;
+  }
+  return 0.0;
+}
+
+std::vector<util::PhaseModel> schur_phase_models(Representation rep, index_t n, index_t ms) {
+  std::vector<util::PhaseModel> out;
+  if (n <= 0 || ms <= 0 || n % ms != 0) return out;
+  const index_t p = n / ms;
+  util::PhaseModel build{"reflector_build", 0.0, 0.0};
+  util::PhaseModel apply{"reflector_apply", 0.0, 0.0};
+  // block_schur_stream: steps i = 1..p-1, each builds a full m_s-reflector
+  // block and applies it to the p-1-i trailing block columns (schur.cc).
+  for (index_t i = 1; i < p; ++i) {
+    build.model_flops += blocking_flops_impl(rep, ms, ms);
+    build.paper_flops += blocking_flops(rep, ms, ms);
+    const index_t trailing = p - i - 1;
+    if (trailing > 0) {
+      apply.model_flops += application_flops_impl(rep, ms, trailing, ms);
+      apply.paper_flops += application_flops(rep, ms, trailing, ms);
+    }
+  }
+  out.push_back(std::move(build));
+  out.push_back(std::move(apply));
+  return out;
+}
+
 double factorization_flops_model(index_t n, index_t ms) {
   return 4.0 * d(ms) * d(n) * d(n);
 }

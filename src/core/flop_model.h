@@ -7,7 +7,10 @@
 // to apply, with the naive accumulated-U scheme far more expensive.
 #pragma once
 
+#include <vector>
+
 #include "core/block_reflector.h"
+#include "util/attainment.h"
 
 namespace bst::core {
 
@@ -39,6 +42,29 @@ double application_flops_yty(index_t m, index_t p, index_t k);
 /// Dispatch by representation (Sequential uses the per-reflector costs).
 double blocking_flops(Representation rep, index_t m, index_t k);
 double application_flops(Representation rep, index_t m, index_t p, index_t k);
+
+/// As-implemented cost models: closed forms of exactly what the kernels
+/// charge to util::FlopCounter (la/ BLAS conventions: gemm 2mnk, gemv/ger
+/// 2mn; hyperbolic make_reflector 10m+8; pivot updates (5m+4) per entry).
+/// For a single-level build() of k reflectors of block size m, measured
+/// build-phase flops equal blocking_flops_impl *exactly*, and every
+/// apply() over p trailing block columns charges application_flops_impl
+/// exactly -- so measured/model ("model_ratio" in the attainment report
+/// section) is ~1.0 and any drift flags an implementation change.  The
+/// verbatim eq. 25-32 models above stay as the paper-idealized reference
+/// ("paper_ratio"); the two differ by bookkeeping the paper drops (W-sign
+/// scaling folded into axpys, reflector setup constants).  Two-level
+/// builds (SchurOptions::inner_block > 0) do extra level-3 panel work the
+/// single-level model does not count.
+double blocking_flops_impl(Representation rep, index_t m, index_t k);
+double application_flops_impl(Representation rep, index_t m, index_t p, index_t k);
+
+/// Per-phase modeled flop budget of a full block Schur factorization of
+/// order n with working block size ms (the sequential single-level path of
+/// block_schur_stream): "reflector_build" and "reflector_apply" entries
+/// with both the as-implemented and the paper eq. 25-32 totals, ready for
+/// util::attainment_section().  Empty when ms does not divide n.
+std::vector<util::PhaseModel> schur_phase_models(Representation rep, index_t n, index_t ms);
 
 /// Total factorization cost model ~ 4 m_s n^2 (paper section 6.5) --
 /// the leading-order term used in the block-size tradeoff discussion.

@@ -1,0 +1,113 @@
+#include "util/attainment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ledger.h"
+
+namespace bst::util {
+
+namespace {
+
+double number_or(const Json* v, double fallback) {
+  return (v != nullptr && v->kind() == Json::Kind::Number) ? v->as_number() : fallback;
+}
+
+double field(const Json& obj, const char* key) { return number_or(obj.find(key), 0.0); }
+
+const PhaseModel* find_model(const std::vector<PhaseModel>& models, const std::string& name) {
+  for (const PhaseModel& m : models) {
+    if (m.phase == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Json attainment_section(const Json& report_doc, const Json* calibration,
+                        const std::vector<PhaseModel>& models) {
+  Json out = Json::object();
+
+  double peak = 0.0, bw = 0.0, overhead_ns = 0.0;
+  const bool has_cal = calibration != nullptr && calibration->kind() == Json::Kind::Object;
+  if (has_cal) {
+    peak = field(*calibration, "peak_gflops");
+    bw = field(*calibration, "stream_gbs");
+    overhead_ns = field(*calibration, "span_overhead_ns");
+    Json cal = Json::object();
+    // Hash of the full profile so reports can be matched to the exact
+    // calibration they were judged against.
+    cal.set("hash", Json::string(fnv1a_hex(calibration->dump_compact())));
+    if (const Json* cpu = calibration->find("cpu_model"); cpu != nullptr) {
+      cal.set("cpu_model", *cpu);
+    }
+    cal.set("peak_gflops", Json::number(peak));
+    cal.set("stream_gbs", Json::number(bw));
+    cal.set("span_overhead_ns", Json::number(overhead_ns));
+    out.set("calibration", std::move(cal));
+  }
+
+  double total_calls = 0.0;
+  double seconds_sum = 0.0;
+  Json rows = Json::object();
+  if (const Json* phases = report_doc.find("phases"); phases != nullptr) {
+    for (const auto& [name, ph] : phases->members()) {
+      const double seconds = field(ph, "seconds");
+      const double flops = field(ph, "flops");
+      const double bytes = field(ph, "bytes");
+      total_calls += field(ph, "calls");
+      seconds_sum += seconds;
+      Json r = Json::object();
+      r.set("seconds", Json::number(seconds));
+      double gflops = 0.0;
+      if (seconds > 0.0 && flops > 0.0) {
+        gflops = flops / seconds / 1e9;
+        r.set("gflops", Json::number(gflops));
+      }
+      double intensity = 0.0;
+      if (bytes > 0.0 && flops > 0.0) {
+        intensity = flops / bytes;
+        r.set("intensity", Json::number(intensity));
+      }
+      if (has_cal && intensity > 0.0) {
+        const double ceiling = std::min(peak, intensity * bw);
+        r.set("ceiling_gflops", Json::number(ceiling));
+        if (ceiling > 0.0 && gflops > 0.0) {
+          r.set("attainment", Json::number(gflops / ceiling));
+        }
+      }
+      if (const PhaseModel* m = find_model(models, name); m != nullptr) {
+        if (m->model_flops > 0.0) {
+          r.set("model_flops", Json::number(m->model_flops));
+          r.set("model_ratio", Json::number(flops / m->model_flops));
+        }
+        if (m->paper_flops > 0.0) {
+          r.set("paper_flops", Json::number(m->paper_flops));
+          r.set("paper_ratio", Json::number(flops / m->paper_flops));
+        }
+      }
+      rows.set(name, std::move(r));
+    }
+  }
+  out.set("phases", std::move(rows));
+
+  const Json* metrics = report_doc.find("metrics");
+  double makespan = metrics != nullptr ? number_or(metrics->find("time_s"), 0.0) : 0.0;
+  if (makespan <= 0.0) makespan = seconds_sum;  // benches without a wall metric
+  out.set("makespan_s", Json::number(makespan));
+  if (metrics != nullptr) {
+    if (const Json* be = metrics->find("backward_error");
+        be != nullptr && be->kind() == Json::Kind::Number) {
+      out.set("backward_error", *be);
+    }
+  }
+  if (has_cal) {
+    const double obs_s = total_calls * overhead_ns * 1e-9;
+    out.set("span_calls", Json::number(total_calls));
+    out.set("obs_overhead_s", Json::number(obs_s));
+    if (makespan > 0.0) out.set("obs_overhead_frac", Json::number(obs_s / makespan));
+  }
+  return out;
+}
+
+}  // namespace bst::util

@@ -1,0 +1,51 @@
+// Model-attainment joins: reconcile measured per-phase flops/bytes/seconds
+// (util/trace.h, surfaced through the report's "phases" section) with the
+// paper's analytic flop models (core/flop_model.h) and a calibrated machine
+// profile (util/calibrate.h).
+//
+// The paper argues representation choices through eqs. 25-32 and achieved
+// MFLOP/s plots (figs. 6-10); this module is the missing reconciliation:
+// for every traced phase it derives
+//
+//   gflops        achieved rate (measured flops / seconds)
+//   intensity     arithmetic intensity (measured flops / bytes)
+//   ceiling       roofline ceiling = min(peak, intensity x bandwidth)
+//   attainment    gflops / ceiling (how much of the machine the phase got)
+//   model_ratio   measured flops / as-implemented model flops (~1.0 unless
+//                 the kernels drift from their cost model)
+//   paper_ratio   measured flops / verbatim eq. 25-32 model flops (the
+//                 idealization gap the paper's models leave out)
+//
+// plus the run-level observability self-overhead (span count x calibrated
+// ns/span vs makespan) and the run's backward error, so accuracy and speed
+// regress-gate together.  The result is the additive "attainment" report
+// section (schema stays v1; see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/report.h"
+
+namespace bst::util {
+
+/// Modeled flop budget for one traced phase.  `model_flops` is the
+/// as-implemented cost model (what the kernels charge by construction, so
+/// measured/model ~ 1.0 is a real invariant); `paper_flops` is the verbatim
+/// eq. 25-32 model (informational: the paper's idealized counts).
+struct PhaseModel {
+  std::string phase;
+  double model_flops = 0.0;
+  double paper_flops = 0.0;
+};
+
+/// Computes the "attainment" section from a built report document
+/// (PerfReport::build()), an optional calibration profile (the Json form of
+/// util::Calibration; pass nullptr when uncalibrated -- roofline ceilings,
+/// attainment fractions and the observability-overhead budget are then
+/// omitted) and optional per-phase flop models.  Pure function of its
+/// inputs so tests can pin exact numbers.
+Json attainment_section(const Json& report_doc, const Json* calibration,
+                        const std::vector<PhaseModel>& models = {});
+
+}  // namespace bst::util

@@ -1,0 +1,265 @@
+#include "util/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+// util/ normally sits below la/, but the calibration must benchmark the
+// exact gemm kernels the solver runs (la/blas3.cc), not a lookalike.
+#include "la/blas.h"
+#include "la/matrix.h"
+#include "util/flops.h"
+#include "util/ledger.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace bst::util {
+
+std::string cpu_model_name() {
+  std::ifstream f("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(f, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") != 0) continue;
+    std::size_t start = colon + 1;
+    while (start < line.size() && (line[start] == ' ' || line[start] == '\t')) ++start;
+    if (start < line.size()) return line.substr(start);
+  }
+  return "unknown";
+}
+
+std::string machine_fingerprint() {
+  std::ostringstream os;
+  os << cpu_model_name() << '|' << std::thread::hardware_concurrency() << '|';
+#if defined(__VERSION__)
+  os << __VERSION__;
+#endif
+  os << '|';
+#if defined(BST_BUILD_TYPE)
+  os << BST_BUILD_TYPE;
+#endif
+  os << '|';
+#if defined(BST_CXX_FLAGS)
+  os << BST_CXX_FLAGS;
+#endif
+  return fnv1a_hex(os.str());
+}
+
+namespace {
+
+void fill_pattern(la::View v, double scale) {
+  for (la::index_t j = 0; j < v.cols(); ++j)
+    for (la::index_t i = 0; i < v.rows(); ++i)
+      v(i, j) = scale * (1.0 + 0.001 * static_cast<double>((i * 7 + j * 13) % 97));
+}
+
+// Best-of sustained rate of one gemm shape, repeated until `min_seconds`
+// of accumulated work (at least 3 calls so one scheduler hiccup cannot
+// define the rate).
+double bench_gemm(la::Op ta, la::CView a, la::CView b, la::View c, double flops_per_call,
+                  double min_seconds) {
+  double best = 0.0, total = 0.0;
+  int calls = 0;
+  while (total < min_seconds || calls < 3) {
+    const double t0 = wall_seconds();
+    la::gemm(ta, la::Op::None, 1.0, a, b, 0.0, c);
+    const double dt = wall_seconds() - t0;
+    total += dt;
+    ++calls;
+    if (dt > 0.0) best = std::max(best, flops_per_call / dt / 1e9);
+    if (calls > 10000) break;  // degenerate clock resolution
+  }
+  return best;
+}
+
+double bench_stream_triad(std::size_t n, int reps) {
+  std::vector<double> a(n, 0.0), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+    c[i] = 2.0 - 0.001 * static_cast<double>(i % 89);
+  }
+  const double s = 3.0;
+  double best = 0.0;
+  double sink = 0.0;
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    const double t0 = wall_seconds();
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+    const double dt = wall_seconds() - t0;
+    sink += a[n / 2];
+    if (dt > 0.0) best = std::max(best, 24.0 * static_cast<double>(n) / dt / 1e9);
+  }
+  // Keep the kernel observable so the triad loop cannot be elided.
+  if (!std::isfinite(sink)) return 0.0;
+  return best;
+}
+
+double bench_span_overhead_ns(int samples) {
+  if (samples <= 0) return 0.0;
+  const PhaseId id = Tracer::phase("calibration_span");
+  const bool was_enabled = Tracer::enabled();
+  Tracer::enable();
+  double t0 = wall_seconds();
+  for (int i = 0; i < samples; ++i) {
+    TraceSpan span(id);
+  }
+  const double on_s = wall_seconds() - t0;
+  Tracer::disable();
+  t0 = wall_seconds();
+  for (int i = 0; i < samples; ++i) {
+    TraceSpan span(id);
+  }
+  const double off_s = wall_seconds() - t0;
+  if (was_enabled) Tracer::enable();
+  return std::max(0.0, (on_s - off_s) / static_cast<double>(samples) * 1e9);
+}
+
+}  // namespace
+
+Calibration run_calibration(const CalibrationOptions& opt) {
+  Calibration cal;
+  cal.cpu_model = cpu_model_name();
+  cal.hardware_concurrency = std::thread::hardware_concurrency();
+  cal.fingerprint = machine_fingerprint();
+  cal.utc = utc_timestamp();
+
+  for (const std::int64_t m64 : opt.block_sizes) {
+    const la::index_t m = static_cast<la::index_t>(std::max<std::int64_t>(1, m64));
+    // Panel width: a few MFLOP per call, never narrower than the trailing
+    // panels the factorization itself produces.
+    const la::index_t cols = std::clamp<la::index_t>(
+        static_cast<la::index_t>(2000000 / std::max<la::index_t>(1, 4 * m * m)), 4 * m, 500000);
+    la::Mat yg(2 * m, m), g(2 * m, cols), z(m, cols);
+    fill_pattern(yg.view(), 1.0);
+    fill_pattern(g.view(), 0.5);
+    // Z = Y^T [A; B]: the (2m x m)^T (2m x L) panel product of every
+    // block-reflector application (eqs. 29-32).
+    GemmPoint yt;
+    yt.m = m;
+    yt.cols = cols;
+    yt.shape = "yt_g";
+    yt.gflops = bench_gemm(la::Op::Trans, yg.view(), g.view(), z.view(),
+                           4.0 * static_cast<double>(m) * static_cast<double>(m) *
+                               static_cast<double>(cols),
+                           opt.min_gemm_seconds);
+    cal.gemm.push_back(yt);
+    // B += V_low Z: the square (m x m)(m x L) update.
+    la::Mat v(m, m), out(m, cols);
+    fill_pattern(v.view(), 1.0);
+    GemmPoint vz;
+    vz.m = m;
+    vz.cols = cols;
+    vz.shape = "v_z";
+    vz.gflops = bench_gemm(la::Op::None, v.view(), z.view(), out.view(),
+                           2.0 * static_cast<double>(m) * static_cast<double>(m) *
+                               static_cast<double>(cols),
+                           opt.min_gemm_seconds);
+    cal.gemm.push_back(vz);
+    cal.peak_gflops = std::max({cal.peak_gflops, yt.gflops, vz.gflops});
+  }
+
+  cal.stream_gbs = bench_stream_triad(opt.stream_doubles, opt.stream_reps);
+  cal.span_overhead_ns = bench_span_overhead_ns(opt.span_samples);
+
+  // The span probe charged calls/latencies into the process-wide tracer
+  // state; a later profiled run must not inherit them.
+  Tracer::reset();
+  Metrics::reset();
+  return cal;
+}
+
+Json Calibration::to_json() const {
+  Json doc = Json::object();
+  doc.set("calibration_version", Json::number(static_cast<std::int64_t>(1)));
+  doc.set("utc", Json::string(utc));
+  doc.set("cpu_model", Json::string(cpu_model));
+  doc.set("hardware_concurrency", Json::number(static_cast<std::uint64_t>(hardware_concurrency)));
+  doc.set("fingerprint", Json::string(fingerprint));
+  Json points = Json::array();
+  for (const GemmPoint& p : gemm) {
+    Json j = Json::object();
+    j.set("m", Json::number(p.m));
+    j.set("cols", Json::number(p.cols));
+    j.set("shape", Json::string(p.shape));
+    j.set("gflops", Json::number(p.gflops));
+    points.push(std::move(j));
+  }
+  doc.set("gemm", std::move(points));
+  doc.set("peak_gflops", Json::number(peak_gflops));
+  doc.set("stream_gbs", Json::number(stream_gbs));
+  doc.set("span_overhead_ns", Json::number(span_overhead_ns));
+  return doc;
+}
+
+namespace {
+
+double require_number(const Json& doc, const char* key) {
+  const Json* v = doc.find(key);
+  if (v == nullptr || v->kind() != Json::Kind::Number) {
+    throw std::runtime_error(std::string("calibration: missing numeric field '") + key + "'");
+  }
+  return v->as_number();
+}
+
+std::string string_or(const Json& doc, const char* key, const std::string& fallback) {
+  const Json* v = doc.find(key);
+  return (v != nullptr && v->kind() == Json::Kind::String) ? v->as_string() : fallback;
+}
+
+}  // namespace
+
+Calibration Calibration::from_json(const Json& doc) {
+  if (doc.kind() != Json::Kind::Object) {
+    throw std::runtime_error("calibration: document is not an object");
+  }
+  Calibration cal;
+  cal.cpu_model = string_or(doc, "cpu_model", "unknown");
+  cal.hardware_concurrency =
+      static_cast<unsigned>(require_number(doc, "hardware_concurrency"));
+  cal.fingerprint = string_or(doc, "fingerprint", "");
+  cal.utc = string_or(doc, "utc", "");
+  cal.peak_gflops = require_number(doc, "peak_gflops");
+  cal.stream_gbs = require_number(doc, "stream_gbs");
+  cal.span_overhead_ns = require_number(doc, "span_overhead_ns");
+  if (const Json* points = doc.find("gemm"); points != nullptr) {
+    for (const Json& j : points->items()) {
+      GemmPoint p;
+      p.m = static_cast<std::int64_t>(require_number(j, "m"));
+      p.cols = static_cast<std::int64_t>(require_number(j, "cols"));
+      p.shape = string_or(j, "shape", "");
+      p.gflops = require_number(j, "gflops");
+      cal.gemm.push_back(std::move(p));
+    }
+  }
+  return cal;
+}
+
+Calibration load_or_run_calibration(const std::string& path, const CalibrationOptions& opt) {
+  if (!path.empty()) {
+    std::ifstream f(path);
+    if (f) {
+      std::ostringstream os;
+      os << f.rdbuf();
+      try {
+        Calibration cached = Calibration::from_json(parse_json(os.str()));
+        if (cached.fingerprint == machine_fingerprint()) return cached;
+      } catch (const std::exception&) {
+        // Unparseable or foreign profile: fall through to re-measure.
+      }
+    }
+  }
+  Calibration fresh = run_calibration(opt);
+  if (!path.empty()) {
+    std::ofstream out(path);
+    if (out) {
+      fresh.to_json().write(out);
+      out << '\n';
+    }
+  }
+  return fresh;
+}
+
+}  // namespace bst::util

@@ -1,0 +1,84 @@
+// Machine calibration: self-contained microbenchmarks that measure this
+// machine's ceilings with the *same kernels the solver runs*, cached to a
+// JSON profile so CI can calibrate once per runner.
+//
+// Three ceilings matter for the attainment join (util/attainment.h):
+//
+//   gemm points    peak GEMM GFLOP/s across the block shapes the Schur
+//                  algorithm actually produces: the Y^T [A; B] panel
+//                  product (2m x m)^T (2m x L) and the V Z update
+//                  (m x m)(m x L), for m in {1..64} by default.
+//   stream_gbs     STREAM-triad bandwidth (a = b + s*c over arrays that
+//                  exceed the last-level cache; 24 bytes per element).
+//   span_overhead_ns  per-TraceSpan observability cost, measured as the
+//                  tracer-on minus tracer-off time of an empty span loop.
+//
+// The profile carries the machine fingerprint (CPU model + core count +
+// compiler + flags); load_or_run_calibration() re-measures when the cached
+// profile was taken on a different machine or build.
+//
+// Calibrate *before* arming observability: the span-overhead loop drives
+// the tracer, so run_calibration() resets Tracer and Metrics on exit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/report.h"
+
+namespace bst::util {
+
+/// The CPU model string from /proc/cpuinfo ("unknown" when unavailable).
+std::string cpu_model_name();
+
+/// FNV-1a fingerprint of {cpu model, core count, compiler, build type,
+/// flags}: two runs are perf-comparable only when their fingerprints match.
+/// Stamped into every report ("machine.fingerprint") and ledger line.
+std::string machine_fingerprint();
+
+/// One GEMM microbenchmark point.
+struct GemmPoint {
+  std::int64_t m = 0;       // Schur block size the shape derives from
+  std::int64_t cols = 0;    // panel width L
+  std::string shape;        // "yt_g" (2m x m)^T (2m x L) or "v_z" (m x m)(m x L)
+  double gflops = 0.0;      // best-of sustained rate
+};
+
+/// Knobs so tests can shrink the run to milliseconds.
+struct CalibrationOptions {
+  std::vector<std::int64_t> block_sizes = {1, 2, 4, 8, 16, 32, 64};
+  double min_gemm_seconds = 0.02;       // accumulated per shape
+  std::size_t stream_doubles = 1u << 21;  // per array (3 arrays, 16 MiB each)
+  int stream_reps = 5;
+  int span_samples = 200000;
+};
+
+/// A measured machine profile.
+struct Calibration {
+  std::string cpu_model;
+  unsigned hardware_concurrency = 0;
+  std::string fingerprint;   // machine_fingerprint() at measurement time
+  std::string utc;           // when measured
+  std::vector<GemmPoint> gemm;
+  double peak_gflops = 0.0;      // max over the gemm points
+  double stream_gbs = 0.0;       // triad bandwidth
+  double span_overhead_ns = 0.0; // tracer-on minus tracer-off, per span
+
+  [[nodiscard]] Json to_json() const;
+  /// Throws std::runtime_error when required fields are missing.
+  static Calibration from_json(const Json& doc);
+};
+
+/// Runs the microbenchmarks.  Resets Tracer/Metrics on exit (the span
+/// probe pollutes them), so call before arming observability.
+Calibration run_calibration(const CalibrationOptions& opt = {});
+
+/// Cache wrapper: returns the profile stored at `path` when it parses and
+/// its fingerprint matches this machine/build; otherwise runs a fresh
+/// calibration and (best-effort) writes it back.  An empty path never
+/// touches the filesystem.
+Calibration load_or_run_calibration(const std::string& path,
+                                    const CalibrationOptions& opt = {});
+
+}  // namespace bst::util

@@ -52,6 +52,12 @@ Json ledger_entry(const Json& report_doc) {
   } else {
     e.set("params_hash", Json::string(fnv1a_hex("{}")));
   }
+  if (const Json* machine = report_doc.find("machine"); machine != nullptr) {
+    if (const Json* fp = machine->find("fingerprint");
+        fp != nullptr && fp->kind() == Json::Kind::String) {
+      e.set("machine", *fp);
+    }
+  }
   if (const Json* phases = report_doc.find("phases"); phases != nullptr) {
     Json out = Json::object();
     for (const auto& [name, ph] : phases->members()) {
@@ -59,6 +65,19 @@ Json ledger_entry(const Json& report_doc) {
       if (sec != nullptr && sec->kind() == Json::Kind::Number) out.set(name, *sec);
     }
     if (!out.members().empty()) e.set("phases", std::move(out));
+  }
+  // Per-phase attainment columns so --trend can gate on efficiency, not
+  // just seconds (a phase can stay fast while its attainment collapses,
+  // e.g. a flop-count regression masked by a faster machine).
+  if (const Json* att = report_doc.find("attainment"); att != nullptr) {
+    if (const Json* aphases = att->find("phases"); aphases != nullptr) {
+      Json out = Json::object();
+      for (const auto& [name, row] : aphases->members()) {
+        const Json* a = row.find("attainment");
+        if (a != nullptr && a->kind() == Json::Kind::Number) out.set(name, *a);
+      }
+      if (!out.members().empty()) e.set("attainment", std::move(out));
+    }
   }
   if (const Json* metrics = report_doc.find("metrics"); metrics != nullptr) {
     e.set("metrics", *metrics);
@@ -106,10 +125,10 @@ double median_of(std::vector<double> v) {
   return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
-void collect_keys(const std::vector<Json>& entries, const char* section,
+void collect_keys(const std::vector<const Json*>& entries, const char* section,
                   std::vector<std::string>& keys) {
-  for (const Json& e : entries) {
-    const Json* obj = e.find(section);
+  for (const Json* ep : entries) {
+    const Json* obj = ep->find(section);
     if (obj == nullptr) continue;
     for (const auto& [k, v] : obj->members()) {
       if (v.kind() != Json::Kind::Number) continue;
@@ -124,9 +143,31 @@ void collect_keys(const std::vector<Json>& entries, const char* section,
 TrendReport ledger_trend(const std::vector<Json>& entries, double max_regress,
                          double min_seconds) {
   TrendReport rep;
+  if (entries.empty()) return rep;
+
+  // Cross-machine guard: compare only against history from the machine of
+  // the newest entry.  Entries predating the fingerprint field (no
+  // "machine" key) match anything so old ledgers keep their history.
+  std::string ref_machine;
+  if (const Json* m = entries.back().find("machine");
+      m != nullptr && m->kind() == Json::Kind::String) {
+    ref_machine = m->as_string();
+  }
+  std::vector<const Json*> comparable;
+  for (const Json& e : entries) {
+    const Json* m = e.find("machine");
+    if (!ref_machine.empty() && m != nullptr && m->kind() == Json::Kind::String &&
+        m->as_string() != ref_machine) {
+      ++rep.skipped_machines;
+      continue;
+    }
+    comparable.push_back(&e);
+  }
+
   std::vector<std::string> keys;
-  collect_keys(entries, "phases", keys);
-  collect_keys(entries, "metrics", keys);
+  collect_keys(comparable, "phases", keys);
+  collect_keys(comparable, "metrics", keys);
+  collect_keys(comparable, "attainment", keys);
   std::sort(keys.begin(), keys.end());
 
   for (const std::string& key : keys) {
@@ -134,8 +175,8 @@ TrendReport ledger_trend(const std::vector<Json>& entries, double max_regress,
     const std::string section = key.substr(0, dot), name = key.substr(dot + 1);
     TrendStat st;
     st.key = key;
-    for (const Json& e : entries) {
-      const Json* obj = e.find(section);
+    for (const Json* e : comparable) {
+      const Json* obj = e->find(section);
       const Json* v = obj != nullptr ? obj->find(name) : nullptr;
       if (v != nullptr && v->kind() == Json::Kind::Number) st.values.push_back(v->as_number());
     }
@@ -147,12 +188,21 @@ TrendReport ledger_trend(const std::vector<Json>& entries, double max_regress,
                       ? median_of({st.values.begin(), st.values.end() - 1})
                       : st.last;
     st.rel = st.baseline > 0.0 ? (st.last - st.baseline) / st.baseline : 0.0;
-    // Only time-denominated series can *fail* the gate; counters and
-    // residuals are informational (a residual rising is a watchdog matter,
-    // not a perf regression).
-    st.gated = section == "phases" || key == "metrics.time_s" || key == "metrics.sim_seconds";
-    st.regressed = st.gated && max_regress >= 0.0 && st.values.size() > 1 &&
-                   st.baseline >= min_seconds && st.rel > max_regress;
+    // Only time-denominated and attainment series can *fail* the gate;
+    // counters and residuals are informational (a residual rising is a
+    // watchdog matter, not a perf regression).
+    st.higher_is_better = section == "attainment";
+    st.gated = section == "phases" || section == "attainment" || key == "metrics.time_s" ||
+               key == "metrics.sim_seconds";
+    if (st.gated && st.values.size() > 1) rep.insufficient_history = false;
+    if (st.higher_is_better) {
+      // Attainment is a fraction; the seconds noise floor does not apply.
+      st.regressed = st.gated && max_regress >= 0.0 && st.values.size() > 1 &&
+                     st.baseline > 0.0 && st.rel < -max_regress;
+    } else {
+      st.regressed = st.gated && max_regress >= 0.0 && st.values.size() > 1 &&
+                     st.baseline >= min_seconds && st.rel > max_regress;
+    }
     if (st.regressed) ++rep.regressions;
     rep.series.push_back(std::move(st));
   }

@@ -7,8 +7,9 @@
 // instrumented binary takes `--ledger=<file>` and appends one line:
 //
 //   {"utc":"2026-08-05T12:00:00Z","git":"<describe>","tool":"bst_solve",
-//    "params_hash":"a1b2...","params":{...},
+//    "machine":"<fingerprint>","params_hash":"a1b2...","params":{...},
 //    "phases":{"reflector_build":0.12,...},
+//    "attainment":{"reflector_apply":0.41,...},
 //    "metrics":{"time_s":0.5,"residual":1e-12,...},"warnings":0}
 //
 // Compatibility rule mirrors the report schema: fields are only ever
@@ -16,11 +17,15 @@
 // docs/OBSERVABILITY.md).  Lines that fail to parse are skipped by
 // read_ledger so a corrupt line cannot poison the history.
 //
-// Trend semantics: per series ("phases.<name>" / "metrics.<name>") the last
-// entry is compared against the *rolling median of all prior values*; a
-// series regresses when (last - median) / median exceeds the same
-// --max-regress gate the two-report diff uses, with --min-seconds as the
-// noise floor on the median.
+// Trend semantics: per series ("phases.<name>" / "metrics.<name>" /
+// "attainment.<name>") the last entry is compared against the *rolling
+// median of all prior values*; a series regresses when
+// (last - median) / median exceeds the same --max-regress gate the
+// two-report diff uses, with --min-seconds as the noise floor on the
+// median.  Attainment series gate in the opposite direction (a *drop* past
+// the threshold regresses).  Entries whose "machine" fingerprint differs
+// from the newest entry's are excluded (apples vs oranges across
+// machines); entries predating the fingerprint field match anything.
 #pragma once
 
 #include <cstdint>
@@ -56,7 +61,7 @@ std::vector<Json> read_ledger(const std::string& path);
 
 /// One series' history across the ledger.
 struct TrendStat {
-  std::string key;             // "phases.<name>" or "metrics.<name>"
+  std::string key;             // "phases.<x>", "metrics.<x>" or "attainment.<x>"
   std::vector<double> values;  // chronological (entries missing the key skip)
   double min = 0.0;
   double median = 0.0;         // median of all values
@@ -64,12 +69,18 @@ struct TrendStat {
   double baseline = 0.0;       // rolling median of the values before `last`
   double rel = 0.0;            // (last - baseline) / baseline
   bool gated = false;          // series the --max-regress gate applies to
+  bool higher_is_better = false;  // attainment series: a *drop* regresses
   bool regressed = false;      // gated && baseline >= min_seconds && rel > max
 };
 
 struct TrendReport {
   std::vector<TrendStat> series;  // sorted by key
   int regressions = 0;
+  int skipped_machines = 0;  // entries excluded by fingerprint mismatch
+  // True when no gated series has a pre-history to compare against (fresh
+  // ledger): nothing can regress, callers should say "insufficient
+  // history" instead of "no regression".
+  bool insufficient_history = true;
 };
 
 /// Computes per-series min/median/last and flags regressions of the last

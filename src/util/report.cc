@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/calibrate.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 #include "util/watchdog.h"
@@ -503,6 +504,8 @@ void PerfReport::add_par_analysis(const ParAnalysis& a) {
   critical_path_ = std::move(cp);
 }
 
+void PerfReport::set_attainment(Json attainment) { attainment_ = std::move(attainment); }
+
 Json PerfReport::build(bool include_tracer) const {
   Json root = Json::object();
   root.set("schema_version", Json::number(static_cast<std::int64_t>(kReportSchemaVersion)));
@@ -513,6 +516,11 @@ Json PerfReport::build(bool include_tracer) const {
   machine.set("hardware_concurrency",
               Json::number(static_cast<std::uint64_t>(std::thread::hardware_concurrency())));
   machine.set("pointer_bits", Json::number(static_cast<std::uint64_t>(8 * sizeof(void*))));
+  // Provenance so cross-machine trend comparisons can be detected and
+  // skipped (util/calibrate.h; the fingerprint also keys calibration
+  // caches and rides into every ledger line).
+  machine.set("cpu_model", Json::string(cpu_model_name()));
+  machine.set("fingerprint", Json::string(machine_fingerprint()));
   root.set("machine", std::move(machine));
 
   Json buildinfo = Json::object();
@@ -521,6 +529,9 @@ Json PerfReport::build(bool include_tracer) const {
 #endif
 #if defined(BST_BUILD_TYPE)
   buildinfo.set("build_type", Json::string(BST_BUILD_TYPE));
+#endif
+#if defined(BST_CXX_FLAGS)
+  buildinfo.set("flags", Json::string(BST_CXX_FLAGS));
 #endif
   buildinfo.set("cxx", Json::number(static_cast<std::int64_t>(__cplusplus)));
   root.set("build", std::move(buildinfo));
@@ -605,6 +616,7 @@ Json PerfReport::build(bool include_tracer) const {
   if (pe_timeline_.kind() == Json::Kind::Object) root.set("pe_timeline", pe_timeline_);
   if (comm_matrix_.kind() == Json::Kind::Object) root.set("comm_matrix", comm_matrix_);
   if (critical_path_.kind() == Json::Kind::Object) root.set("critical_path", critical_path_);
+  if (attainment_.kind() == Json::Kind::Object) root.set("attainment", attainment_);
   if (!metrics_.members().empty()) root.set("metrics", metrics_);
   if (!tables_.items().empty()) root.set("tables", tables_);
   return root;

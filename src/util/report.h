@@ -8,8 +8,10 @@
 //     "schema_version": 1,
 //     "tool":    "<binary name>",
 //     "params":  { ... run parameters (n, m, rep, np, ...) },
-//     "machine": { "hardware_concurrency": N, "pointer_bits": 64 },
-//     "build":   { "compiler": "...", "build_type": "...", "cxx": 202002 },
+//     "machine": { "hardware_concurrency": N, "pointer_bits": 64,
+//                  "cpu_model": "...", "fingerprint": "<fnv1a>" },
+//     "build":   { "compiler": "...", "build_type": "...", "flags": "...",
+//                  "cxx": 202002 },
 //     "phases":  { "<phase>": {"calls","seconds","flops","bytes"}, ... },
 //     "steps":   [ {"step","min_hnorm","max_generator"}, ... ],
 //     "histograms": { "<name>": {"count","min","max","mean",
@@ -20,6 +22,9 @@
 //     "pe_timeline":   { "makespan", "imbalance", "per_pe": [...] },
 //     "comm_matrix":   { "bytes": [[...], ...] },
 //     "critical_path": { "seconds","slack","by_kind", "segments": [...] },
+//     "attainment":    { "calibration": {...}, "phases": { "<phase>":
+//                        {"gflops","intensity","ceiling_gflops","attainment",
+//                         "model_ratio",...} }, "obs_overhead_frac", ... },
 //     "metrics": { ... scalar results (time_s, residual, ...) },
 //     "tables":  [ {"title","columns",  "rows": [[...], ...]}, ... ]
 //   }
@@ -133,6 +138,10 @@ class PerfReport {
   /// phase-attributed longest chain; see docs/OBSERVABILITY.md).
   void add_par_analysis(const ParAnalysis& a);
 
+  /// Attaches the model-attainment section (util::attainment_section());
+  /// emitted verbatim as "attainment" (additive, schema stays v1).
+  void set_attainment(Json attainment);
+
   /// Builds the document: schema header, machine/build info, the Tracer's
   /// phases and step diagnostics (when `include_tracer`), and everything
   /// attached above.
@@ -153,6 +162,7 @@ class PerfReport {
   Json pe_timeline_ = Json::null();
   Json comm_matrix_ = Json::null();
   Json critical_path_ = Json::null();
+  Json attainment_ = Json::null();
 };
 
 }  // namespace bst::util

@@ -1,0 +1,160 @@
+// Tests for util/attainment: the join of traced phase counters with the
+// calibrated machine ceilings and the flop models, on synthetic inputs with
+// hand-computable results.
+#include <gtest/gtest.h>
+
+#include "bst.h"
+
+using namespace bst;
+using util::Json;
+
+namespace {
+
+// A report document with one phase: 2e9 flops and 1e9 bytes in 0.5 s
+// -> 4 GFLOP/s at intensity 2 flops/byte.
+Json synthetic_report() {
+  Json ph = Json::object();
+  ph.set("calls", Json::number(1000.0));
+  ph.set("seconds", Json::number(0.5));
+  ph.set("flops", Json::number(2e9));
+  ph.set("bytes", Json::number(1e9));
+  Json phases = Json::object();
+  phases.set("reflector_apply", std::move(ph));
+  Json metrics = Json::object();
+  metrics.set("time_s", Json::number(1.0));
+  metrics.set("backward_error", Json::number(3e-16));
+  Json doc = Json::object();
+  doc.set("schema_version", Json::number(1.0));
+  doc.set("phases", std::move(phases));
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+// peak 8 GF/s, stream 10 GB/s -> balance point at 0.8 flops/byte; at
+// intensity 2 the phase is compute-bound (ceiling = peak).
+Json synthetic_calibration() {
+  Json cal = Json::object();
+  cal.set("cpu_model", Json::string("test-cpu"));
+  cal.set("peak_gflops", Json::number(8.0));
+  cal.set("stream_gbs", Json::number(10.0));
+  cal.set("span_overhead_ns", Json::number(100.0));
+  return cal;
+}
+
+double num(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  EXPECT_NE(v, nullptr) << key;
+  return v != nullptr ? v->as_number() : -1.0;
+}
+
+}  // namespace
+
+TEST(Attainment, JoinsCountersWithCalibratedCeilings) {
+  const Json report = synthetic_report();
+  const Json cal = synthetic_calibration();
+  std::vector<util::PhaseModel> models{{"reflector_apply", 1.6e9, 1e9}};
+  const Json att = util::attainment_section(report, &cal, models);
+
+  const Json* row = att.find("phases")->find("reflector_apply");
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(num(*row, "gflops"), 4.0);
+  EXPECT_DOUBLE_EQ(num(*row, "intensity"), 2.0);
+  // Compute-bound: min(8, 2 * 10) = 8; attainment 4/8.
+  EXPECT_DOUBLE_EQ(num(*row, "ceiling_gflops"), 8.0);
+  EXPECT_DOUBLE_EQ(num(*row, "attainment"), 0.5);
+  // Measured 2e9 over modeled 1.6e9 (impl) and 1e9 (paper).
+  EXPECT_DOUBLE_EQ(num(*row, "model_ratio"), 1.25);
+  EXPECT_DOUBLE_EQ(num(*row, "paper_ratio"), 2.0);
+
+  // Calibration provenance subobject.
+  const Json* c = att.find("calibration");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->find("cpu_model")->as_string(), "test-cpu");
+  EXPECT_EQ(c->find("hash")->as_string(), util::fnv1a_hex(cal.dump_compact()));
+
+  // Observability budget: 1000 spans x 100 ns = 0.1 ms over a 1 s makespan.
+  EXPECT_DOUBLE_EQ(num(att, "makespan_s"), 1.0);
+  EXPECT_DOUBLE_EQ(num(att, "span_calls"), 1000.0);
+  EXPECT_DOUBLE_EQ(num(att, "obs_overhead_s"), 1e-4);
+  EXPECT_DOUBLE_EQ(num(att, "obs_overhead_frac"), 1e-4);
+  EXPECT_DOUBLE_EQ(num(att, "backward_error"), 3e-16);
+}
+
+TEST(Attainment, BandwidthBoundCeilingBelowPeak) {
+  // Drop the intensity below the balance point: 2e9 flops over 1e10 bytes
+  // = 0.2 flops/byte -> ceiling 0.2 * 10 = 2 GF/s < peak 8.
+  Json report = synthetic_report();
+  Json ph = Json::object();
+  ph.set("calls", Json::number(1.0));
+  ph.set("seconds", Json::number(0.5));
+  ph.set("flops", Json::number(2e9));
+  ph.set("bytes", Json::number(1e10));
+  Json phases = Json::object();
+  phases.set("stream_phase", std::move(ph));
+  report.set("phases", std::move(phases));
+  const Json cal = synthetic_calibration();
+  const Json att = util::attainment_section(report, &cal, {});
+
+  const Json* row = att.find("phases")->find("stream_phase");
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(num(*row, "ceiling_gflops"), 2.0);
+  EXPECT_DOUBLE_EQ(num(*row, "attainment"), 2.0);  // 4 GF/s "over" the roof
+}
+
+TEST(Attainment, UncalibratedReportOmitsCeilingsButKeepsModelRatio) {
+  const Json report = synthetic_report();
+  std::vector<util::PhaseModel> models{{"reflector_apply", 2e9, 2e9}};
+  const Json att = util::attainment_section(report, nullptr, models);
+
+  EXPECT_EQ(att.find("calibration"), nullptr);
+  EXPECT_EQ(att.find("obs_overhead_frac"), nullptr);
+  const Json* row = att.find("phases")->find("reflector_apply");
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(num(*row, "gflops"), 4.0);
+  EXPECT_EQ(row->find("ceiling_gflops"), nullptr);
+  EXPECT_EQ(row->find("attainment"), nullptr);
+  EXPECT_DOUBLE_EQ(num(*row, "model_ratio"), 1.0);
+}
+
+TEST(Attainment, MakespanFallsBackToPhaseSum) {
+  // Benches without a wall-clock metric: makespan = sum of phase seconds.
+  Json report = synthetic_report();
+  report.set("metrics", Json::object());
+  const Json cal = synthetic_calibration();
+  const Json att = util::attainment_section(report, &cal, {});
+  EXPECT_DOUBLE_EQ(num(att, "makespan_s"), 0.5);
+  EXPECT_DOUBLE_EQ(num(att, "obs_overhead_frac"), 2e-4);
+  EXPECT_EQ(att.find("backward_error"), nullptr);
+}
+
+TEST(Attainment, EndToEndProfiledFactorizationHitsModelExactly) {
+  // The as-implemented models must match the traced flop counters of a
+  // real factorization *exactly* for every representation -- this is the
+  // invariant the CI attainment gate (model_ratio in [0.9, 1.1]) rests on.
+  const toeplitz::BlockToeplitz t = toeplitz::kms(128, 0.6).with_block_size(4);
+  for (const core::Representation rep :
+       {core::Representation::AccumulatedU, core::Representation::VY1,
+        core::Representation::VY2, core::Representation::YTY,
+        core::Representation::Sequential}) {
+    util::Tracer::reset();
+    util::Tracer::enable();
+    core::SchurOptions opt;
+    opt.rep = rep;
+    (void)core::block_schur_stream(t, opt, [](la::index_t, la::CView) {});
+    util::Tracer::disable();
+
+    util::PerfReport report("test_attainment");
+    const Json doc = report.build();
+    const std::vector<util::PhaseModel> models =
+        core::schur_phase_models(rep, t.order(), t.block_size());
+    ASSERT_EQ(models.size(), 2u);
+    const Json att = util::attainment_section(doc, nullptr, models);
+    for (const char* phase : {"reflector_build", "reflector_apply"}) {
+      const Json* row = att.find("phases")->find(phase);
+      ASSERT_NE(row, nullptr) << phase;
+      EXPECT_NEAR(num(*row, "model_ratio"), 1.0, 1e-12)
+          << phase << " rep " << core::to_string(rep);
+    }
+    util::Tracer::reset();
+  }
+}

@@ -1,0 +1,130 @@
+// Tests for util/calibrate: the machine-profile microbenchmarks behind the
+// roofline/attainment layer.  The options are shrunk to keep the whole
+// suite in the tens of milliseconds -- these tests check shape and sanity
+// (finite, positive, cached), not absolute rates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bst.h"
+
+using namespace bst;
+
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(std::string name) : path(std::move(name)) { std::remove(path.c_str()); }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+util::CalibrationOptions tiny_options() {
+  util::CalibrationOptions opt;
+  opt.block_sizes = {2, 8};
+  opt.min_gemm_seconds = 1e-4;
+  opt.stream_doubles = 1u << 14;
+  opt.stream_reps = 2;
+  opt.span_samples = 2000;
+  return opt;
+}
+
+}  // namespace
+
+TEST(Calibrate, FingerprintIsStableAndNonEmpty) {
+  const std::string fp = util::machine_fingerprint();
+  EXPECT_EQ(fp.size(), 16u);  // fnv1a_hex
+  EXPECT_EQ(fp, util::machine_fingerprint());
+  EXPECT_FALSE(util::cpu_model_name().empty());
+}
+
+TEST(Calibrate, RatesAreFinitePositiveAndShapedPerBlockSize) {
+  const util::CalibrationOptions opt = tiny_options();
+  const util::Calibration cal = util::run_calibration(opt);
+
+  EXPECT_EQ(cal.fingerprint, util::machine_fingerprint());
+  EXPECT_FALSE(cal.utc.empty());
+  // Two shapes per block size.
+  ASSERT_EQ(cal.gemm.size(), 2 * opt.block_sizes.size());
+  double max_gflops = 0.0;
+  for (const util::GemmPoint& p : cal.gemm) {
+    EXPECT_TRUE(p.shape == "yt_g" || p.shape == "v_z") << p.shape;
+    EXPECT_GT(p.m, 0);
+    EXPECT_GT(p.cols, 0);
+    EXPECT_TRUE(std::isfinite(p.gflops));
+    EXPECT_GT(p.gflops, 0.0);
+    max_gflops = std::max(max_gflops, p.gflops);
+  }
+  EXPECT_DOUBLE_EQ(cal.peak_gflops, max_gflops);
+  EXPECT_TRUE(std::isfinite(cal.stream_gbs));
+  EXPECT_GT(cal.stream_gbs, 0.0);
+  EXPECT_TRUE(std::isfinite(cal.span_overhead_ns));
+  // The tracer-on minus tracer-off difference can jitter to ~0 but is
+  // clamped non-negative and should be well under a microsecond per span.
+  EXPECT_GE(cal.span_overhead_ns, 0.0);
+  EXPECT_LT(cal.span_overhead_ns, 1e5);
+}
+
+TEST(Calibrate, LargerBlocksSustainHigherGemmRates) {
+  // Monotone-ish smoke: the m = 8 shapes must not be slower than *half*
+  // the m = 2 rate (loose on purpose -- CI machines are noisy; what this
+  // catches is a benchmark wired to the wrong shape or flop count).
+  const util::Calibration cal = util::run_calibration(tiny_options());
+  double small = 0.0, big = 0.0;
+  for (const util::GemmPoint& p : cal.gemm) {
+    if (p.m == 2) small = std::max(small, p.gflops);
+    if (p.m == 8) big = std::max(big, p.gflops);
+  }
+  EXPECT_GT(big, 0.5 * small);
+}
+
+TEST(Calibrate, JsonRoundTrip) {
+  const util::Calibration cal = util::run_calibration(tiny_options());
+  const util::Calibration back = util::Calibration::from_json(cal.to_json());
+  EXPECT_EQ(back.cpu_model, cal.cpu_model);
+  EXPECT_EQ(back.fingerprint, cal.fingerprint);
+  EXPECT_EQ(back.hardware_concurrency, cal.hardware_concurrency);
+  ASSERT_EQ(back.gemm.size(), cal.gemm.size());
+  for (std::size_t i = 0; i < cal.gemm.size(); ++i) {
+    EXPECT_EQ(back.gemm[i].m, cal.gemm[i].m);
+    EXPECT_EQ(back.gemm[i].shape, cal.gemm[i].shape);
+    EXPECT_DOUBLE_EQ(back.gemm[i].gflops, cal.gemm[i].gflops);
+  }
+  EXPECT_DOUBLE_EQ(back.peak_gflops, cal.peak_gflops);
+  EXPECT_DOUBLE_EQ(back.stream_gbs, cal.stream_gbs);
+  EXPECT_DOUBLE_EQ(back.span_overhead_ns, cal.span_overhead_ns);
+
+  EXPECT_THROW(util::Calibration::from_json(util::parse_json("{}")),
+               std::runtime_error);
+}
+
+TEST(Calibrate, LoadOrRunCachesByFingerprint) {
+  TempFile f("test_calibrate_cache.json");
+  const util::CalibrationOptions opt = tiny_options();
+
+  const util::Calibration first = util::load_or_run_calibration(f.path, opt);
+  // A matching cached profile is returned verbatim (same utc stamp).
+  const util::Calibration second = util::load_or_run_calibration(f.path, opt);
+  EXPECT_EQ(second.utc, first.utc);
+  EXPECT_DOUBLE_EQ(second.peak_gflops, first.peak_gflops);
+
+  // A profile from "another machine" is ignored and re-measured over.
+  {
+    util::Calibration stale = first;
+    stale.fingerprint = "deadbeefdeadbeef";
+    std::ofstream os(f.path);
+    stale.to_json().write(os);
+  }
+  const util::Calibration fresh = util::load_or_run_calibration(f.path, opt);
+  EXPECT_EQ(fresh.fingerprint, util::machine_fingerprint());
+
+  // Corrupt cache files are re-measured over, not fatal.
+  {
+    std::ofstream os(f.path);
+    os << "{not json";
+  }
+  EXPECT_EQ(util::load_or_run_calibration(f.path, opt).fingerprint,
+            util::machine_fingerprint());
+}

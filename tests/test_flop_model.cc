@@ -157,5 +157,54 @@ TEST(FlopModel, TracerPhaseFlopsMatchModels) {
   }
 }
 
+// The as-implemented models close that band to zero: for the single-level
+// sequential path, blocking_flops_impl / application_flops_impl are closed
+// forms of exactly what the kernels charge, so the tracer's phase totals
+// match schur_phase_models() to the last flop.  This is the invariant the
+// attainment section's model_ratio (and the CI gate on it) relies on.
+TEST(FlopModel, TracerPhaseFlopsMatchImplModelsExactly) {
+  const index_t m = 8, p = 24;
+  toeplitz::BlockToeplitz t = toeplitz::random_spd_block(m, p, 2, 5);
+  for (Representation rep :
+       {Representation::AccumulatedU, Representation::VY1, Representation::VY2,
+        Representation::YTY, Representation::Sequential}) {
+    util::Tracer::reset();
+    util::Tracer::enable();
+    SchurOptions opt;
+    opt.rep = rep;
+    SchurFactor f = block_schur_factor(t, opt);
+    util::Tracer::disable();
+    (void)f;
+
+    double build_meas = 0.0, apply_meas = 0.0;
+    for (const util::PhaseStats& ph : util::Tracer::snapshot()) {
+      if (ph.name == "reflector_build") build_meas = static_cast<double>(ph.flops);
+      if (ph.name == "reflector_apply") apply_meas = static_cast<double>(ph.flops);
+    }
+    util::Tracer::reset();
+
+    const std::vector<util::PhaseModel> models = schur_phase_models(rep, t.order(), m);
+    ASSERT_EQ(models.size(), 2u);
+    ASSERT_EQ(models[0].phase, "reflector_build");
+    ASSERT_EQ(models[1].phase, "reflector_apply");
+    EXPECT_NEAR(build_meas / models[0].model_flops, 1.0, 1e-12) << to_string(rep);
+    EXPECT_NEAR(apply_meas / models[1].model_flops, 1.0, 1e-12) << to_string(rep);
+    // The paper totals in the same models are the verbatim eq. 25-32 sums.
+    double build_paper = 0.0, apply_paper = 0.0;
+    for (index_t i = 1; i < p; ++i) {
+      build_paper += blocking_flops(rep, m, m);
+      if (p - i - 1 > 0) apply_paper += application_flops(rep, m, p - i - 1, m);
+    }
+    EXPECT_DOUBLE_EQ(models[0].paper_flops, build_paper) << to_string(rep);
+    EXPECT_DOUBLE_EQ(models[1].paper_flops, apply_paper) << to_string(rep);
+  }
+}
+
+TEST(FlopModel, SchurPhaseModelsRejectNonDividingBlockSize) {
+  EXPECT_TRUE(schur_phase_models(Representation::VY2, 100, 7).empty());
+  EXPECT_TRUE(schur_phase_models(Representation::VY2, 0, 8).empty());
+  EXPECT_FALSE(schur_phase_models(Representation::VY2, 64, 8).empty());
+}
+
 }  // namespace
 }  // namespace bst::core

@@ -129,6 +129,90 @@ TEST(Ledger, TrendRespectsNoiseFloorAndDisabledGate) {
   EXPECT_EQ(util::ledger_trend(bad, -1.0, 0.0).regressions, 0);
 }
 
+TEST(Ledger, TrendSingleEntryIsInsufficientHistoryNotRegression) {
+  std::vector<util::Json> entries{entry_with(1.0, 1e-12)};
+  const util::TrendReport trend = util::ledger_trend(entries, 0.5, 0.0);
+  EXPECT_EQ(trend.regressions, 0);
+  EXPECT_TRUE(trend.insufficient_history);
+  for (const util::TrendStat& s : trend.series) {
+    EXPECT_FALSE(s.regressed);
+    // baseline falls back to the single value; rel must be 0, not NaN/inf.
+    EXPECT_DOUBLE_EQ(s.rel, 0.0);
+  }
+  std::vector<util::Json> two{entry_with(1.0, 0), entry_with(1.0, 0)};
+  EXPECT_FALSE(util::ledger_trend(two, 0.5, 0.0).insufficient_history);
+}
+
+TEST(Ledger, TrendSkipsEntriesFromOtherMachines) {
+  auto on_machine = [](double solve_s, const char* fp) {
+    util::Json e = entry_with(solve_s, 0.0);
+    e.set("machine", util::Json::string(fp));
+    return e;
+  };
+  // Fast history from machine B would make A's last entry look like a 4x
+  // regression; B must be filtered out against A's reference fingerprint.
+  std::vector<util::Json> entries{on_machine(2.0, "aaaa"), on_machine(0.5, "bbbb"),
+                                  on_machine(0.5, "bbbb"), on_machine(2.0, "aaaa")};
+  const util::TrendReport trend = util::ledger_trend(entries, 0.5, 0.0);
+  EXPECT_EQ(trend.skipped_machines, 2);
+  EXPECT_EQ(trend.regressions, 0);
+  for (const util::TrendStat& s : trend.series) {
+    if (s.key == "phases.solve") {
+      EXPECT_EQ(s.values.size(), 2u);
+    }
+  }
+  // Entries predating the fingerprint field ("machine" absent) stay in.
+  std::vector<util::Json> mixed{entry_with(1.0, 0), on_machine(1.0, "aaaa")};
+  EXPECT_EQ(util::ledger_trend(mixed, 0.5, 0.0).skipped_machines, 0);
+}
+
+TEST(Ledger, TrendGatesAttainmentOnDropsNotRises) {
+  auto with_attainment = [](double a) {
+    util::Json att = util::Json::object();
+    att.set("reflector_apply", util::Json::number(a));
+    util::Json e = util::Json::object();
+    e.set("attainment", std::move(att));
+    return e;
+  };
+  // 0.6 -> 0.2 is a 67% drop: regresses at max_regress = 0.5.
+  std::vector<util::Json> drop{with_attainment(0.6), with_attainment(0.6),
+                               with_attainment(0.2)};
+  const util::TrendReport bad = util::ledger_trend(drop, 0.5, /*min_seconds=*/1.0);
+  EXPECT_EQ(bad.regressions, 1);
+  for (const util::TrendStat& s : bad.series) {
+    EXPECT_TRUE(s.gated);
+    EXPECT_TRUE(s.higher_is_better);
+    EXPECT_TRUE(s.regressed);  // min_seconds floor must not shield fractions
+  }
+  // The reverse move (0.2 -> 0.6, a 3x *rise*) is an improvement, not a
+  // regression, even though |rel| is far past the gate.
+  std::vector<util::Json> rise{with_attainment(0.2), with_attainment(0.2),
+                               with_attainment(0.6)};
+  EXPECT_EQ(util::ledger_trend(rise, 0.5, 0.0).regressions, 0);
+}
+
+TEST(Ledger, EntryCarriesMachineAndAttainmentColumns) {
+  util::PerfReport report("test_tool");
+  report.metric("time_s", 1.0);
+  util::Json att = util::Json::object();
+  util::Json rows = util::Json::object();
+  util::Json row = util::Json::object();
+  row.set("attainment", util::Json::number(0.42));
+  row.set("gflops", util::Json::number(3.0));
+  rows.set("reflector_apply", std::move(row));
+  att.set("phases", std::move(rows));
+  report.set_attainment(std::move(att));
+
+  const util::Json entry = util::ledger_entry(report.build(false));
+  const util::Json* machine = entry.find("machine");
+  ASSERT_NE(machine, nullptr);
+  EXPECT_EQ(machine->as_string(), util::machine_fingerprint());
+  const util::Json* a = entry.find("attainment");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(a->find("reflector_apply"), nullptr);
+  EXPECT_DOUBLE_EQ(a->find("reflector_apply")->as_number(), 0.42);
+}
+
 TEST(Ledger, SparklineShapes) {
   const std::string ramp = util::sparkline({0.0, 1.0, 2.0, 3.0});
   ASSERT_EQ(ramp.size(), 4u);

@@ -23,11 +23,28 @@
 //       Trend view over a perf ledger (util/ledger.h): per-series
 //       min/median/last with an ASCII sparkline of the history.  Exits 3
 //       when the *last* entry of any gated series (phase seconds,
-//       metrics.time_s/sim_seconds) regresses past --max-regress relative
-//       to the rolling median of the prior entries.
+//       metrics.time_s/sim_seconds, attainment fractions -- which gate on
+//       *drops*) regresses past --max-regress relative to the rolling
+//       median of the prior entries.  Entries from other machines
+//       (fingerprint mismatch vs the newest entry) are skipped, and a
+//       single-entry ledger reports "insufficient history" and exits 0.
 //
-// Exit codes: 0 ok, 1 error (unreadable/malformed input), 2 usage,
-// 3 regression past the threshold.
+//   bst_report one.json --roofline
+//       ASCII log-log roofline of the report's attainment section: the
+//       calibrated memory-bandwidth and peak-GFLOP/s ceilings with each
+//       traced phase plotted at (arithmetic intensity, achieved GFLOP/s).
+//       Requires a report produced under --calibrate (exit 1 otherwise).
+//
+//   bst_report --attain --baseline=a.json --candidate=b.json
+//              [--max-attain-drop=10%]
+//       Diffs the *attainment* (roofline fraction) per phase instead of raw
+//       seconds: exits 3 when any phase's attainment dropped by more than
+//       --max-attain-drop relative to the baseline, 2 when either report
+//       lacks an attainment section (malformed for this mode).
+//
+// Exit codes: 0 ok, 1 error (unreadable/malformed input), 2 usage or
+// missing-section in --attain mode, 3 regression past the threshold.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -172,6 +189,136 @@ void print_threads(const Json& doc) {
             << "s, idle " << fmt(idle) << "s, " << fmt(chunks) << " chunks\n";
 }
 
+void print_attainment(const Json& doc) {
+  const Json* att = doc.find("attainment");
+  if (att == nullptr) return;
+  const Json* cal = att->find("calibration");
+  if (cal != nullptr) {
+    std::printf("attainment (calibrated: peak %s GF/s, stream %s GB/s, span %s ns)\n",
+                fmt(field(*cal, "peak_gflops")).c_str(), fmt(field(*cal, "stream_gbs")).c_str(),
+                fmt(field(*cal, "span_overhead_ns")).c_str());
+  } else {
+    std::printf("attainment (uncalibrated: model ratios only)\n");
+  }
+  const Json* phases = att->find("phases");
+  if (phases != nullptr && !phases->members().empty()) {
+    std::printf("  %-24s %9s %9s %9s %8s %8s %8s\n", "phase", "GF/s", "F/byte", "ceiling",
+                "attain", "model", "paper");
+    for (const auto& [name, r] : phases->members()) {
+      auto cell = [&](const char* key, double scale) {
+        const Json* v = r.find(key);
+        return v != nullptr ? fmt(v->as_number() * scale) : std::string("-");
+      };
+      std::printf("  %-24s %9s %9s %9s %8s %8s %8s\n", name.c_str(), cell("gflops", 1).c_str(),
+                  cell("intensity", 1).c_str(), cell("ceiling_gflops", 1).c_str(),
+                  (r.find("attainment") != nullptr ? pct(field(r, "attainment"))
+                                                   : std::string("-"))
+                      .c_str(),
+                  cell("model_ratio", 1).c_str(), cell("paper_ratio", 1).c_str());
+    }
+  }
+  if (const Json* be = att->find("backward_error"); be != nullptr) {
+    std::printf("  backward_error %s\n", fmt(be->as_number()).c_str());
+  }
+  if (const Json* of = att->find("obs_overhead_frac"); of != nullptr) {
+    std::printf("  observability: %s spans, %ss overhead (%s of makespan, budget 3%%)\n",
+                fmt(field(*att, "span_calls")).c_str(), fmt(field(*att, "obs_overhead_s")).c_str(),
+                pct(of->as_number()).c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ASCII roofline
+// ---------------------------------------------------------------------------
+
+int roofline_report(const std::string& path) {
+  const Json doc = load_report(path);
+  const Json* att = doc.find("attainment");
+  const Json* cal = att != nullptr ? att->find("calibration") : nullptr;
+  const double peak = cal != nullptr ? field(*cal, "peak_gflops") : 0.0;
+  const double bw = cal != nullptr ? field(*cal, "stream_gbs") : 0.0;
+  if (att == nullptr || cal == nullptr || peak <= 0.0 || bw <= 0.0) {
+    std::fprintf(stderr,
+                 "bst_report: '%s' has no calibrated attainment section; produce the "
+                 "report with `bst_solve ... --calibrate=prof.json --profile=...`\n",
+                 path.c_str());
+    return 1;
+  }
+
+  struct Point {
+    std::string name;
+    double x = 0.0, y = 0.0, attain = 0.0;
+  };
+  std::vector<Point> pts;
+  if (const Json* phases = att->find("phases"); phases != nullptr) {
+    for (const auto& [name, r] : phases->members()) {
+      const double x = field(r, "intensity"), y = field(r, "gflops");
+      if (x > 0.0 && y > 0.0) pts.push_back({name, x, y, field(r, "attainment")});
+    }
+  }
+
+  // Log-log window sized to cover the machine balance point (where the
+  // bandwidth slope meets the compute roof) and every phase point.
+  const double balance = peak / bw;
+  double xmin = balance, xmax = balance, ymin = peak, ymax = peak;
+  for (const Point& p : pts) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+  }
+  xmin /= 4.0;
+  xmax *= 4.0;
+  ymin = std::min(ymin / 4.0, xmin * bw);
+  ymax *= 2.0;
+
+  constexpr int W = 61, H = 17;
+  const double lx0 = std::log(xmin), lx1 = std::log(xmax);
+  const double ly0 = std::log(ymin), ly1 = std::log(ymax);
+  auto col_of = [&](double x) {
+    return static_cast<int>(std::lround((std::log(x) - lx0) / (lx1 - lx0) * (W - 1)));
+  };
+  auto row_of = [&](double y) {
+    const int r =
+        (H - 1) - static_cast<int>(std::lround((std::log(y) - ly0) / (ly1 - ly0) * (H - 1)));
+    return std::min(H - 1, std::max(0, r));
+  };
+
+  std::vector<std::string> grid(H, std::string(W, ' '));
+  for (int j = 0; j < W; ++j) {
+    const double x = std::exp(lx0 + (lx1 - lx0) * j / (W - 1));
+    grid[row_of(std::min(peak, x * bw))][j] = '.';
+  }
+  for (std::size_t i = 0; i < pts.size() && i < 26; ++i) {
+    const int j = std::min(W - 1, std::max(0, col_of(pts[i].x)));
+    grid[row_of(pts[i].y)][j] = static_cast<char>('A' + i);
+  }
+
+  std::printf("roofline: %s  (peak %s GF/s, stream %s GB/s, balance %s F/byte)\n", path.c_str(),
+              fmt(peak).c_str(), fmt(bw).c_str(), fmt(balance).c_str());
+  for (int r = 0; r < H; ++r) {
+    // Label the roofs and a couple of reference rows on the y axis.
+    const double y = std::exp(ly1 - (ly1 - ly0) * r / (H - 1));
+    if (r % 4 == 0 || r == H - 1) {
+      std::printf("%10s |%s\n", fmt(y).c_str(), grid[r].c_str());
+    } else {
+      std::printf("%10s |%s\n", "", grid[r].c_str());
+    }
+  }
+  std::printf("%10s +%s\n", "GF/s", std::string(W, '-').c_str());
+  std::printf("%10s  %-8s%*s\n", "", fmt(xmin).c_str(), W - 8, fmt(xmax).c_str());
+  std::printf("%10s  %*s\n", "", W / 2 + 8, "arithmetic intensity (flops/byte)");
+  for (std::size_t i = 0; i < pts.size() && i < 26; ++i) {
+    std::printf("  %c %-24s %s F/byte, %s GF/s", static_cast<char>('A' + i),
+                pts[i].name.c_str(), fmt(pts[i].x).c_str(), fmt(pts[i].y).c_str());
+    if (pts[i].attain > 0.0) std::printf(", attainment %s", pct(pts[i].attain).c_str());
+    std::printf("\n");
+  }
+  if (pts.empty()) {
+    std::printf("  (no phase carried both flop and byte counters)\n");
+  }
+  return 0;
+}
+
 void print_pe_sections(const Json& doc) {
   const Json* tl = doc.find("pe_timeline");
   if (tl != nullptr) {
@@ -239,6 +386,7 @@ int print_report(const std::string& path, bool pe_sections) {
   print_kv_object(doc, "params", "params");
   print_kv_object(doc, "metrics", "metrics");
   print_phases(doc);
+  print_attainment(doc);
   print_histograms(doc);
   print_warnings(doc);
   print_threads(doc);
@@ -260,6 +408,10 @@ int trend_report(const std::string& ledger_path, double max_regress, double min_
   std::cout << "trend: " << ledger_path << " (" << entries.size() << " entries)\n";
   const bst::util::TrendReport trend =
       bst::util::ledger_trend(entries, max_regress, min_seconds);
+  if (trend.skipped_machines > 0) {
+    std::cout << "  (skipped " << trend.skipped_machines
+              << " entries from other machines -- fingerprint mismatch)\n";
+  }
   std::printf("  %-28s %4s %12s %12s %12s %9s  %s\n", "series", "n", "min", "median", "last",
               "vs med", "history");
   for (const bst::util::TrendStat& st : trend.series) {
@@ -274,6 +426,13 @@ int trend_report(const std::string& ledger_path, double max_regress, double min_
               << pct(max_regress) << " vs the rolling median (baseline >= "
               << fmt(min_seconds) << "s)\n";
     return 3;
+  }
+  if (trend.insufficient_history) {
+    // A fresh (single-entry) ledger has nothing to compare against; say so
+    // rather than claiming a clean bill of health.
+    std::cout << "RESULT: insufficient history (need >= 2 comparable entries "
+                 "per gated series); nothing gated\n";
+    return 0;
   }
   std::cout << "RESULT: no regression past the threshold\n";
   return 0;
@@ -374,6 +533,57 @@ void diff_warnings(const Json& base, const Json& cand) {
   }
 }
 
+// Attainment diff: gates on per-phase *efficiency* drops instead of raw
+// seconds, so a faster machine cannot mask a flop or locality regression.
+// Exit 2 when either report lacks the attainment section (the mode's input
+// contract -- run the solver under --calibrate), 3 past the gate.
+int diff_attainment(const std::string& base_path, const std::string& cand_path,
+                    double max_drop) {
+  Json base, cand;
+  try {
+    base = load_report(base_path);
+    cand = load_report(cand_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bst_report: error: %s\n", e.what());
+    return 2;
+  }
+  const Json* bp = base.find("attainment") != nullptr
+                       ? base.find("attainment")->find("phases")
+                       : nullptr;
+  const Json* cp = cand.find("attainment") != nullptr
+                       ? cand.find("attainment")->find("phases")
+                       : nullptr;
+  if (bp == nullptr || cp == nullptr) {
+    std::fprintf(stderr,
+                 "bst_report: --attain needs attainment sections in both reports "
+                 "(missing in %s)\n",
+                 bp == nullptr ? base_path.c_str() : cand_path.c_str());
+    return 2;
+  }
+  std::cout << "attain: baseline " << base_path << " vs candidate " << cand_path << "\n";
+  std::printf("  %-24s %10s %10s %10s\n", "phase", "base", "cand", "drop");
+  int regressions = 0;
+  for (const auto& [name, b] : bp->members()) {
+    const Json* ba = b.find("attainment");
+    const Json* c = cp->find(name);
+    const Json* ca = c != nullptr ? c->find("attainment") : nullptr;
+    if (ba == nullptr || ca == nullptr) continue;
+    const double bv = ba->as_number(), cv = ca->as_number();
+    const double drop = bv > 0.0 ? (bv - cv) / bv : 0.0;
+    const bool gated = max_drop >= 0.0 && drop > max_drop;
+    if (gated) ++regressions;
+    std::printf("  %-24s %10s %10s %10s%s\n", name.c_str(), pct(bv).c_str(), pct(cv).c_str(),
+                pct(drop).c_str(), gated ? "  << REGRESSION" : "");
+  }
+  if (regressions > 0) {
+    std::cout << "RESULT: " << regressions << " phase(s) lost more than " << pct(max_drop)
+              << " of their attainment\n";
+    return 3;
+  }
+  std::cout << "RESULT: no attainment drop past the threshold\n";
+  return 0;
+}
+
 int diff_reports(const std::string& base_path, const std::string& cand_path,
                  double max_regress, double min_seconds) {
   const Json base = load_report(base_path);
@@ -414,16 +624,28 @@ int main(int argc, char** argv) {
     if (!trend.empty()) {
       return trend_report(trend, max_regress, min_seconds);
     }
+    if (cli.has("attain")) {
+      if (baseline.empty() || candidate.empty()) {
+        std::fprintf(stderr,
+                     "bst_report: --attain needs --baseline=a.json --candidate=b.json\n");
+        return 2;
+      }
+      return diff_attainment(baseline, candidate,
+                             parse_regress(cli.get("max-attain-drop", "10%")));
+    }
     if (!baseline.empty() && !candidate.empty()) {
       return diff_reports(baseline, candidate, max_regress, min_seconds);
     }
     if (!positional.empty() && baseline.empty() && candidate.empty()) {
+      if (cli.has("roofline")) return roofline_report(positional);
       return print_report(positional, cli.has("pe"));
     }
     std::fprintf(stderr,
-                 "usage: bst_report report.json [--pe]\n"
+                 "usage: bst_report report.json [--pe] [--roofline]\n"
                  "       bst_report --baseline=a.json --candidate=b.json\n"
                  "                  [--max-regress=50%%] [--min-seconds=1e-3]\n"
+                 "       bst_report --attain --baseline=a.json --candidate=b.json\n"
+                 "                  [--max-attain-drop=10%%]\n"
                  "       bst_report --trend=runs.jsonl [--max-regress=50%%] "
                  "[--min-seconds=1e-3]\n");
     return 2;

@@ -3,9 +3,13 @@
 //   bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] [--ms=K]
 //             [--rep=vy2|vy1|yty|u|seq] [--refine] [--report]
 //             [--profile=out.json] [--trace=out.json] [--ledger=runs.jsonl]
+//             [--calibrate[=prof.json]]
 //
 //   bst_solve --np=4 [--layout=v1|v2|v3] [--group=G] [--spread=S]
 //             [--matrix=T.txt | --n=256] [--ms=8] ...
+//
+//   bst_solve --fingerprint
+//   bst_solve --calibrate=prof.json
 //
 // Reads the matrix (and optionally the right-hand side; defaults to
 // T * ones so the expected solution is all-ones), solves with the
@@ -28,6 +32,17 @@
 // files.  The profile then carries the per-PE sections ("pe_timeline",
 // "comm_matrix", "critical_path") and the trace shows one "pe:<k>" track
 // per simulated PE (see docs/OBSERVABILITY.md for all formats).
+//
+// --calibrate=prof.json loads (or, on a fingerprint mismatch, re-measures
+// and caches) the machine calibration profile -- peak GEMM GFLOP/s over the
+// Schur block shapes, STREAM-triad bandwidth, per-span tracer overhead --
+// and joins it with the traced phase counters into the report's
+// "attainment" section: achieved GFLOP/s, arithmetic intensity, roofline
+// ceiling, attainment fraction and model-ratio against the eq. 25-32 flop
+// models (render with `bst_report --roofline`).  A bare --calibrate
+// measures without caching.  --fingerprint prints the machine/build
+// fingerprint (used as the CI cache key) and exits.
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 
@@ -57,10 +72,28 @@ int usage() {
   std::fprintf(stderr,
                "usage: bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] "
                "[--ms=K] [--rep=vy2] [--refine] [--report] "
-               "[--profile=out.json] [--trace=out.json] [--ledger=runs.jsonl]\n"
+               "[--profile=out.json] [--trace=out.json] [--ledger=runs.jsonl] "
+               "[--calibrate[=prof.json]]\n"
                "       bst_solve --np=4 [--layout=v1|v2|v3] [--group=G] [--spread=S] "
-               "[--matrix=T.txt | --n=256] [--ms=8] ...\n");
+               "[--matrix=T.txt | --n=256] [--ms=8] ...\n"
+               "       bst_solve --n=256 [--ms=8] ...      (synthetic KMS, sequential)\n"
+               "       bst_solve --fingerprint             (print machine fingerprint)\n"
+               "       bst_solve --calibrate=prof.json     (measure/cache ceilings only)\n");
   return 2;
+}
+
+// Frobenius norm of the full block Toeplitz matrix from its first block
+// row: ||T||_F^2 = p ||T_1||_F^2 + sum_{k=2}^p 2 (p - k + 1) ||T_k||_F^2
+// (each T_k appears on 2(p-k+1) off-diagonal block positions).
+double toeplitz_frobenius(const toeplitz::BlockToeplitz& t) {
+  const la::index_t p = t.num_blocks();
+  const double f1 = la::frobenius(t.block(1));
+  double acc = static_cast<double>(p) * f1 * f1;
+  for (la::index_t k = 2; k <= p; ++k) {
+    const double fk = la::frobenius(t.block(k));
+    acc += 2.0 * static_cast<double>(p - k + 1) * fk * fk;
+  }
+  return std::sqrt(acc);
 }
 
 // Finishes an observed run: trace file, profile file, ledger line.
@@ -75,11 +108,12 @@ void finish_observability(util::PerfReport& report, const std::string& profile_p
   if (!ledger_path.empty()) util::append_ledger(ledger_path, report.build());
 }
 
-// The distributed (simulated) solve path.
+// The distributed (simulated) solve path.  `calibration` (may be null)
+// feeds the report's attainment section.
 int run_simnet(const util::Cli& cli, const toeplitz::BlockToeplitz& t,
                const std::vector<double>& b, const std::string& matrix_label,
                const std::string& profile_path, const std::string& trace_path,
-               const std::string& ledger_path) {
+               const std::string& ledger_path, const util::Json* calibration) {
   simnet::DistOptions dopt;
   dopt.np = cli.get_int("np", 4);
   dopt.layout = parse_layout(cli.get("layout", "v1"));
@@ -142,6 +176,10 @@ int run_simnet(const util::Cli& cli, const toeplitz::BlockToeplitz& t,
     report.add_pe_comm(c.bytes_sent, c.bytes_recv, c.messages);
   }
   if (!res.schedule.empty()) report.add_par_analysis(analysis);
+  if (calibration != nullptr) {
+    const util::Json doc = report.build();
+    report.set_attainment(util::attainment_section(doc, calibration, {}));
+  }
   finish_observability(report, profile_path, trace_path, ledger_path);
 
   if (cli.has("report")) {
@@ -162,9 +200,40 @@ int main(int argc, char** argv) {
   util::enable_flush_to_zero();
   util::Cli cli(argc, argv);
   try {
+    if (cli.has("fingerprint")) {
+      // CI cache key for calibration profiles: stable for a given
+      // CPU model + core count + compiler + flags.
+      std::printf("%s\n", util::machine_fingerprint().c_str());
+      return 0;
+    }
+
     const std::string matrix_path = cli.get("matrix", "");
     const bool simulate = cli.has("np");
-    if (matrix_path.empty() && !simulate) return usage();
+    // --n alone selects the synthetic sequential path; --calibrate alone
+    // measures the machine profile and exits.
+    const bool calibrate_only =
+        cli.has("calibrate") && matrix_path.empty() && !simulate && !cli.has("n");
+    if (matrix_path.empty() && !simulate && !cli.has("n") && !calibrate_only) return usage();
+
+    // Calibrate *before* arming observability: the span-overhead probe
+    // drives the tracer, and run_calibration resets Tracer/Metrics on exit.
+    util::Json cal_json;
+    bool has_cal = false;
+    if (cli.has("calibrate")) {
+      const std::string cal_path = cli.get("calibrate", "");
+      const util::Calibration cal =
+          util::load_or_run_calibration(cal_path == "1" ? "" : cal_path);
+      cal_json = cal.to_json();
+      has_cal = true;
+      if (calibrate_only) {
+        std::fprintf(stderr,
+                     "bst_solve: calibrated %s: peak %.2f GFLOP/s, stream %.2f GB/s, "
+                     "span overhead %.1f ns\n",
+                     cal.fingerprint.c_str(), cal.peak_gflops, cal.stream_gbs,
+                     cal.span_overhead_ns);
+        return 0;
+      }
+    }
 
     toeplitz::BlockToeplitz t = [&] {
       if (!matrix_path.empty()) return toeplitz::read_block_toeplitz_file(matrix_path);
@@ -199,7 +268,8 @@ int main(int argc, char** argv) {
     }
 
     if (simulate) {
-      return run_simnet(cli, t, b, matrix_label, profile_path, trace_path, ledger_path);
+      return run_simnet(cli, t, b, matrix_label, profile_path, trace_path, ledger_path,
+                        has_cal ? &cal_json : nullptr);
     }
 
     core::SolveOptions opt;
@@ -227,13 +297,36 @@ int main(int argc, char** argv) {
       report.param("path", core::to_string(rep.path));
       report.metric("time_s", dt);
       report.metric("factor_flops", static_cast<double>(rep.factor_flops));
-      if (rep.final_residual >= 0) report.metric("residual", rep.final_residual);
       report.metric("refinement_steps", rep.refinement_steps);
       report.metric("interchanges", rep.interchanges);
       report.metric("perturbations", static_cast<double>(rep.perturbations));
+      // Residual + normwise backward error ||b - Tx|| / (||T||_F ||x|| + ||b||):
+      // the accuracy column the attainment section carries next to the
+      // efficiency columns (speed gains are only worth reporting at
+      // unchanged backward error).
+      {
+        std::vector<double> resid;
+        toeplitz::MatVec op(t);
+        op.residual(b, rep.x, resid);
+        const double rnorm = la::norm2(resid);
+        report.metric("residual", rnorm);
+        const double denom = toeplitz_frobenius(t) * la::norm2(rep.x) + la::norm2(b);
+        if (denom > 0) report.metric("backward_error", rnorm / denom);
+      }
       for (const util::WorkerStats& w : util::ThreadPool::global().worker_stats()) {
         report.add_thread(w.busy_seconds, w.idle_seconds, w.chunks);
       }
+      // Join the traced counters with the calibrated ceilings and the
+      // eq. 25-32 flop models (SPD path only: the indefinite extension's
+      // extra pivoting work is not modeled).
+      std::vector<util::PhaseModel> models;
+      const la::index_t ms_eff = opt.spd.block_size ? opt.spd.block_size : t.block_size();
+      if (rep.path == core::SolvePath::Spd) {
+        models = core::schur_phase_models(opt.spd.rep, t.order(), ms_eff);
+      }
+      const util::Json doc = report.build();
+      report.set_attainment(
+          util::attainment_section(doc, has_cal ? &cal_json : nullptr, models));
       finish_observability(report, profile_path, trace_path, ledger_path);
     }
     if (cli.has("report")) {
