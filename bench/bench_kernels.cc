@@ -2,10 +2,28 @@
 // shape-dependent BLAS3 rates that drive the paper's block-size tradeoff
 // (section 6.5: "BLAS3 primitives applied to matrices with larger
 // dimensions have sufficient performance advantage...").
+//
+// Besides the google-benchmark timings, main() runs a self-timed
+// packed-vs-seed sweep (squares up to 1024 plus the Schur panel shapes)
+// whose GF/s land as named metrics in BENCH_kernels.json --
+// gemm_packed_512_gflops, gemm_seed_512_gflops, ... -- so CI can gate the
+// kernel stack against the pre-packing baseline without parsing benchmark
+// output.  sweep_model_ratio cross-checks the flop counters against the
+// closed-form models over the whole sweep (must stay within [0.9, 1.1] at
+// any thread count; the kernels charge closed forms merged at join, so any
+// drift means the counter plumbing broke).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <string>
 
 #include "bench_obs.h"
 #include "bst.h"
+#include "la/kernel_config.h"
+#include "util/flops.h"
+#include "util/table.h"
 
 using namespace bst;
 
@@ -133,6 +151,105 @@ void BM_ToeplitzMatvecFft(benchmark::State& state) {
 }
 BENCHMARK(BM_ToeplitzMatvecFft)->Arg(1024)->Arg(4096);
 
+// ----- packed-vs-seed sweep -------------------------------------------------
+
+double seconds_of(const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  fn();
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+// Best-of GF/s: one warmup, then repeat until ~50 ms accumulated (at least
+// two timed reps) and keep the fastest.
+double best_gflops(double flops, const std::function<void()>& fn) {
+  fn();  // warmup (packing buffers, page faults)
+  double best = 0.0, total = 0.0;
+  for (int rep = 0; rep < 16 && (rep < 2 || total < 0.05); ++rep) {
+    const double s = seconds_of(fn);
+    total += s;
+    if (s > 0.0) best = std::max(best, flops / s * 1e-9);
+  }
+  return best;
+}
+
+// The sweep CI gates on: packed (public la::gemm, active KernelConfig,
+// global pool) against the seed baseline (detail::gemm_seed) over squares
+// and the Schur generator-panel shapes, plus syrk/trsm rates.  Returns the
+// closed-form flop total the charging kernels should have counted.
+double run_kernel_sweep(util::PerfReport& report) {
+  util::Table table("kernel sweep: packed vs seed (GF/s)");
+  table.header({"kernel", "shape", "packed", "seed", "ratio"});
+  double modeled = 0.0;
+
+  for (const la::index_t n : {64, 128, 256, 512, 1024}) {
+    la::Mat a = random_matrix(n, n, 11), b = random_matrix(n, n, 12), c(n, n);
+    const double flops = 2.0 * n * n * n;
+    const double packed = best_gflops(flops, [&] {
+      la::gemm(la::Op::None, la::Op::None, 1.0, a.view(), b.view(), 0.0, c.view());
+      modeled += flops;
+    });
+    const double seed = best_gflops(flops, [&] {
+      la::detail::gemm_seed(la::Op::None, la::Op::None, 1.0, a.view(), b.view(), 0.0, c.view());
+    });
+    report.metric("gemm_packed_" + std::to_string(n) + "_gflops", packed);
+    report.metric("gemm_seed_" + std::to_string(n) + "_gflops", seed);
+    table.row({std::string("gemm"), std::to_string(n) + "x" + std::to_string(n),
+               packed, seed, seed > 0 ? packed / seed : 0.0});
+  }
+
+  // Schur hot shapes: the Y^T [A; B] panel product (2m x m)^T (2m x L).
+  const la::index_t width = 2048;
+  for (const la::index_t m : {1, 2, 4, 8, 16}) {
+    la::Mat y = random_matrix(2 * m, m, 13), g = random_matrix(2 * m, width, 14);
+    la::Mat c(m, width);
+    const double flops = 2.0 * m * width * (2 * m);
+    const double packed = best_gflops(flops, [&] {
+      la::gemm(la::Op::Trans, la::Op::None, 1.0, y.view(), g.view(), 0.0, c.view());
+      modeled += flops;
+    });
+    const double seed = best_gflops(flops, [&] {
+      la::detail::gemm_seed(la::Op::Trans, la::Op::None, 1.0, y.view(), g.view(), 0.0, c.view());
+    });
+    report.metric("gemm_schur_m" + std::to_string(m) + "_gflops", packed);
+    table.row({std::string("gemm^T"), std::to_string(2 * m) + "x" + std::to_string(width),
+               packed, seed, seed > 0 ? packed / seed : 0.0});
+  }
+
+  {
+    const la::index_t n = 512, k = 256;
+    la::Mat a = random_matrix(n, k, 15), c(n, n);
+    const double flops = static_cast<double>(n) * (n + 1) * k;  // as charged
+    const double rate = best_gflops(flops, [&] {
+      la::syrk_lower(1.0, a.view(), 0.0, c.view());
+      modeled += flops;
+    });
+    report.metric("syrk_512_gflops", rate);
+    table.row({std::string("syrk"), std::string("512x512,k=256"), rate, 0.0, 0.0});
+  }
+
+  {
+    const la::index_t m = 512, cols = 256;
+    la::Mat t = random_matrix(m, m, 16);
+    for (la::index_t j = 0; j < m; ++j) t(j, j) = 4.0 + t(j, j);
+    la::Mat b = random_matrix(m, cols, 17);
+    la::Mat x(m, cols);
+    const double flops = static_cast<double>(cols) * m * m;  // as charged
+    const double rate = best_gflops(flops, [&] {
+      la::copy(b.view(), x.view());
+      la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::None, la::Diag::NonUnit, 1.0, t.view(),
+               x.view());
+      modeled += flops;
+    });
+    report.metric("trsm_512_gflops", rate);
+    table.row({std::string("trsm"), std::string("512x512,rhs=256"), rate, 0.0, 0.0});
+  }
+
+  table.precision(4);
+  report.add_table(table);
+  return modeled;
+}
+
 }  // namespace
 
 // Custom main (instead of benchmark::benchmark_main) so the shared
@@ -145,6 +262,18 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   util::PerfReport report("bench_kernels");
+  const la::KernelConfig& cfg = la::KernelConfig::active();
+  report.param("threads", static_cast<std::int64_t>(util::ThreadPool::global().size()));
+  report.param("kernel_mc", static_cast<std::int64_t>(cfg.mc));
+  report.param("kernel_kc", static_cast<std::int64_t>(cfg.kc));
+  report.param("kernel_nc", static_cast<std::int64_t>(cfg.nc));
+  report.param("kernel_simd",
+               static_cast<std::int64_t>(cfg.simd && la::cpu_has_avx2_fma() ? 1 : 0));
+  const std::uint64_t flops0 = util::FlopCounter::now();
+  const double modeled = run_kernel_sweep(report);
+  const double counted = static_cast<double>(util::FlopCounter::now() - flops0);
+  report.metric("sweep_model_ratio", modeled > 0 ? counted / modeled : 0.0);
   obs.finish(report);
+  obs.write_default_json(report, "BENCH_kernels.json");
   return 0;
 }

@@ -1,10 +1,13 @@
 #include "core/schur.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
+#include "core/flop_model.h"
 #include "util/flops.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 #include "util/watchdog.h"
@@ -47,26 +50,56 @@ std::string breakdown_message(index_t step, index_t column, double hnorm) {
   return os.str();
 }
 
+// Minimum flops a parallel chunk must carry: below this, pool dispatch and
+// per-chunk span overhead outweigh the arithmetic.  Overridable via
+// BST_SCHUR_GRAIN_FLOPS for chunking experiments.
+double chunk_grain_flops() {
+  static const double grain = [] {
+    if (const char* s = std::getenv("BST_SCHUR_GRAIN_FLOPS")) {
+      char* end = nullptr;
+      const double v = std::strtod(s, &end);
+      if (end != s && v > 0.0) return v;
+    }
+    return 1e5;
+  }();
+  return grain;
+}
+
 // Applies the step's block reflector to the active trailing columns:
 // A physical blocks [1, L) and B physical blocks [step+1, step+L).
 void apply_to_trailing(Generator& g, const BlockReflector& bref, index_t step,
-                       index_t active_blocks, bool parallel) {
+                       index_t active_blocks, const SchurOptions& opt) {
   const index_t m = g.m;
   const index_t trailing = active_blocks - 1;
   if (trailing <= 0) return;
   View a = g.a.block(0, m, m, trailing * m);
   View b = g.b.block(0, (step + 1) * m, m, trailing * m);
-  if (!parallel || trailing < 4) {
+  // Flop-aware chunking: chunk count comes from the as-implemented cost of
+  // one trailing block column, so a late small step (few trailing columns,
+  // small m) runs serially instead of paying pool dispatch, while an early
+  // fat step still splits finely enough to balance.
+  auto& pool = util::ThreadPool::global();
+  index_t chunks = 0;
+  if (opt.parallel && pool.size() > 1) {
+    const double per_block = application_flops_impl(opt.rep, m, 1, m);
+    const auto by_grain =
+        static_cast<index_t>(per_block * static_cast<double>(trailing) / chunk_grain_flops());
+    chunks = std::min({trailing, by_grain, static_cast<index_t>(pool.size()) * 4});
+  }
+  if (chunks <= 1) {
     util::TraceSpan span(kApplyPhase);
     bref.apply(a, b);
     return;
   }
-  // Chunk the trailing columns across the pool; each chunk is independent.
-  // The span opens *inside* the worker callback: flops/bytes counters are
-  // thread-local, so each worker must observe its own share.
-  auto& pool = util::ThreadPool::global();
-  const index_t chunks = std::min<index_t>(trailing, static_cast<index_t>(pool.size()) * 2);
+  // Each chunk is independent.  The span opens *inside* the worker callback:
+  // flops/bytes counters are thread-local, so each worker must observe its
+  // own share.
   const index_t per = (trailing + chunks - 1) / chunks;
+  if (util::Tracer::enabled()) {
+    // Chunk grain (block columns per chunk) for trace/report visibility.
+    static const util::HistId grain_hist = util::Metrics::histogram("schur_chunk_blocks");
+    util::Metrics::record(grain_hist, static_cast<std::uint64_t>(per));
+  }
   pool.parallel_for(0, static_cast<std::size_t>(chunks), [&](std::size_t c) {
     const index_t lo = static_cast<index_t>(c) * per;
     const index_t hi = std::min(trailing, lo + per);
@@ -98,7 +131,7 @@ void schur_step(Generator& g, index_t step, const SchurOptions& opt) {
       throw NotPositiveDefinite(step, breakdown->column, breakdown->hnorm);
     }
   }
-  apply_to_trailing(g, bref, step, active, opt.parallel);
+  apply_to_trailing(g, bref, step, active, opt);
   record_step_diag(g, bref, step, active);
 }
 

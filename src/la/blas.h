@@ -55,4 +55,14 @@ void trsm(Side side, Uplo uplo, Op op, Diag diag, double alpha, CView t, View b)
 /// Triangular matrix-vector solve: op(T) x = b in place (x := solution).
 void trsv(Uplo uplo, Op op, Diag diag, CView t, double* x);
 
+namespace detail {
+
+/// The pre-kernel-stack scalar gemm (k-blocked loops with 4-column register
+/// blocking), kept verbatim as the reference/baseline implementation: the
+/// kernel tests compare the packed stack against it and bench_kernels times
+/// it as the "seed" series.  Single-threaded; charges no flops/bytes.
+void gemm_seed(Op ta, Op tb, double alpha, CView a, CView b, double beta, View c);
+
+}  // namespace detail
+
 }  // namespace bst::la

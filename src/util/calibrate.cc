@@ -10,6 +10,7 @@
 // util/ normally sits below la/, but the calibration must benchmark the
 // exact gemm kernels the solver runs (la/blas3.cc), not a lookalike.
 #include "la/blas.h"
+#include "la/kernel_config.h"
 #include "la/matrix.h"
 #include "util/flops.h"
 #include "util/ledger.h"
@@ -46,6 +47,10 @@ std::string machine_fingerprint() {
 #if defined(BST_CXX_FLAGS)
   os << BST_CXX_FLAGS;
 #endif
+  // Kernel generation tag: bumped when la/ kernels change materially (e.g.
+  // the packed/SIMD level-3 stack), so cached calibration ceilings measured
+  // with older kernels are re-run instead of silently reused.
+  os << "|k2";
   return fnv1a_hex(os.str());
 }
 
@@ -95,6 +100,65 @@ double bench_stream_triad(std::size_t n, int reps) {
   // Keep the kernel observable so the triad loop cannot be elided.
   if (!std::isfinite(sink)) return 0.0;
   return best;
+}
+
+// Triad bandwidth at a fixed total working set (three arrays summing to
+// `kib` KiB), with enough repetitions that cache-resident sizes are timed
+// over `traffic_mb` of total traffic rather than one microsecond pass.
+double bench_triad_at(double kib, double traffic_mb) {
+  const std::size_t n = std::max<std::size_t>(256, static_cast<std::size_t>(kib * 1024.0 / 24.0));
+  std::vector<double> a(n, 0.0), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+    c[i] = 2.0 - 0.001 * static_cast<double>(i % 89);
+  }
+  const double bytes_per_pass = 24.0 * static_cast<double>(n);
+  const int reps = std::max(5, static_cast<int>(traffic_mb * 1e6 / bytes_per_pass));
+  const double s = 3.0;
+  double best = 0.0, sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = wall_seconds();
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+    const double dt = wall_seconds() - t0;
+    sink += a[n / 2];
+    if (dt > 0.0) best = std::max(best, bytes_per_pass / dt / 1e9);
+  }
+  if (!std::isfinite(sink)) return 0.0;
+  return best;
+}
+
+// Infers cache capacities from the bandwidth-vs-working-set curve: sizes
+// that fit a cache level sustain a distinct bandwidth plateau, and each
+// capacity estimate is the largest probed working set still on (a fraction
+// of) the plateau above it.  Thresholds are relative -- machines differ in
+// absolute bandwidth -- and deliberately conservative: KernelConfig::tuned()
+// prefers an underestimate (smaller blocks) to thrashing.
+void infer_cache_sizes(const CalibrationOptions& opt, Calibration& cal) {
+  if (opt.cache_probe_kib.size() < 3) return;
+  std::vector<double> kib, gbs;
+  for (const std::int64_t k : opt.cache_probe_kib) {
+    if (k <= 0) continue;
+    kib.push_back(static_cast<double>(k));
+    gbs.push_back(bench_triad_at(static_cast<double>(k), opt.cache_probe_mb));
+  }
+  if (kib.size() < 3) return;
+  const double peak = *std::max_element(gbs.begin(), gbs.end());
+  const double dram = gbs.back();  // largest probe ~ memory-resident
+  if (peak <= 0.0 || dram <= 0.0) return;
+  for (std::size_t i = 0; i < kib.size(); ++i) {
+    if (gbs[i] >= 0.60 * peak) cal.l1d_kib = kib[i];
+    if (gbs[i] >= std::max(0.25 * peak, 2.0 * dram)) cal.l2_kib = kib[i];
+    if (gbs[i] >= 1.4 * dram) cal.lshared_kib = kib[i];
+  }
+  // A flat curve (bandwidth-starved VM, single cache level) gives no usable
+  // knees; report unknown rather than a guess equal to the largest probe.
+  // Likewise a non-nested result (noisy curve putting the l1d knee above
+  // the l2 knee): an inconsistent hierarchy would mistune the kernel
+  // blocking, so discard all three.
+  if (peak < 1.4 * dram || cal.l1d_kib <= 0.0 || cal.l1d_kib > cal.l2_kib ||
+      cal.l2_kib > cal.lshared_kib) {
+    cal.l1d_kib = cal.l2_kib = cal.lshared_kib = 0.0;
+  }
 }
 
 double bench_span_overhead_ns(int samples) {
@@ -162,6 +226,7 @@ Calibration run_calibration(const CalibrationOptions& opt) {
   }
 
   cal.stream_gbs = bench_stream_triad(opt.stream_doubles, opt.stream_reps);
+  infer_cache_sizes(opt, cal);
   cal.span_overhead_ns = bench_span_overhead_ns(opt.span_samples);
 
   // The span probe charged calls/latencies into the process-wide tracer
@@ -191,6 +256,9 @@ Json Calibration::to_json() const {
   doc.set("peak_gflops", Json::number(peak_gflops));
   doc.set("stream_gbs", Json::number(stream_gbs));
   doc.set("span_overhead_ns", Json::number(span_overhead_ns));
+  doc.set("l1d_kib", Json::number(l1d_kib));
+  doc.set("l2_kib", Json::number(l2_kib));
+  doc.set("lshared_kib", Json::number(lshared_kib));
   return doc;
 }
 
@@ -209,6 +277,11 @@ std::string string_or(const Json& doc, const char* key, const std::string& fallb
   return (v != nullptr && v->kind() == Json::Kind::String) ? v->as_string() : fallback;
 }
 
+double number_or(const Json& doc, const char* key, double fallback) {
+  const Json* v = doc.find(key);
+  return (v != nullptr && v->kind() == Json::Kind::Number) ? v->as_number() : fallback;
+}
+
 }  // namespace
 
 Calibration Calibration::from_json(const Json& doc) {
@@ -224,6 +297,10 @@ Calibration Calibration::from_json(const Json& doc) {
   cal.peak_gflops = require_number(doc, "peak_gflops");
   cal.stream_gbs = require_number(doc, "stream_gbs");
   cal.span_overhead_ns = require_number(doc, "span_overhead_ns");
+  // Optional (profiles written before the cache sweep existed lack them).
+  cal.l1d_kib = number_or(doc, "l1d_kib", 0.0);
+  cal.l2_kib = number_or(doc, "l2_kib", 0.0);
+  cal.lshared_kib = number_or(doc, "lshared_kib", 0.0);
   if (const Json* points = doc.find("gemm"); points != nullptr) {
     for (const Json& j : points->items()) {
       GemmPoint p;
@@ -260,6 +337,12 @@ Calibration load_or_run_calibration(const std::string& path, const CalibrationOp
     }
   }
   return fresh;
+}
+
+void apply_kernel_tuning(const Calibration& cal) {
+  la::KernelConfig cfg = la::KernelConfig::tuned(cal.l1d_kib, cal.l2_kib, cal.lshared_kib);
+  // Environment overrides outrank the profile (docs/KERNELS.md precedence).
+  la::KernelConfig::set_active(la::KernelConfig::from_env(cfg));
 }
 
 }  // namespace bst::util

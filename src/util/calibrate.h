@@ -52,6 +52,11 @@ struct CalibrationOptions {
   std::size_t stream_doubles = 1u << 21;  // per array (3 arrays, 16 MiB each)
   int stream_reps = 5;
   int span_samples = 200000;
+  // Working-set sizes (total across the triad's three arrays, KiB) probed to
+  // infer cache capacities; empty disables the sweep (cache fields stay 0).
+  std::vector<std::int64_t> cache_probe_kib = {24,   48,   96,    192,   384,  768,
+                                               1536, 3072, 6144, 12288, 24576};
+  double cache_probe_mb = 48.0;  // traffic per probe point
 };
 
 /// A measured machine profile.
@@ -64,6 +69,12 @@ struct Calibration {
   double peak_gflops = 0.0;      // max over the gemm points
   double stream_gbs = 0.0;       // triad bandwidth
   double span_overhead_ns = 0.0; // tracer-on minus tracer-off, per span
+  // Cache capacities inferred from the triad working-set sweep (bandwidth
+  // knees); 0 = unknown / sweep disabled.  Feed la::KernelConfig::tuned()
+  // through apply_kernel_tuning().
+  double l1d_kib = 0.0;
+  double l2_kib = 0.0;
+  double lshared_kib = 0.0;  // last-level (shared) cache
 
   [[nodiscard]] Json to_json() const;
   /// Throws std::runtime_error when required fields are missing.
@@ -80,5 +91,11 @@ Calibration run_calibration(const CalibrationOptions& opt = {});
 /// touches the filesystem.
 Calibration load_or_run_calibration(const std::string& path,
                                     const CalibrationOptions& opt = {});
+
+/// Derives level-3 kernel blocking from the profile's inferred cache sizes
+/// and installs it as la::KernelConfig::active().  BST_KERNEL_* environment
+/// overrides still win (they are re-applied on top).  Call once at startup,
+/// after loading/running calibration and before the first kernel call.
+void apply_kernel_tuning(const Calibration& cal);
 
 }  // namespace bst::util

@@ -23,6 +23,10 @@ HistId chunk_hist() {
   return id;
 }
 
+// See in_parallel_region(): true for workers always, for callers while a
+// parallel_for they dispatched is in flight.
+thread_local bool tl_in_parallel = false;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -46,7 +50,10 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+bool ThreadPool::in_parallel_region() noexcept { return tl_in_parallel; }
+
 void ThreadPool::worker_loop(std::size_t slot) {
+  tl_in_parallel = true;  // workers only ever run parallel_for chunks
   StatSlot& stats = stats_[slot];
   std::size_t seen = 0;
   std::uint64_t counter_epoch_seen = counter_epoch_.load(std::memory_order_acquire);
@@ -72,7 +79,7 @@ void ThreadPool::worker_loop(std::size_t slot) {
       FlopCounter::reset();
       ByteCounter::reset();
     }
-    run_chunks(task, stats);
+    run_and_merge(task, stats);
     {
       std::lock_guard lock(mu_);
       --inflight_;
@@ -81,7 +88,38 @@ void ThreadPool::worker_loop(std::size_t slot) {
   }
 }
 
-void ThreadPool::run_chunks(Task& task, StatSlot& stats) {
+// Kept out of the worker_loop body (and never inlined there): GCC 12's
+// jump threading under -fsanitize=undefined specializes an impossible
+// null-address path for the thread-local counter reads when this code sits
+// inside the condvar loop, producing a false "load of null pointer" report.
+__attribute__((noinline)) void ThreadPool::run_and_merge(Task& task, StatSlot& stats) {
+  const std::uint64_t flops0 = FlopCounter::now();
+  const std::uint64_t bytes0 = ByteCounter::now();
+  const std::uint64_t executed = run_chunks(task, stats);
+  // Merge-on-join: publish this worker's counter deltas for the caller to
+  // charge.  Only after running a chunk -- a worker that raced in late and
+  // claimed nothing may hold a task whose dispatcher already returned, so
+  // its (zero) delta must not touch the dangling atomics.  When a chunk
+  // did run, the dispatcher is still blocked on our inflight_ decrement,
+  // so the pointers are alive.
+  if (executed > 0 && task.flops != nullptr) {
+    task.flops->fetch_add(FlopCounter::now() - flops0, std::memory_order_relaxed);
+    task.bytes->fetch_add(ByteCounter::now() - bytes0, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::run_inline(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t)>& body) {
+  // Inline execution still counts as a parallel region so the invariant
+  // "in_parallel_region() is true inside any parallel_for body" holds for
+  // every pool size and dispatch path (kernels rely on it to avoid nesting).
+  const bool was_in_parallel = tl_in_parallel;
+  tl_in_parallel = true;
+  for (std::size_t i = begin; i < end; ++i) body(i);
+  tl_in_parallel = was_in_parallel;
+}
+
+std::uint64_t ThreadPool::run_chunks(Task& task, StatSlot& stats) {
   const bool timed = Tracer::enabled();
   const std::uint64_t t0 = timed ? now_ns() : 0;
   std::uint64_t executed = 0;
@@ -107,6 +145,7 @@ void ThreadPool::run_chunks(Task& task, StatSlot& stats) {
     stats.chunks.fetch_add(executed, std::memory_order_relaxed);
     if (timed) stats.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
   }
+  return executed;
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -115,10 +154,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   grain = std::max<std::size_t>(1, grain);
   if (threads_.empty() || end - begin <= grain) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    run_inline(begin, end, body);
     return;
   }
-  Task task{begin, end, grain, &body};
+  // One dispatcher at a time: if another thread (or a body nested under this
+  // pool) is mid-parallel_for, run inline rather than clobbering the shared
+  // task slot.  Inline execution keeps counter totals trivially correct.
+  if (busy_.exchange(true, std::memory_order_acquire)) {
+    run_inline(begin, end, body);
+    return;
+  }
+  // Worker-side flop/byte deltas, merged into this thread's counters at
+  // join so threaded and serial runs charge identical totals.
+  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> bytes{0};
+  Task task{begin, end, grain, &body, &flops, &bytes};
   {
     std::lock_guard lock(mu_);
     task_ = task;
@@ -126,9 +176,17 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     ++generation_;
   }
   cv_start_.notify_all();
+  const bool was_in_parallel = tl_in_parallel;
+  tl_in_parallel = true;
   run_chunks(task, stats_[0]);  // the caller helps, charging slot 0
-  std::unique_lock lock(mu_);
-  cv_done_.wait(lock, [&] { return inflight_ == 0 && next_ >= task.end; });
+  {
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [&] { return inflight_ == 0 && next_ >= task.end; });
+  }
+  tl_in_parallel = was_in_parallel;
+  busy_.store(false, std::memory_order_release);
+  FlopCounter::charge(flops.load(std::memory_order_relaxed));
+  ByteCounter::charge(bytes.load(std::memory_order_relaxed));
 }
 
 std::vector<WorkerStats> ThreadPool::worker_stats() const {

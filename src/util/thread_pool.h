@@ -46,6 +46,11 @@ class ThreadPool {
   /// Process-wide default pool (lazy, sized from BST_THREADS or hardware).
   static ThreadPool& global();
 
+  /// True while the calling thread is inside a parallel_for: always for pool
+  /// workers, and for the dispatching caller between fan-out and join.
+  /// Kernels consult this to stay serial instead of nesting parallelism.
+  static bool in_parallel_region() noexcept;
+
   /// Snapshot of the per-thread utilization counters: slot 0 is the calling
   /// thread's share of parallel_for work, slots 1..size()-1 the workers.
   /// Busy/idle times only accumulate while util::Tracer is enabled (the
@@ -66,6 +71,13 @@ class ThreadPool {
   struct Task {
     std::size_t begin = 0, end = 0, grain = 1;
     const std::function<void(std::size_t)>* body = nullptr;
+    // Flop/byte charges made by pool workers while executing this task's
+    // chunks; parallel_for adds them to the *caller's* thread-local counters
+    // at join, so totals are identical to a serial run (merge-on-join).
+    // Point into the dispatching parallel_for's frame; workers only touch
+    // them after claiming at least one chunk, which the join waits for.
+    std::atomic<std::uint64_t>* flops = nullptr;
+    std::atomic<std::uint64_t>* bytes = nullptr;
   };
 
   // Padded so workers on different cores do not share counter cache lines.
@@ -76,11 +88,22 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t slot);
-  void run_chunks(Task& task, StatSlot& stats);
+  std::uint64_t run_chunks(Task& task, StatSlot& stats);  // returns chunks run
+  // run_chunks plus the merge-on-join counter publication (see .cc).
+  void run_and_merge(Task& task, StatSlot& stats);
+  // Serial fallback (empty pool, tiny range, or another dispatch in flight);
+  // marks the calling thread as inside a parallel region for the duration.
+  static void run_inline(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body);
 
   // Bumped by reset_worker_stats(); workers compare against a thread-local
   // copy and zero their FlopCounter/ByteCounter when it moved.
   std::atomic<std::uint64_t> counter_epoch_{0};
+
+  // Dispatch guard: set while a parallel_for owns the workers.  A second
+  // caller (another application thread, or a body nesting a parallel_for)
+  // runs its range inline instead of corrupting the shared task slot.
+  std::atomic<bool> busy_{false};
 
   std::vector<std::thread> threads_;
   std::vector<StatSlot> stats_;  // size() entries; fixed after construction

@@ -71,7 +71,7 @@ simnet::Layout parse_layout(const std::string& s) {
 int usage() {
   std::fprintf(stderr,
                "usage: bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] "
-               "[--ms=K] [--rep=vy2] [--refine] [--report] "
+               "[--ms=K] [--rep=vy2] [--refine] [--parallel] [--report] "
                "[--profile=out.json] [--trace=out.json] [--ledger=runs.jsonl] "
                "[--calibrate[=prof.json]]\n"
                "       bst_solve --np=4 [--layout=v1|v2|v3] [--group=G] [--spread=S] "
@@ -225,6 +225,9 @@ int main(int argc, char** argv) {
           util::load_or_run_calibration(cal_path == "1" ? "" : cal_path);
       cal_json = cal.to_json();
       has_cal = true;
+      // Feed the measured cache sizes into the level-3 kernel blocking
+      // before any solve runs (BST_KERNEL_* still outranks the profile).
+      util::apply_kernel_tuning(cal);
       if (calibrate_only) {
         std::fprintf(stderr,
                      "bst_solve: calibrated %s: peak %.2f GFLOP/s, stream %.2f GB/s, "
@@ -276,6 +279,7 @@ int main(int argc, char** argv) {
     opt.spd.block_size = cli.get_int("ms", 0);
     opt.indefinite.block_size = opt.spd.block_size;
     opt.spd.rep = opt.indefinite.rep = parse_rep(cli.get("rep", "vy2"));
+    opt.spd.parallel = cli.has("parallel");
     opt.always_refine = cli.has("refine");
 
     const double t0 = util::wall_seconds();
