@@ -8,6 +8,11 @@
 // (K + sigma^2 I), reused for every prediction weight.  This example fits a
 // noisy function with a Matern-3/2 kernel, reports the training fit and the
 // estimated condition number of the system.
+//
+// The solves go through bst::service::Service (docs/SERVICE.md): the weight
+// solve pays the one factorization (a cache miss), and every condition-
+// estimate solve afterwards reuses the cached factor (hits) -- the service
+// prints its hit rate at the end.
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -47,12 +52,14 @@ int main(int argc, char** argv) {
   row[0] += sigma * sigma;
   toeplitz::BlockToeplitz kmat = toeplitz::BlockToeplitz::scalar(row);
 
-  // Factor once (working block size 8) and solve for the weights.
-  core::SchurOptions opt;
-  opt.block_size = cli.get_int("ms", 8);
+  // Solve through the service: the first request factors (working block
+  // size 8) and caches; everything below is a cache hit on that factor.
+  service::ServiceOptions sopt = service::ServiceOptions::from_env();
+  sopt.schur.block_size = cli.get_int("ms", 8);
+  service::Service svc(sopt);
   const double t0 = util::wall_seconds();
-  core::SchurFactor f = core::block_schur_factor(kmat, opt);
-  std::vector<double> alpha = core::solve_spd(f, y);
+  service::SolveResult weights = svc.solve(kmat, y);
+  std::vector<double> alpha = std::move(weights.x);
   const double dt = util::wall_seconds() - t0;
 
   // Posterior mean on the training grid: mu = K alpha (without the noise
@@ -71,9 +78,10 @@ int main(int argc, char** argv) {
   rms_noisy = std::sqrt(rms_noisy / n);
   rms_fit = std::sqrt(rms_fit / n);
 
-  // Condition estimate through the factorization (Hager's method).
+  // Condition estimate through the factorization (Hager's method); every
+  // probe solve hits the cached factor.
   auto solve = [&](const std::vector<double>& b, std::vector<double>& x) {
-    x = core::solve_spd(f, b);
+    x = svc.solve(kmat, b).x;
   };
   const double cond =
       la::condest1(n, la::norm1(kmat.dense().view()), solve, solve);
@@ -81,9 +89,14 @@ int main(int argc, char** argv) {
   std::printf("GP regression: n = %td, Matern-3/2 (ell = %.2f), noise sigma = %.2f\n", n, ell,
               sigma);
   std::printf("  factor+solve: %.2f ms (%llu flops, m_s = %td)\n", dt * 1e3,
-              static_cast<unsigned long long>(f.flops), f.block_size);
+              static_cast<unsigned long long>(weights.factor_flops), sopt.schur.block_size);
   std::printf("  cond_1(K + sigma^2 I) ~ %.2e\n", cond);
   std::printf("  rms error of noisy data vs truth: %.4f\n", rms_noisy);
   std::printf("  rms error of GP posterior mean:  %.4f\n", rms_fit);
+  const service::ServiceStats stats = svc.stats();
+  std::printf("  service cache: %llu hits / %llu misses (hit rate %.1f%%)\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              100.0 * stats.cache.hit_rate());
   return 0;
 }

@@ -14,6 +14,10 @@
 // This example synthesizes a 3-channel AR(2) process, estimates the sample
 // autocovariances, solves the block normal equations with the block Schur
 // factorization, and compares the recovered coefficients with the truth.
+//
+// The per-channel solves go through bst::service::Service (docs/SERVICE.md):
+// channel 0 pays the factorization (a cache miss), channels 1..m-1 reuse the
+// cached factor (hits) -- the service prints its hit rate at the end.
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -87,24 +91,26 @@ int main() {
   }
   toeplitz::BlockToeplitz t_mat(m, std::move(first_row));
 
-  core::SchurFactor f = core::block_schur_factor(t_mat);
-  std::printf("normal equations: n = %td (m = %td, %td lags), factored with %llu flops\n",
-              t_mat.order(), m, lags, static_cast<unsigned long long>(f.flops));
+  service::Service svc;
 
   // Solve for each predictor column: the rhs for channel i stacks
   // C_1(i,:) ... C_lags(i,:) -- i.e. column i of [C_1; ...; C_lags]^T.
   // We recover X = [A_1^T; A_2^T; ...] column by column.
   std::vector<la::Mat> coef(static_cast<std::size_t>(lags), la::Mat(m, m));
+  std::uint64_t factor_flops = 0;
   for (la::index_t i = 0; i < m; ++i) {
     std::vector<double> rhs(static_cast<std::size_t>(m * lags));
     for (la::index_t k = 1; k <= lags; ++k)
       for (la::index_t j = 0; j < m; ++j)
         rhs[static_cast<std::size_t>((k - 1) * m + j)] = c[static_cast<std::size_t>(k)](i, j);
-    std::vector<double> sol = core::solve_spd(f, rhs);
+    service::SolveResult res = svc.solve(t_mat, rhs);
+    factor_flops = res.factor_flops;
     for (la::index_t k = 0; k < lags; ++k)
       for (la::index_t j = 0; j < m; ++j)
-        coef[static_cast<std::size_t>(k)](i, j) = sol[static_cast<std::size_t>(k * m + j)];
+        coef[static_cast<std::size_t>(k)](i, j) = res.x[static_cast<std::size_t>(k * m + j)];
   }
+  std::printf("normal equations: n = %td (m = %td, %td lags), factored with %llu flops\n",
+              t_mat.order(), m, lags, static_cast<unsigned long long>(factor_flops));
 
   auto report = [&](const char* name, const la::Mat& truth, const la::Mat& est) {
     double err = 0.0;
@@ -125,5 +131,10 @@ int main() {
     for (la::index_t j = 0; j < m; ++j) std::printf(" % .4f", coef[0](i, j));
     std::printf("\n");
   }
+  const service::ServiceStats stats = svc.stats();
+  std::printf("service cache: %llu hits / %llu misses (hit rate %.1f%%)\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              100.0 * stats.cache.hit_rate());
   return 0;
 }

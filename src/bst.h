@@ -9,6 +9,8 @@
 //   core::solve_refined          -- iterative refinement driver
 //   simnet::dist_schur_factor    -- distributed-memory simulation (T3D)
 //   baseline::*                  -- Levinson / classical Schur / dense
+//   service::Service             -- batched factor-once/solve-many service
+//                                   (factor cache, async queue, docs/SERVICE.md)
 //   util::Tracer / TraceSpan     -- structured phase tracing (docs/OBSERVABILITY.md)
 //   util::FlightRecorder         -- per-thread event timeline (chrome trace)
 //   util::Metrics                -- log-bucketed latency/size histograms
@@ -37,6 +39,8 @@
 #include "la/matrix.h"
 #include "la/norms.h"
 #include "la/triangular.h"
+#include "service/cache.h"
+#include "service/service.h"
 #include "simnet/dist_schur.h"
 #include "simnet/machine.h"
 #include "simnet/runtime.h"

@@ -1,6 +1,7 @@
 #include "core/solve.h"
 
 #include "la/blas.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace bst::core {
@@ -33,6 +34,28 @@ void solve_rtdr_multi(CView r, const double* d, View bx) {
       for (index_t i = 0; i < n; ++i) bx(i, j) *= d[i];
   }
   la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::None, la::Diag::NonUnit, 1.0, r, bx);
+}
+
+void solve_rtdr_panels(CView r, const double* d, View bx, index_t panel, bool parallel) {
+  const index_t k = bx.cols();
+  if (panel <= 0 || panel >= k) {
+    solve_rtdr_multi(r, d, bx);
+    return;
+  }
+  const index_t npanels = (k + panel - 1) / panel;
+  auto body = [&](std::size_t pi) {
+    const index_t j0 = static_cast<index_t>(pi) * panel;
+    const index_t w = std::min(panel, k - j0);
+    solve_rtdr_multi(r, d, bx.block(0, j0, bx.rows(), w));
+  };
+  if (parallel) {
+    // One panel per chunk: each is a full two-sweep triangular solve, heavy
+    // enough that finer grains only add dispatch overhead.  The level-3
+    // kernels inside see in_parallel_region() and stay serial.
+    util::ThreadPool::global().parallel_for(0, static_cast<std::size_t>(npanels), body);
+  } else {
+    for (index_t pi = 0; pi < npanels; ++pi) body(static_cast<std::size_t>(pi));
+  }
 }
 
 Mat solve_spd_multi(const SchurFactor& f, CView b) {

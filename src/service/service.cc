@@ -1,0 +1,323 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "core/solve.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace bst::service {
+namespace {
+
+const util::PhaseId kSolvePhase = util::Tracer::phase("service_solve");
+const util::CtrId kSubmitted = util::Metrics::counter("service_submitted");
+const util::CtrId kRejected = util::Metrics::counter("service_rejected");
+const util::CtrId kCompleted = util::Metrics::counter("service_completed");
+const util::CtrId kBatches = util::Metrics::counter("service_batches");
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return fallback;
+  return v;
+}
+
+// The dispatcher thread reads opt_ from construction on, so every clamp
+// must happen before it starts (dispatcher_ is the last member).
+ServiceOptions sanitize(ServiceOptions o) {
+  o.max_batch = std::max<index_t>(1, o.max_batch);
+  o.rhs_panel = std::max<index_t>(1, o.rhs_panel);
+  o.queue_capacity = std::max<std::size_t>(1, o.queue_capacity);
+  return o;
+}
+
+}  // namespace
+
+ServiceOptions ServiceOptions::from_env(ServiceOptions base) {
+  base.cache_bytes =
+      static_cast<std::size_t>(env_u64("BST_SERVICE_CACHE_BYTES", base.cache_bytes));
+  base.queue_capacity = std::max<std::size_t>(
+      1, static_cast<std::size_t>(env_u64("BST_SERVICE_QUEUE", base.queue_capacity)));
+  base.max_batch = std::max<index_t>(
+      1, static_cast<index_t>(env_u64("BST_SERVICE_BATCH",
+                                      static_cast<std::uint64_t>(base.max_batch))));
+  base.rhs_panel = std::max<index_t>(
+      1, static_cast<index_t>(env_u64("BST_SERVICE_PANEL",
+                                      static_cast<std::uint64_t>(base.rhs_panel))));
+  if (const char* s = std::getenv("BST_SERVICE_NOCACHE"); s != nullptr && *s != '\0') {
+    base.cache_enabled = (s[0] == '0' && s[1] == '\0');
+  }
+  return base;
+}
+
+Service::Service(ServiceOptions opt)
+    : opt_(sanitize(opt)), cache_(opt_.cache_bytes), dispatcher_([this] { dispatcher_loop(); }) {}
+
+Service::~Service() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_nonempty_.notify_all();
+  cv_notfull_.notify_all();
+  dispatcher_.join();
+}
+
+FactorPtr Service::factor_for(const toeplitz::BlockToeplitz& t, const std::string& key,
+                              bool* hit) {
+  auto factory = [&] { return core::block_schur_factor(t, opt_.schur); };
+  if (opt_.cache_enabled) return cache_.get_or_factor(key, factory, hit);
+  if (hit != nullptr) *hit = false;
+  return std::make_shared<const core::SchurFactor>(factory());
+}
+
+void Service::solve_batch(const core::SchurFactor& f, la::View b_padded) {
+  util::TraceSpan span(kSolvePhase);
+  core::solve_rtdr_panels(f.r.view(), nullptr, b_padded, opt_.rhs_panel, opt_.parallel_panels);
+}
+
+SolveResult Service::solve(const toeplitz::BlockToeplitz& t, const std::vector<double>& b) {
+  const index_t n = t.order();
+  if (static_cast<index_t>(b.size()) != n) {
+    throw std::invalid_argument("Service::solve: rhs length does not match the matrix order");
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++submitted_;
+  }
+  util::Metrics::add(kSubmitted);
+  bool hit = false;
+  const FactorPtr f = factor_for(t, problem_key(t, opt_.schur), &hit);
+  // One fixed-width panel, zero-padded: the same trsm shape every request
+  // sees, so the answer bits match the batched path exactly.
+  la::Mat pad(n, opt_.rhs_panel);
+  std::copy(b.begin(), b.end(), pad.data());
+  solve_batch(*f, pad.view());
+  SolveResult res;
+  res.x.assign(pad.data(), pad.data() + n);
+  res.cache_hit = hit;
+  res.factor_flops = f->flops;
+  res.batch_cols = 1;
+  res.done_ns = util::TraceClock::now_ns();
+  {
+    std::lock_guard lock(mu_);
+    ++completed_;
+    ++batches_;
+    max_batch_ = std::max<std::uint64_t>(max_batch_, 1);
+  }
+  util::Metrics::add(kCompleted);
+  util::Metrics::add(kBatches);
+  return res;
+}
+
+la::Mat Service::solve_many(const toeplitz::BlockToeplitz& t, la::CView b) {
+  const index_t n = t.order(), k = b.cols();
+  if (b.rows() != n) {
+    throw std::invalid_argument("Service::solve_many: rhs rows do not match the matrix order");
+  }
+  {
+    std::lock_guard lock(mu_);
+    submitted_ += static_cast<std::uint64_t>(k);
+  }
+  util::Metrics::add(kSubmitted, static_cast<std::uint64_t>(k));
+  const FactorPtr f = factor_for(t, problem_key(t, opt_.schur), nullptr);
+  const index_t panel = opt_.rhs_panel;
+  const index_t padded = ((k + panel - 1) / panel) * panel;
+  la::Mat pad(n, padded);
+  la::copy(b, pad.block(0, 0, n, k));
+  solve_batch(*f, pad.view());
+  la::Mat x(n, k);
+  la::copy(pad.block(0, 0, n, k), x.view());
+  {
+    std::lock_guard lock(mu_);
+    completed_ += static_cast<std::uint64_t>(k);
+    ++batches_;
+    max_batch_ = std::max(max_batch_, static_cast<std::uint64_t>(k));
+  }
+  util::Metrics::add(kCompleted, static_cast<std::uint64_t>(k));
+  util::Metrics::add(kBatches);
+  return x;
+}
+
+std::future<SolveResult> Service::submit(const toeplitz::BlockToeplitz& t,
+                                         std::vector<double> b) {
+  if (static_cast<index_t>(b.size()) != t.order()) {
+    throw std::invalid_argument("Service::submit: rhs length does not match the matrix order");
+  }
+  Request req;
+  req.key = problem_key(t, opt_.schur);
+  req.t = t;
+  req.b = std::move(b);
+  req.submit_ns = util::TraceClock::now_ns();
+  std::future<SolveResult> fut = req.done.get_future();
+  {
+    std::unique_lock lock(mu_);
+    cv_notfull_.wait(lock, [&] { return stop_ || queue_.size() < opt_.queue_capacity; });
+    if (stop_) throw std::runtime_error("Service::submit: service is shutting down");
+    queue_.push_back(std::move(req));
+    ++submitted_;
+    queue_peak_ = std::max(queue_peak_, static_cast<std::uint64_t>(queue_.size()));
+  }
+  util::Metrics::add(kSubmitted);
+  cv_nonempty_.notify_one();
+  return fut;
+}
+
+bool Service::try_submit(const toeplitz::BlockToeplitz& t, std::vector<double> b,
+                         std::future<SolveResult>& out) {
+  if (static_cast<index_t>(b.size()) != t.order()) {
+    throw std::invalid_argument("Service::try_submit: rhs length does not match the matrix order");
+  }
+  Request req;
+  req.key = problem_key(t, opt_.schur);
+  req.t = t;
+  req.b = std::move(b);
+  req.submit_ns = util::TraceClock::now_ns();
+  std::future<SolveResult> fut = req.done.get_future();
+  {
+    std::unique_lock lock(mu_);
+    if (stop_ || queue_.size() >= opt_.queue_capacity) {
+      ++rejected_;
+      util::Metrics::add(kRejected);
+      return false;
+    }
+    queue_.push_back(std::move(req));
+    ++submitted_;
+    queue_peak_ = std::max(queue_peak_, static_cast<std::uint64_t>(queue_.size()));
+  }
+  util::Metrics::add(kSubmitted);
+  cv_nonempty_.notify_one();
+  out = std::move(fut);
+  return true;
+}
+
+void Service::drain() {
+  std::unique_lock lock(mu_);
+  cv_drained_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
+}
+
+void Service::dispatcher_loop() {
+  static const util::HistId kBatchHist = util::Metrics::histogram("service_batch_cols");
+  static const util::HistId kLatencyHist = util::Metrics::histogram("service_request_ns");
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock lock(mu_);
+      cv_nonempty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;  // drained shutdown: exit only once the queue is empty
+        continue;
+      }
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Coalesce same-key requests into one factor lookup + blocked solve.
+      for (auto it = queue_.begin();
+           it != queue_.end() && static_cast<index_t>(batch.size()) < opt_.max_batch;) {
+        if (it->key == batch.front().key) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      inflight_ += batch.size();
+    }
+    cv_notfull_.notify_all();
+
+    const auto k = static_cast<index_t>(batch.size());
+    try {
+      bool hit = false;
+      const FactorPtr f = factor_for(batch.front().t, batch.front().key, &hit);
+      const index_t n = batch.front().t.order();
+      const index_t panel = opt_.rhs_panel;
+      const index_t padded = ((k + panel - 1) / panel) * panel;
+      la::Mat pad(n, padded);
+      for (index_t j = 0; j < k; ++j) {
+        const std::vector<double>& b = batch[static_cast<std::size_t>(j)].b;
+        std::copy(b.begin(), b.end(), pad.data() + j * n);
+      }
+      solve_batch(*f, pad.view());
+      const std::uint64_t done_ns = util::TraceClock::now_ns();
+      const bool traced = util::Tracer::enabled();
+      if (traced) util::Metrics::record(kBatchHist, static_cast<std::uint64_t>(k));
+      for (index_t j = 0; j < k; ++j) {
+        Request& req = batch[static_cast<std::size_t>(j)];
+        SolveResult res;
+        const double* xj = pad.data() + j * n;
+        res.x.assign(xj, xj + n);
+        res.cache_hit = hit;
+        res.factor_flops = f->flops;
+        res.batch_cols = k;
+        res.done_ns = done_ns;
+        if (traced) util::Metrics::record(kLatencyHist, done_ns - req.submit_ns);
+        req.done.set_value(std::move(res));
+      }
+    } catch (...) {
+      // Factorization failure (e.g. NotPositiveDefinite) fails the whole
+      // batch -- every request is the same problem.
+      std::exception_ptr err = std::current_exception();
+      for (Request& req : batch) req.done.set_exception(err);
+    }
+
+    {
+      std::lock_guard lock(mu_);
+      inflight_ -= batch.size();
+      completed_ += batch.size();
+      ++batches_;
+      max_batch_ = std::max(max_batch_, static_cast<std::uint64_t>(batch.size()));
+    }
+    util::Metrics::add(kCompleted, static_cast<std::uint64_t>(batch.size()));
+    util::Metrics::add(kBatches);
+    cv_drained_.notify_all();
+  }
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.cache = cache_.stats();
+  std::lock_guard lock(mu_);
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.batches = batches_;
+  s.max_batch = max_batch_;
+  s.queue_peak = queue_peak_;
+  return s;
+}
+
+util::Json Service::stats_json() const {
+  const ServiceStats s = stats();
+  util::Json cache = util::Json::object();
+  cache.set("hits", util::Json::number(s.cache.hits));
+  cache.set("misses", util::Json::number(s.cache.misses));
+  cache.set("evictions", util::Json::number(s.cache.evictions));
+  cache.set("resident_bytes", util::Json::number(static_cast<std::uint64_t>(s.cache.resident_bytes)));
+  cache.set("entries", util::Json::number(static_cast<std::uint64_t>(s.cache.entries)));
+  cache.set("max_bytes", util::Json::number(static_cast<std::uint64_t>(cache_.max_bytes())));
+  cache.set("hit_rate", util::Json::number(s.cache.hit_rate()));
+  cache.set("enabled", util::Json::boolean(opt_.cache_enabled));
+  util::Json queue = util::Json::object();
+  queue.set("capacity", util::Json::number(static_cast<std::uint64_t>(opt_.queue_capacity)));
+  queue.set("peak", util::Json::number(s.queue_peak));
+  queue.set("submitted", util::Json::number(s.submitted));
+  queue.set("rejected", util::Json::number(s.rejected));
+  queue.set("completed", util::Json::number(s.completed));
+  util::Json batch = util::Json::object();
+  batch.set("batches", util::Json::number(s.batches));
+  batch.set("max_batch", util::Json::number(s.max_batch));
+  batch.set("mean_batch", util::Json::number(s.mean_batch()));
+  batch.set("max_batch_limit", util::Json::number(static_cast<std::uint64_t>(opt_.max_batch)));
+  batch.set("rhs_panel", util::Json::number(static_cast<std::uint64_t>(opt_.rhs_panel)));
+  util::Json root = util::Json::object();
+  root.set("cache", std::move(cache));
+  root.set("queue", std::move(queue));
+  root.set("batch", std::move(batch));
+  return root;
+}
+
+}  // namespace bst::service

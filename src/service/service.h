@@ -1,0 +1,175 @@
+// bst::service::Service -- the batched factor-once/solve-many solver
+// service (docs/SERVICE.md).
+//
+// Production traffic for this solver is *many* solves: GP-regression
+// sweeps and per-user multichannel predictors fire thousands of small
+// block Toeplitz systems, most sharing a handful of matrices.  The Service
+// layers three things over core::block_schur_factor + the level-3 solve
+// path to serve that shape of load:
+//
+//   * a FactorCache (service/cache.h): factors are cached by the ledger's
+//     params hash and reused across requests -- factor once, solve many;
+//   * blocked multi-RHS solves: batches of right-hand sides go through
+//     core::solve_rtdr_panels, which drives the packed la/blas3 trsm over
+//     fixed-width RHS panels (padded with zero columns to a whole panel,
+//     so every trsm sees the same shape and the answer bits do not depend
+//     on how requests happened to batch);
+//   * an async submission path: submit() enqueues onto a bounded admission
+//     queue (blocking when full -- backpressure; try_submit() rejects
+//     instead) and a dispatcher thread coalesces same-key requests into
+//     one factor lookup + one blocked solve.  Panel solves fan out across
+//     util::ThreadPool.
+//
+// Determinism: for a fixed ServiceOptions (in particular rhs_panel),
+// concurrent submit()s return solutions bitwise identical to the serial
+// solve() path at any thread count and any batching outcome -- each output
+// column depends only on its own input column, and the fixed panel shape
+// pins the kernels' shape crossover (tests/test_service.cc).
+//
+// Scope: the Service serves the SPD fast path.  A matrix that is not
+// positive definite fails the factorization; the error propagates through
+// the returned future (or throws from the synchronous calls).  Indefinite
+// traffic belongs on core::toeplitz_solve.
+//
+// Observability: hits/misses/evictions/admissions land in util::Metrics
+// counters, batch sizes and request latencies in histograms (profiled
+// runs get them for free); stats_json() returns the "service" report
+// section bench_service emits and bst_report pretty-prints.
+//
+// Environment knobs (all overridable via ServiceOptions::from_env):
+//   BST_SERVICE_CACHE_BYTES  factor-cache budget in bytes
+//   BST_SERVICE_QUEUE        admission queue capacity (requests)
+//   BST_SERVICE_BATCH        max same-key requests coalesced per dispatch
+//   BST_SERVICE_PANEL        RHS panel width of the blocked solves
+//   BST_SERVICE_NOCACHE      "1" disables the factor cache (baseline mode)
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/schur.h"
+#include "service/cache.h"
+#include "toeplitz/block_toeplitz.h"
+#include "util/report.h"
+
+namespace bst::service {
+
+using la::index_t;
+
+/// Service configuration (see the header comment for the env knobs).
+struct ServiceOptions {
+  core::SchurOptions schur;            // factorization knobs (m_s, rep, ...)
+  std::size_t cache_bytes = 256ull << 20;  // factor-cache budget
+  std::size_t queue_capacity = 4096;   // bounded admission queue
+  index_t max_batch = 256;             // same-key requests per dispatch
+  index_t rhs_panel = 32;              // RHS panel width (fixed trsm shape)
+  bool cache_enabled = true;
+  bool parallel_panels = true;         // spread panels across the ThreadPool
+
+  /// Applies BST_SERVICE_* environment overrides on top of `base`.
+  static ServiceOptions from_env(ServiceOptions base);
+  static ServiceOptions from_env() { return from_env(ServiceOptions{}); }
+};
+
+/// Per-request outcome.
+struct SolveResult {
+  std::vector<double> x;
+  bool cache_hit = false;         // factor came from the cache
+  std::uint64_t factor_flops = 0; // flops of the (possibly cached) factor
+  index_t batch_cols = 1;         // requests coalesced into the same solve
+  std::uint64_t done_ns = 0;      // TraceClock stamp at completion
+};
+
+/// Copied-out service counters (cache + queue + batching).
+struct ServiceStats {
+  CacheStats cache;
+  std::uint64_t submitted = 0;  // requests admitted (sync calls included)
+  std::uint64_t rejected = 0;   // try_submit refusals on a full queue
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;    // dispatches (each = 1 factor lookup)
+  std::uint64_t max_batch = 0;  // largest coalesced batch
+  std::uint64_t queue_peak = 0; // high-water mark of the admission queue
+
+  [[nodiscard]] double mean_batch() const {
+    return batches == 0 ? 0.0 : static_cast<double>(completed) / static_cast<double>(batches);
+  }
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opt = ServiceOptions::from_env());
+  /// Drains the queue (outstanding futures complete), then joins.
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Synchronous solve of T x = b through the cache.  Throws
+  /// core::NotPositiveDefinite (and std::invalid_argument on a size
+  /// mismatch) like the underlying factorization.
+  SolveResult solve(const toeplitz::BlockToeplitz& t, const std::vector<double>& b);
+
+  /// Synchronous blocked multi-RHS solve: returns X with T X = B
+  /// (B is order x k, each column an independent right-hand side).
+  la::Mat solve_many(const toeplitz::BlockToeplitz& t, la::CView b);
+
+  /// Asynchronous solve: enqueues and returns a future.  Blocks while the
+  /// admission queue is full (backpressure); throws std::runtime_error
+  /// when the service is shutting down.
+  std::future<SolveResult> submit(const toeplitz::BlockToeplitz& t, std::vector<double> b);
+
+  /// Non-blocking admission: false (and no enqueue) when the queue is
+  /// full.  On success `out` receives the future.
+  bool try_submit(const toeplitz::BlockToeplitz& t, std::vector<double> b,
+                  std::future<SolveResult>& out);
+
+  /// Blocks until every admitted request has completed.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// The "service" perf-report section (attach via PerfReport::set_extra):
+  /// cache/queue/batch counters plus the effective options.
+  [[nodiscard]] util::Json stats_json() const;
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return opt_; }
+
+ private:
+  struct Request {
+    std::string key;
+    toeplitz::BlockToeplitz t;
+    std::vector<double> b;
+    std::promise<SolveResult> done;
+    std::uint64_t submit_ns = 0;
+  };
+
+  /// Factor via the cache (or directly when caching is off).
+  FactorPtr factor_for(const toeplitz::BlockToeplitz& t, const std::string& key, bool* hit);
+
+  /// Solves the padded batch in place: fixed-width panels over the pool.
+  void solve_batch(const core::SchurFactor& f, la::View b_padded);
+
+  void dispatcher_loop();
+
+  ServiceOptions opt_;
+  FactorCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_nonempty_;
+  std::condition_variable cv_notfull_;
+  std::condition_variable cv_drained_;
+  std::deque<Request> queue_;
+  std::size_t inflight_ = 0;  // requests popped but not yet completed
+  bool stop_ = false;
+  std::uint64_t submitted_ = 0, rejected_ = 0, completed_ = 0;
+  std::uint64_t batches_ = 0, max_batch_ = 0, queue_peak_ = 0;
+
+  std::thread dispatcher_;  // started last, joined first
+};
+
+}  // namespace bst::service

@@ -82,6 +82,12 @@ Json ledger_entry(const Json& report_doc) {
   if (const Json* metrics = report_doc.find("metrics"); metrics != nullptr) {
     e.set("metrics", *metrics);
   }
+  // Event counters (cache hits/misses, admissions...) ride along so a
+  // trend reader can plot e.g. hit rates over time; never gated (counts
+  // are workload-denominated, not time-denominated).
+  if (const Json* counters = report_doc.find("counters"); counters != nullptr) {
+    e.set("counters", *counters);
+  }
   std::uint64_t warnings = 0;
   if (const Json* w = report_doc.find("warnings"); w != nullptr) warnings += w->items().size();
   if (const Json* d = report_doc.find("warnings_dropped");

@@ -44,12 +44,24 @@ struct HistSlot {
 HistSlot g_named[Metrics::kMaxHistograms];
 HistSlot g_phase_ns[Tracer::kMaxPhases];
 
+// Named monotonic counters (padded: unrelated counters on one cache line
+// would make every fetch-add a false-sharing miss under concurrent use).
+struct alignas(64) CtrSlot {
+  std::atomic<std::uint64_t> value{0};
+};
+CtrSlot g_counters[Metrics::kMaxCounters];
+
 std::mutex& registry_mu() {
   static std::mutex mu;
   return mu;
 }
 
 std::vector<std::string>& registry() {
+  static std::vector<std::string> names;
+  return names;
+}
+
+std::vector<std::string>& counter_registry() {
   static std::vector<std::string> names;
   return names;
 }
@@ -156,9 +168,47 @@ std::vector<HistogramStats> Metrics::snapshot() {
   return out;
 }
 
+CtrId Metrics::counter(const std::string& name) {
+  std::lock_guard lock(registry_mu());
+  auto& names = counter_registry();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<CtrId>(i);
+  }
+  if (names.size() >= static_cast<std::size_t>(kMaxCounters)) {
+    throw std::length_error("Metrics: counter registry full (kMaxCounters)");
+  }
+  names.push_back(name);
+  return static_cast<CtrId>(names.size() - 1);
+}
+
+void Metrics::add(CtrId id, std::uint64_t delta) noexcept {
+  if (id < 0 || id >= kMaxCounters) return;
+  g_counters[id].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Metrics::counter_value(CtrId id) noexcept {
+  if (id < 0 || id >= kMaxCounters) return 0;
+  return g_counters[id].value.load(std::memory_order_relaxed);
+}
+
+std::vector<CounterStats> Metrics::counters_snapshot() {
+  std::vector<std::string> names;
+  {
+    std::lock_guard lock(registry_mu());
+    names = counter_registry();
+  }
+  std::vector<CounterStats> out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::uint64_t v = g_counters[i].value.load(std::memory_order_relaxed);
+    if (v != 0) out.push_back({names[i], v});
+  }
+  return out;
+}
+
 void Metrics::reset() {
   for (auto& s : g_named) s.reset();
   for (auto& s : g_phase_ns) s.reset();
+  for (auto& s : g_counters) s.value.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace bst::util

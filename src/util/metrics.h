@@ -38,6 +38,9 @@ namespace bst::util {
 /// Stable identifier of an interned histogram name.
 using HistId = int;
 
+/// Stable identifier of an interned counter name.
+using CtrId = int;
+
 /// Log-bucket geometry: 4 sub-buckets per power of two.
 inline constexpr int kHistSubBuckets = 4;
 /// Total bucket count covering the full uint64 range (values 0..3 map to
@@ -67,6 +70,12 @@ struct HistogramStats {
   [[nodiscard]] double quantile(double q) const;
 };
 
+/// Copied-out state of one named counter.
+struct CounterStats {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
 /// Process-wide histogram registry (accumulators live for the process).
 class Metrics {
  public:
@@ -85,10 +94,29 @@ class Metrics {
   /// first, then the implicit per-phase `<phase>_ns` ones.
   static std::vector<HistogramStats> snapshot();
 
+  /// Interns a monotonic event counter (idempotent; throws std::length_error
+  /// once kMaxCounters distinct names exist).  Histograms answer "what was
+  /// the distribution"; counters answer "how often did it happen" -- cache
+  /// hits/misses/evictions, admissions, rejections (src/service).
+  static CtrId counter(const std::string& name);
+
+  /// Adds `delta` to the counter.  Lock-free and NOT gated on the tracer:
+  /// like the thread-pool chunk counts, event counts always accumulate
+  /// (one relaxed fetch-add; there is no per-event allocation to avoid).
+  static void add(CtrId id, std::uint64_t delta = 1) noexcept;
+
+  /// Current value of one counter (0 for an invalid id).
+  static std::uint64_t counter_value(CtrId id) noexcept;
+
+  /// Copies out every counter with a non-zero value, in interning order.
+  /// Lands in the perf report's "counters" section (additive, schema v1).
+  static std::vector<CounterStats> counters_snapshot();
+
   /// Zeroes every accumulator (names/ids are preserved).
   static void reset();
 
   static constexpr int kMaxHistograms = 64;
+  static constexpr int kMaxCounters = 64;
 };
 
 }  // namespace bst::util

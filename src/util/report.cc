@@ -506,6 +506,8 @@ void PerfReport::add_par_analysis(const ParAnalysis& a) {
 
 void PerfReport::set_attainment(Json attainment) { attainment_ = std::move(attainment); }
 
+void PerfReport::set_extra(const std::string& key, Json value) { extra_.set(key, std::move(value)); }
+
 Json PerfReport::build(bool include_tracer) const {
   Json root = Json::object();
   root.set("schema_version", Json::number(static_cast<std::int64_t>(kReportSchemaVersion)));
@@ -611,6 +613,16 @@ Json PerfReport::build(bool include_tracer) const {
     if (dropped > 0) root.set("warnings_dropped", Json::number(dropped));
   }
 
+  // Counters accumulate whether or not the tracer ran (like the pool's
+  // chunk counts), so they are reported even in an untraced run.
+  Json counters = Json::object();
+  std::vector<CounterStats> ctr_stats = Metrics::counters_snapshot();
+  std::sort(ctr_stats.begin(), ctr_stats.end(),
+            [](const CounterStats& x, const CounterStats& y) { return x.name < y.name; });
+  for (const CounterStats& cs : ctr_stats) counters.set(cs.name, Json::number(cs.value));
+  if (!counters.members().empty()) root.set("counters", std::move(counters));
+
+  for (const auto& [key, value] : extra_.members()) root.set(key, value);
   if (!threads_.items().empty()) root.set("threads", threads_);
   if (!comm_.items().empty()) root.set("comm", comm_);
   if (pe_timeline_.kind() == Json::Kind::Object) root.set("pe_timeline", pe_timeline_);

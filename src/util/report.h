@@ -142,6 +142,11 @@ class PerfReport {
   /// emitted verbatim as "attainment" (additive, schema stays v1).
   void set_attainment(Json attainment);
 
+  /// Attaches an arbitrary additive top-level section (e.g. "service" from
+  /// service::Service::stats_json()).  Replaces an earlier section of the
+  /// same key; the key must not collide with a built-in section name.
+  void set_extra(const std::string& key, Json value);
+
   /// Builds the document: schema header, machine/build info, the Tracer's
   /// phases and step diagnostics (when `include_tracer`), and everything
   /// attached above.
@@ -163,6 +168,7 @@ class PerfReport {
   Json comm_matrix_ = Json::null();
   Json critical_path_ = Json::null();
   Json attainment_ = Json::null();
+  Json extra_ = Json::object();
 };
 
 }  // namespace bst::util

@@ -126,6 +126,26 @@ void print_kv_object(const Json& doc, const char* section, const char* title) {
   }
 }
 
+// The "service" section (bench_service / bst::service::Service::stats_json)
+// is one level deeper than params/metrics: cache/queue/batch sub-objects.
+void print_service(const Json& doc) {
+  const Json* svc = doc.find("service");
+  if (svc == nullptr || svc->members().empty()) return;
+  std::cout << "service\n";
+  for (const auto& [group, obj] : svc->members()) {
+    std::cout << "  " << group << ":";
+    for (const auto& [k, v] : obj.members()) {
+      std::cout << " " << k << "=";
+      switch (v.kind()) {
+        case Json::Kind::Number: std::cout << fmt(v.as_number()); break;
+        case Json::Kind::Bool: std::cout << (v.as_bool() ? "true" : "false"); break;
+        default: std::cout << v.dump(); break;
+      }
+    }
+    std::cout << "\n";
+  }
+}
+
 void print_phases(const Json& doc) {
   const Json* phases = doc.find("phases");
   if (phases == nullptr || phases->members().empty()) return;
@@ -385,6 +405,8 @@ int print_report(const std::string& path, bool pe_sections) {
             << fmt(num_or(doc.find("schema_version"), 0)) << ")\n";
   print_kv_object(doc, "params", "params");
   print_kv_object(doc, "metrics", "metrics");
+  print_kv_object(doc, "counters", "counters");
+  print_service(doc);
   print_phases(doc);
   print_attainment(doc);
   print_histograms(doc);
@@ -604,8 +626,32 @@ int diff_reports(const std::string& base_path, const std::string& cand_path,
 
 }  // namespace
 
+// Complete flag reference (docs/API.md mirrors this; tools/check_docs.py
+// cross-checks the two and fails CI on drift).
+int help() {
+  std::printf(
+      "bst_report: pretty-printer and perf-regression gate for perf reports\n"
+      "\n"
+      "modes:\n"
+      "  bst_report report.json        pretty-print one report\n"
+      "  --pe                          also print per-PE simnet sections\n"
+      "  --roofline                    ASCII roofline of the attainment section\n"
+      "  --baseline=a.json             diff mode: the reference report\n"
+      "  --candidate=b.json            diff mode: the report under test\n"
+      "  --attain                      diff attainment fractions, not seconds\n"
+      "  --trend=runs.jsonl            trend view over a perf ledger\n"
+      "\n"
+      "gates:\n"
+      "  --max-regress=50%%             per-phase slowdown gate (diff/trend)\n"
+      "  --max-attain-drop=10%%         attainment drop gate (--attain)\n"
+      "  --min-seconds=1e-3            ignore phases below this baseline\n"
+      "  --help                        this list\n");
+  return 0;
+}
+
 int main(int argc, char** argv) {
   bst::util::Cli cli(argc, argv);
+  if (cli.has("help")) return help();
   // First positional (non --flag) argument, for single-report mode.
   std::string positional;
   for (int i = 1; i < argc; ++i) {

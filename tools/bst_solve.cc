@@ -68,6 +68,41 @@ simnet::Layout parse_layout(const std::string& s) {
   throw std::runtime_error("unknown --layout '" + s + "' (v1|v2|v3)");
 }
 
+// Complete flag reference, one per line (docs/API.md mirrors this table;
+// tools/check_docs.py cross-checks the two and fails CI on drift).
+int help() {
+  std::printf(
+      "bst_solve: solve a symmetric (block) Toeplitz system T x = b\n"
+      "\n"
+      "input / output:\n"
+      "  --matrix=T.txt      block Toeplitz matrix file (toeplitz/io.h format)\n"
+      "  --rhs=b.txt         right-hand side (default: T * ones)\n"
+      "  --out=x.txt         write the solution vector\n"
+      "  --n=256             synthetic KMS system of this order (no --matrix)\n"
+      "\n"
+      "algorithm:\n"
+      "  --ms=K              working block size m_s of the block Schur step\n"
+      "  --rep=vy2           reflector representation: vy1|vy2|yty|u|seq\n"
+      "  --refine            force one step of iterative refinement\n"
+      "  --parallel          thread the factorization (BST_THREADS workers)\n"
+      "\n"
+      "simulated distributed machine:\n"
+      "  --np=4              number of simulated PEs (enables simnet path)\n"
+      "  --layout=v1         data layout: v1|v2|v3 (v3 is cost-model only)\n"
+      "  --group=G           PE group size of the V2/V3 layouts\n"
+      "  --spread=S          block-row spread of the V3 layout\n"
+      "\n"
+      "observability (docs/OBSERVABILITY.md):\n"
+      "  --report            print a one-line solve summary\n"
+      "  --profile=out.json  write the JSON perf report\n"
+      "  --trace=out.json    write a chrome://tracing event timeline\n"
+      "  --ledger=runs.jsonl append one JSONL run line (bst_report --trend)\n"
+      "  --calibrate[=p.json] measure/load machine ceilings (attainment)\n"
+      "  --fingerprint       print the machine/build fingerprint and exit\n"
+      "  --help              this list\n");
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] "
@@ -200,6 +235,7 @@ int main(int argc, char** argv) {
   util::enable_flush_to_zero();
   util::Cli cli(argc, argv);
   try {
+    if (cli.has("help")) return help();
     if (cli.has("fingerprint")) {
       // CI cache key for calibration profiles: stable for a given
       // CPU model + core count + compiler + flags.

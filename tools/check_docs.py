@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Docs-consistency gate (run as a ctest; wired in tools/CMakeLists.txt).
+
+Two invariants, checked against the union of every docs/*.md file:
+
+  1. every --flag printed by `bst_solve --help` and `bst_report --help`
+     is documented somewhere under docs/;
+  2. every BST_* environment variable referenced as a string literal in
+     src/, tools/ or bench/ is documented somewhere under docs/.
+
+A flag or env var that ships undocumented fails the build -- the docs and
+the binaries drift apart exactly once, at review time, not at use time.
+
+Usage: check_docs.py --repo=<repo root> --bst-solve=<path> --bst-report=<path>
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+ENV_RE = re.compile(r'"(BST_[A-Z0-9_]+)"')
+
+
+def parse_args(argv):
+    args = {}
+    for arg in argv:
+        if not arg.startswith("--") or "=" not in arg:
+            sys.exit(f"check_docs: unexpected argument '{arg}'")
+        key, _, value = arg[2:].partition("=")
+        args[key] = value
+    missing = {"repo", "bst-solve", "bst-report"} - set(args)
+    if missing:
+        sys.exit(f"check_docs: missing arguments: {sorted(missing)}")
+    return args
+
+
+def help_flags(binary):
+    out = subprocess.run([binary, "--help"], capture_output=True, text=True, check=True)
+    flags = set(FLAG_RE.findall(out.stdout))
+    if not flags:
+        sys.exit(f"check_docs: '{binary} --help' printed no --flags")
+    return flags
+
+
+def source_env_vars(repo):
+    env = set()
+    for sub in ("src", "tools", "bench"):
+        for path in sorted((repo / sub).rglob("*")):
+            if path.suffix not in {".h", ".cc", ".py"}:
+                continue
+            for name in ENV_RE.findall(path.read_text(errors="replace")):
+                # Names ending in '_' are dynamic prefixes (e.g. the
+                # "BST_KERNEL_" family base), not variables themselves.
+                if not name.endswith("_"):
+                    env.add(name)
+    return env
+
+
+def main(argv):
+    args = parse_args(argv)
+    repo = pathlib.Path(args["repo"])
+    docs = ""
+    for md in sorted((repo / "docs").glob("*.md")):
+        docs += md.read_text(errors="replace")
+
+    problems = []
+    for label, binary in (("bst_solve", args["bst-solve"]), ("bst_report", args["bst-report"])):
+        for flag in sorted(help_flags(binary)):
+            if flag not in docs:
+                problems.append(f"{label} flag '{flag}' is not documented in docs/*.md")
+    for name in sorted(source_env_vars(repo)):
+        if name not in docs:
+            problems.append(f"environment variable '{name}' is not documented in docs/*.md")
+
+    if problems:
+        print("check_docs: documentation drift detected:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("check_docs: all CLI flags and BST_* environment variables are documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
