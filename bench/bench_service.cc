@@ -70,6 +70,19 @@ int main(int argc, char** argv) {
   const double bench_t0 = util::wall_seconds();
   std::cout << "# bench_service: factor-once/solve-many SLO bench, n=" << n << "\n";
 
+  // Live telemetry: flags layer over the BST_TELEMETRY_* / BST_SLO_* env
+  // (docs/OBSERVABILITY.md).  With an output configured the exporter ticks
+  // for the whole bench, so `bst_top --stream=<out>` watches it live and
+  // the telemetry-smoke CI job validates the Prometheus exposition.
+  util::TelemetryOptions tel = util::TelemetryOptions::from_env();
+  tel.out = cli.get("telemetry-out", tel.out);
+  tel.prom = cli.get("telemetry-prom", tel.prom);
+  tel.interval_ms = static_cast<std::uint64_t>(
+      cli.get_int("telemetry-interval-ms", static_cast<long>(tel.interval_ms)));
+  tel.slo_p99_ms = cli.get_double("slo-p99-ms", tel.slo_p99_ms);
+  util::TelemetryExporter exporter(tel);
+  exporter.start();
+
   toeplitz::BlockToeplitz t = toeplitz::kms(n, 0.7);
   service::ServiceOptions opt = service::ServiceOptions::from_env();
 
@@ -157,6 +170,11 @@ int main(int argc, char** argv) {
   report.metric("p50_us", p50_us);
   report.metric("p99_us", p99_us);
   report.metric("p999_us", p999_us);
+  exporter.stop();  // final tick lands before the report reads its stats
+  if (tel.active()) {
+    report.metric("telemetry_ticks", static_cast<double>(exporter.ticks()));
+    report.metric("telemetry_self_s", exporter.self_seconds());
+  }
   report.set_extra("service", svc.stats_json());
   report.add_table(table);
   obs.finish(report);

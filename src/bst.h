@@ -13,7 +13,8 @@
 //                                   (factor cache, async queue, docs/SERVICE.md)
 //   util::Tracer / TraceSpan     -- structured phase tracing (docs/OBSERVABILITY.md)
 //   util::FlightRecorder         -- per-thread event timeline (chrome trace)
-//   util::Metrics                -- log-bucketed latency/size histograms
+//   util::Metrics                -- histograms, counters, and live gauges
+//   util::TelemetryExporter      -- periodic Prometheus/JSONL telemetry
 //   util::Watchdog               -- numerical-health warnings
 //   util::PerfReport             -- JSON perf-report writer (stable schema)
 //   util::Calibration            -- machine ceilings for roofline/attainment
@@ -62,6 +63,7 @@
 #include "util/report.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 #include "util/watchdog.h"

@@ -14,6 +14,9 @@ const util::PhaseId kFactorPhase = util::Tracer::phase("service_factor");
 const util::CtrId kHits = util::Metrics::counter("service_cache_hits");
 const util::CtrId kMisses = util::Metrics::counter("service_cache_misses");
 const util::CtrId kEvictions = util::Metrics::counter("service_cache_evictions");
+// Live cache occupancy for the telemetry exporter: set under the cache
+// lock wherever resident_ changes.
+const util::GaugeId kResident = util::Metrics::gauge("service_cache_resident_bytes");
 
 // FNV-1a over raw bytes (same constants as util::fnv1a_hex, which takes a
 // string; the first block row is hashed as its in-memory doubles).
@@ -110,6 +113,7 @@ FactorPtr FactorCache::get_or_factor(const std::string& key, const Factory& fact
   entry.lru = lru_.begin();
   resident_ += entry.bytes;
   evict_locked(key);
+  util::Metrics::gauge_set(kResident, static_cast<std::int64_t>(resident_));
   return ptr;
 }
 
@@ -124,6 +128,7 @@ void FactorCache::evict_locked(const std::string& keep_key) {
     map_.erase(it);
     lru_.pop_back();
   }
+  util::Metrics::gauge_set(kResident, static_cast<std::int64_t>(resident_));
 }
 
 bool FactorCache::contains(const std::string& key) const {
@@ -148,6 +153,7 @@ void FactorCache::clear() {
   for (const std::string& key : lru_) map_.erase(key);
   lru_.clear();
   resident_ = 0;
+  util::Metrics::gauge_set(kResident, 0);
 }
 
 }  // namespace bst::service

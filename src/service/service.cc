@@ -1,11 +1,13 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
 #include "core/solve.h"
+#include "util/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -17,6 +19,18 @@ const util::CtrId kSubmitted = util::Metrics::counter("service_submitted");
 const util::CtrId kRejected = util::Metrics::counter("service_rejected");
 const util::CtrId kCompleted = util::Metrics::counter("service_completed");
 const util::CtrId kBatches = util::Metrics::counter("service_batches");
+const util::CtrId kSlow = util::Metrics::counter("service_slow_requests");
+// Watchdog::warn bumps this unconditionally; deltas around a request's
+// factor+solve attribute warnings to the request (util/watchdog.cc).
+const util::CtrId kWarnings = util::Metrics::counter("watchdog_warnings");
+const util::GaugeId kQueueDepth = util::Metrics::gauge("service_queue_depth");
+const util::GaugeId kInflight = util::Metrics::gauge("service_inflight");
+const util::GaugeId kBacklogAge = util::Metrics::gauge("service_backlog_age_ms");
+// Recorded unconditionally (not tracer-gated): the telemetry exporter's
+// QPS/p50/p99 come from these, and a live service is exactly the case
+// where no profiled run is watching.
+const util::HistId kBatchHist = util::Metrics::histogram("service_batch_cols");
+const util::HistId kLatencyHist = util::Metrics::histogram("service_request_ns");
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* s = std::getenv(name);
@@ -25,6 +39,59 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const unsigned long long v = std::strtoull(s, &end, 10);
   if (end == s) return fallback;
   return v;
+}
+
+double env_f64(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) return fallback;
+  return v;
+}
+
+// Emits the request's three-phase timeline as a tiny "req:<id>" track.
+// The span `step` field carries cache hit (1) vs miss (0), so a trace
+// shows hit and miss requests apart at a glance.  Only the first
+// trace_requests ids get tracks: each track's ring is permanent, so an
+// unbounded service must not mint one per request.
+void emit_request_track(const ServiceOptions& opt, std::uint64_t id, bool hit,
+                        std::uint64_t submit_ns, std::uint64_t pop_ns,
+                        std::uint64_t factor_done_ns, std::uint64_t done_ns,
+                        std::uint64_t cols) {
+  if (!util::Tracer::enabled() || !util::FlightRecorder::enabled()) return;
+  if (id > opt.trace_requests) return;
+  static const util::PhaseId kQueueWait = util::Tracer::phase("req_queue_wait");
+  static const util::PhaseId kCacheLookup = util::Tracer::phase("req_cache_lookup");
+  static const util::PhaseId kReqSolve = util::Tracer::phase("req_solve");
+  const std::uint32_t tid =
+      util::FlightRecorder::track("req:" + std::to_string(id), 8);
+  const std::int64_t step = hit ? 1 : 0;
+  util::FlightRecorder::virtual_span(tid, kQueueWait, step, submit_ns, pop_ns, 0, -1);
+  util::FlightRecorder::virtual_span(tid, kCacheLookup, step, pop_ns, factor_done_ns, 0, -1);
+  util::FlightRecorder::virtual_span(tid, kReqSolve, step, factor_done_ns, done_ns, cols, -1);
+}
+
+// Decimated past the first few: an overload that makes one request slow
+// makes thousands slow, and a log storm is its own outage.  The
+// service_slow_requests counter stays exact; stderr gets the first 10
+// lines, then every 100th with the suppressed count.
+void log_slow(std::uint64_t id, const SolveResult& res) {
+  static std::atomic<std::uint64_t> logged{0};
+  const std::uint64_t seq = logged.fetch_add(1, std::memory_order_relaxed);
+  if (seq >= 10 && seq % 100 != 0) return;
+  const double total_ms =
+      static_cast<double>(res.queue_ns + res.factor_ns + res.solve_ns) * 1e-6;
+  std::fprintf(stderr,
+               "[bst_service] slow request id=%llu total_ms=%.2f queue_ms=%.2f "
+               "factor_ms=%.2f solve_ms=%.2f hit=%d batch=%lld warnings=%llu%s\n",
+               static_cast<unsigned long long>(id), total_ms,
+               static_cast<double>(res.queue_ns) * 1e-6,
+               static_cast<double>(res.factor_ns) * 1e-6,
+               static_cast<double>(res.solve_ns) * 1e-6, res.cache_hit ? 1 : 0,
+               static_cast<long long>(res.batch_cols),
+               static_cast<unsigned long long>(res.warnings),
+               seq >= 10 ? " (slow log decimated to 1/100)" : "");
 }
 
 // The dispatcher thread reads opt_ from construction on, so every clamp
@@ -52,6 +119,8 @@ ServiceOptions ServiceOptions::from_env(ServiceOptions base) {
   if (const char* s = std::getenv("BST_SERVICE_NOCACHE"); s != nullptr && *s != '\0') {
     base.cache_enabled = (s[0] == '0' && s[1] == '\0');
   }
+  base.slow_ms = env_f64("BST_SERVICE_SLOW_MS", base.slow_ms);
+  base.trace_requests = env_u64("BST_SERVICE_TRACE_REQS", base.trace_requests);
   return base;
 }
 
@@ -91,8 +160,12 @@ SolveResult Service::solve(const toeplitz::BlockToeplitz& t, const std::vector<d
     ++submitted_;
   }
   util::Metrics::add(kSubmitted);
+  const std::uint64_t id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t t_submit = util::TraceClock::now_ns();
+  const std::uint64_t warn0 = util::Metrics::counter_value(kWarnings);
   bool hit = false;
   const FactorPtr f = factor_for(t, problem_key(t, opt_.schur), &hit);
+  const std::uint64_t t_factor = util::TraceClock::now_ns();
   // One fixed-width panel, zero-padded: the same trsm shape every request
   // sees, so the answer bits match the batched path exactly.
   la::Mat pad(n, opt_.rhs_panel);
@@ -104,14 +177,29 @@ SolveResult Service::solve(const toeplitz::BlockToeplitz& t, const std::vector<d
   res.factor_flops = f->flops;
   res.batch_cols = 1;
   res.done_ns = util::TraceClock::now_ns();
+  res.req_id = id;
+  res.queue_ns = 0;
+  res.factor_ns = t_factor - t_submit;
+  res.solve_ns = res.done_ns - t_factor;
+  res.warnings = util::Metrics::counter_value(kWarnings) - warn0;
+  util::Metrics::record(kBatchHist, 1);
+  util::Metrics::record(kLatencyHist, res.done_ns - t_submit);
+  emit_request_track(opt_, id, hit, t_submit, t_submit, t_factor, res.done_ns, 1);
+  const bool slow = opt_.slow_ms > 0.0 &&
+                    static_cast<double>(res.done_ns - t_submit) > opt_.slow_ms * 1e6;
   {
     std::lock_guard lock(mu_);
     ++completed_;
     ++batches_;
     max_batch_ = std::max<std::uint64_t>(max_batch_, 1);
+    if (slow) ++slow_;
   }
   util::Metrics::add(kCompleted);
   util::Metrics::add(kBatches);
+  if (slow) {
+    util::Metrics::add(kSlow);
+    log_slow(id, res);
+  }
   return res;
 }
 
@@ -125,7 +213,12 @@ la::Mat Service::solve_many(const toeplitz::BlockToeplitz& t, la::CView b) {
     submitted_ += static_cast<std::uint64_t>(k);
   }
   util::Metrics::add(kSubmitted, static_cast<std::uint64_t>(k));
-  const FactorPtr f = factor_for(t, problem_key(t, opt_.schur), nullptr);
+  const std::uint64_t id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t t_submit = util::TraceClock::now_ns();
+  const std::uint64_t warn0 = util::Metrics::counter_value(kWarnings);
+  bool hit = false;
+  const FactorPtr f = factor_for(t, problem_key(t, opt_.schur), &hit);
+  const std::uint64_t t_factor = util::TraceClock::now_ns();
   const index_t panel = opt_.rhs_panel;
   const index_t padded = ((k + panel - 1) / panel) * panel;
   la::Mat pad(n, padded);
@@ -133,14 +226,33 @@ la::Mat Service::solve_many(const toeplitz::BlockToeplitz& t, la::CView b) {
   solve_batch(*f, pad.view());
   la::Mat x(n, k);
   la::copy(pad.block(0, 0, n, k), x.view());
+  const std::uint64_t done_ns = util::TraceClock::now_ns();
+  util::Metrics::record(kBatchHist, static_cast<std::uint64_t>(k));
+  util::Metrics::record(kLatencyHist, done_ns - t_submit);
+  emit_request_track(opt_, id, hit, t_submit, t_submit, t_factor, done_ns,
+                     static_cast<std::uint64_t>(k));
+  const std::uint64_t warn_delta = util::Metrics::counter_value(kWarnings) - warn0;
+  const bool slow = opt_.slow_ms > 0.0 &&
+                    static_cast<double>(done_ns - t_submit) > opt_.slow_ms * 1e6;
   {
     std::lock_guard lock(mu_);
     completed_ += static_cast<std::uint64_t>(k);
     ++batches_;
     max_batch_ = std::max(max_batch_, static_cast<std::uint64_t>(k));
+    if (slow) ++slow_;
   }
   util::Metrics::add(kCompleted, static_cast<std::uint64_t>(k));
   util::Metrics::add(kBatches);
+  if (slow) {
+    util::Metrics::add(kSlow);
+    SolveResult probe;  // reuse the structured log line for the batch call
+    probe.cache_hit = hit;
+    probe.batch_cols = k;
+    probe.factor_ns = t_factor - t_submit;
+    probe.solve_ns = done_ns - t_factor;
+    probe.warnings = warn_delta;
+    log_slow(id, probe);
+  }
   return x;
 }
 
@@ -154,6 +266,7 @@ std::future<SolveResult> Service::submit(const toeplitz::BlockToeplitz& t,
   req.t = t;
   req.b = std::move(b);
   req.submit_ns = util::TraceClock::now_ns();
+  req.id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
   std::future<SolveResult> fut = req.done.get_future();
   {
     std::unique_lock lock(mu_);
@@ -162,6 +275,7 @@ std::future<SolveResult> Service::submit(const toeplitz::BlockToeplitz& t,
     queue_.push_back(std::move(req));
     ++submitted_;
     queue_peak_ = std::max(queue_peak_, static_cast<std::uint64_t>(queue_.size()));
+    util::Metrics::gauge_set(kQueueDepth, static_cast<std::int64_t>(queue_.size()));
   }
   util::Metrics::add(kSubmitted);
   cv_nonempty_.notify_one();
@@ -178,6 +292,7 @@ bool Service::try_submit(const toeplitz::BlockToeplitz& t, std::vector<double> b
   req.t = t;
   req.b = std::move(b);
   req.submit_ns = util::TraceClock::now_ns();
+  req.id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
   std::future<SolveResult> fut = req.done.get_future();
   {
     std::unique_lock lock(mu_);
@@ -189,6 +304,7 @@ bool Service::try_submit(const toeplitz::BlockToeplitz& t, std::vector<double> b
     queue_.push_back(std::move(req));
     ++submitted_;
     queue_peak_ = std::max(queue_peak_, static_cast<std::uint64_t>(queue_.size()));
+    util::Metrics::gauge_set(kQueueDepth, static_cast<std::int64_t>(queue_.size()));
   }
   util::Metrics::add(kSubmitted);
   cv_nonempty_.notify_one();
@@ -202,8 +318,6 @@ void Service::drain() {
 }
 
 void Service::dispatcher_loop() {
-  static const util::HistId kBatchHist = util::Metrics::histogram("service_batch_cols");
-  static const util::HistId kLatencyHist = util::Metrics::histogram("service_request_ns");
   for (;;) {
     std::vector<Request> batch;
     {
@@ -226,13 +340,27 @@ void Service::dispatcher_loop() {
         }
       }
       inflight_ += batch.size();
+      util::Metrics::gauge_set(kQueueDepth, static_cast<std::int64_t>(queue_.size()));
+      util::Metrics::gauge_set(kInflight, static_cast<std::int64_t>(inflight_));
+      // Age of the oldest request still waiting: a growing value with a
+      // non-empty queue means the dispatcher is falling behind.
+      const std::int64_t backlog_ms =
+          queue_.empty() ? 0
+                         : static_cast<std::int64_t>(
+                               (util::TraceClock::now_ns() - queue_.front().submit_ns) /
+                               1000000u);
+      util::Metrics::gauge_set(kBacklogAge, backlog_ms);
     }
     cv_notfull_.notify_all();
 
     const auto k = static_cast<index_t>(batch.size());
+    const std::uint64_t pop_ns = util::TraceClock::now_ns();
+    std::uint64_t slow_count = 0;
     try {
+      const std::uint64_t warn0 = util::Metrics::counter_value(kWarnings);
       bool hit = false;
       const FactorPtr f = factor_for(batch.front().t, batch.front().key, &hit);
+      const std::uint64_t factor_done_ns = util::TraceClock::now_ns();
       const index_t n = batch.front().t.order();
       const index_t panel = opt_.rhs_panel;
       const index_t padded = ((k + panel - 1) / panel) * panel;
@@ -243,8 +371,8 @@ void Service::dispatcher_loop() {
       }
       solve_batch(*f, pad.view());
       const std::uint64_t done_ns = util::TraceClock::now_ns();
-      const bool traced = util::Tracer::enabled();
-      if (traced) util::Metrics::record(kBatchHist, static_cast<std::uint64_t>(k));
+      const std::uint64_t warn_delta = util::Metrics::counter_value(kWarnings) - warn0;
+      util::Metrics::record(kBatchHist, static_cast<std::uint64_t>(k));
       for (index_t j = 0; j < k; ++j) {
         Request& req = batch[static_cast<std::size_t>(j)];
         SolveResult res;
@@ -254,7 +382,22 @@ void Service::dispatcher_loop() {
         res.factor_flops = f->flops;
         res.batch_cols = k;
         res.done_ns = done_ns;
-        if (traced) util::Metrics::record(kLatencyHist, done_ns - req.submit_ns);
+        res.req_id = req.id;
+        res.queue_ns = pop_ns - req.submit_ns;
+        res.factor_ns = factor_done_ns - pop_ns;
+        res.solve_ns = done_ns - factor_done_ns;
+        res.warnings = warn_delta;
+        util::Metrics::record(kLatencyHist, done_ns - req.submit_ns);
+        emit_request_track(opt_, req.id, hit, req.submit_ns, pop_ns, factor_done_ns,
+                           done_ns, static_cast<std::uint64_t>(k));
+        const bool slow =
+            opt_.slow_ms > 0.0 &&
+            static_cast<double>(done_ns - req.submit_ns) > opt_.slow_ms * 1e6;
+        if (slow) {
+          ++slow_count;
+          util::Metrics::add(kSlow);
+          log_slow(req.id, res);
+        }
         req.done.set_value(std::move(res));
       }
     } catch (...) {
@@ -270,6 +413,8 @@ void Service::dispatcher_loop() {
       completed_ += batch.size();
       ++batches_;
       max_batch_ = std::max(max_batch_, static_cast<std::uint64_t>(batch.size()));
+      slow_ += slow_count;
+      util::Metrics::gauge_set(kInflight, static_cast<std::int64_t>(inflight_));
     }
     util::Metrics::add(kCompleted, static_cast<std::uint64_t>(batch.size()));
     util::Metrics::add(kBatches);
@@ -287,6 +432,7 @@ ServiceStats Service::stats() const {
   s.batches = batches_;
   s.max_batch = max_batch_;
   s.queue_peak = queue_peak_;
+  s.slow = slow_;
   return s;
 }
 
@@ -307,6 +453,8 @@ util::Json Service::stats_json() const {
   queue.set("submitted", util::Json::number(s.submitted));
   queue.set("rejected", util::Json::number(s.rejected));
   queue.set("completed", util::Json::number(s.completed));
+  queue.set("slow", util::Json::number(s.slow));
+  queue.set("slow_ms", util::Json::number(opt_.slow_ms));
   util::Json batch = util::Json::object();
   batch.set("batches", util::Json::number(s.batches));
   batch.set("max_batch", util::Json::number(s.max_batch));

@@ -32,9 +32,20 @@
 // traffic belongs on core::toeplitz_solve.
 //
 // Observability: hits/misses/evictions/admissions land in util::Metrics
-// counters, batch sizes and request latencies in histograms (profiled
-// runs get them for free); stats_json() returns the "service" report
-// section bench_service emits and bst_report pretty-prints.
+// counters; batch sizes and request latencies record unconditionally into
+// histograms so the live telemetry exporter (util/telemetry.h) sees QPS and
+// tail latency without a profiled run.  Live state mirrors into gauges
+// (service_queue_depth, service_inflight, service_backlog_age_ms,
+// service_cache_resident_bytes).  Every request carries a monotone id
+// minted at admission; its queue-wait / cache-lookup / solve split comes
+// back in the SolveResult, and (while tracing) the first trace_requests
+// requests additionally emit "req:<id>" flight-recorder tracks whose span
+// `step` field encodes cache hit (1) vs miss (0).  Requests slower than
+// slow_ms log one structured stderr line and bump service_slow_requests;
+// watchdog warnings fired while a request was being served come back in
+// SolveResult::warnings and the `watchdog_warnings` counter.
+// stats_json() returns the "service" report section bench_service emits
+// and bst_report pretty-prints.
 //
 // Environment knobs (all overridable via ServiceOptions::from_env):
 //   BST_SERVICE_CACHE_BYTES  factor-cache budget in bytes
@@ -42,8 +53,11 @@
 //   BST_SERVICE_BATCH        max same-key requests coalesced per dispatch
 //   BST_SERVICE_PANEL        RHS panel width of the blocked solves
 //   BST_SERVICE_NOCACHE      "1" disables the factor cache (baseline mode)
+//   BST_SERVICE_SLOW_MS      slow-request log threshold in ms (0 = off)
+//   BST_SERVICE_TRACE_REQS   max requests that get "req:<id>" trace tracks
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -71,6 +85,8 @@ struct ServiceOptions {
   index_t rhs_panel = 32;              // RHS panel width (fixed trsm shape)
   bool cache_enabled = true;
   bool parallel_panels = true;         // spread panels across the ThreadPool
+  double slow_ms = 100.0;              // slow-request log threshold (0 = off)
+  std::uint64_t trace_requests = 32;   // "req:<id>" tracks minted while tracing
 
   /// Applies BST_SERVICE_* environment overrides on top of `base`.
   static ServiceOptions from_env(ServiceOptions base);
@@ -84,6 +100,11 @@ struct SolveResult {
   std::uint64_t factor_flops = 0; // flops of the (possibly cached) factor
   index_t batch_cols = 1;         // requests coalesced into the same solve
   std::uint64_t done_ns = 0;      // TraceClock stamp at completion
+  std::uint64_t req_id = 0;       // monotone id minted at admission
+  std::uint64_t queue_ns = 0;     // admission-to-dispatch wait
+  std::uint64_t factor_ns = 0;    // cache lookup + (on miss) factorization
+  std::uint64_t solve_ns = 0;     // panel solve + scatter
+  std::uint64_t warnings = 0;     // watchdog warnings fired while serving it
 };
 
 /// Copied-out service counters (cache + queue + batching).
@@ -95,6 +116,7 @@ struct ServiceStats {
   std::uint64_t batches = 0;    // dispatches (each = 1 factor lookup)
   std::uint64_t max_batch = 0;  // largest coalesced batch
   std::uint64_t queue_peak = 0; // high-water mark of the admission queue
+  std::uint64_t slow = 0;       // requests past the slow_ms threshold
 
   [[nodiscard]] double mean_batch() const {
     return batches == 0 ? 0.0 : static_cast<double>(completed) / static_cast<double>(batches);
@@ -146,6 +168,7 @@ class Service {
     std::vector<double> b;
     std::promise<SolveResult> done;
     std::uint64_t submit_ns = 0;
+    std::uint64_t id = 0;  // minted at admission (next_req_id_)
   };
 
   /// Factor via the cache (or directly when caching is off).
@@ -167,7 +190,8 @@ class Service {
   std::size_t inflight_ = 0;  // requests popped but not yet completed
   bool stop_ = false;
   std::uint64_t submitted_ = 0, rejected_ = 0, completed_ = 0;
-  std::uint64_t batches_ = 0, max_batch_ = 0, queue_peak_ = 0;
+  std::uint64_t batches_ = 0, max_batch_ = 0, queue_peak_ = 0, slow_ = 0;
+  std::atomic<std::uint64_t> next_req_id_{1};
 
   std::thread dispatcher_;  // started last, joined first
 };

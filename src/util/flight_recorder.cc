@@ -19,6 +19,7 @@ struct ThreadRing {
   std::uint32_t tid;
   std::string label;                   // guarded by the registry mutex
   bool is_virtual = false;             // virtual_track() ring (virtual time)
+  bool fixed_capacity = false;         // track(): keeps its size across enable()
   std::atomic<std::uint64_t> head{0};  // total events ever recorded
   std::vector<FlightEvent> ring;
 
@@ -76,7 +77,9 @@ void FlightRecorder::enable(std::size_t capacity) {
     std::lock_guard lock(reg.mu);
     reg.capacity = capacity;
     for (auto& r : reg.rings) {
-      if (r->ring.size() != capacity) r->ring.assign(capacity, FlightEvent{});
+      if (!r->fixed_capacity && r->ring.size() != capacity) {
+        r->ring.assign(capacity, FlightEvent{});
+      }
       r->head.store(0, std::memory_order_relaxed);
     }
   }
@@ -125,6 +128,20 @@ std::uint32_t FlightRecorder::virtual_track(const std::string& label) {
       static_cast<std::uint32_t>(reg.rings.size()), reg.capacity));
   reg.rings.back()->label = label;
   reg.rings.back()->is_virtual = true;
+  return reg.rings.back()->tid;
+}
+
+std::uint32_t FlightRecorder::track(const std::string& label, std::size_t capacity) {
+  capacity = std::max<std::size_t>(2, capacity);
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (const auto& r : reg.rings) {
+    if (r->fixed_capacity && r->label == label) return r->tid;
+  }
+  reg.rings.push_back(std::make_unique<ThreadRing>(
+      static_cast<std::uint32_t>(reg.rings.size()), capacity));
+  reg.rings.back()->label = label;
+  reg.rings.back()->fixed_capacity = true;
   return reg.rings.back()->tid;
 }
 

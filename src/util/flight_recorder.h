@@ -97,8 +97,16 @@ class FlightRecorder {
   /// virtual timestamps.  One writer at a time per track.
   static std::uint32_t virtual_track(const std::string& label);
 
-  /// Appends one balanced begin/end pair to a virtual track.  `bytes` and
-  /// `peer` land in the end event's payload.
+  /// Registers (or finds) an unowned *real-time* track with its own fixed
+  /// ring capacity, exempt from enable()'s capacity reassignment.  Used for
+  /// the per-request "req:<id>" tracks (src/service): each request emits a
+  /// handful of spans, so a tiny ring per track keeps thousands of tracks
+  /// cheap.  Timestamps are steady-clock, so the exporter rebases these
+  /// alongside the owned per-thread rings.  One writer at a time per track.
+  static std::uint32_t track(const std::string& label, std::size_t capacity);
+
+  /// Appends one balanced begin/end pair to a virtual or unowned track.
+  /// `bytes` and `peer` land in the end event's payload.
   static void virtual_span(std::uint32_t tid, PhaseId phase, std::int64_t step,
                            std::uint64_t t0_ns, std::uint64_t t1_ns, std::uint64_t bytes,
                            std::int32_t peer);

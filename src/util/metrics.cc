@@ -5,7 +5,8 @@
 #include <bit>
 #include <cmath>
 #include <mutex>
-#include <stdexcept>
+
+#include "util/watchdog.h"
 
 namespace bst::util {
 namespace {
@@ -51,6 +52,41 @@ struct alignas(64) CtrSlot {
 };
 CtrSlot g_counters[Metrics::kMaxCounters];
 
+// Gauges share the counter slot layout but hold signed readings.
+struct alignas(64) GaugeSlot {
+  std::atomic<std::int64_t> value{0};
+};
+GaugeSlot g_gauges[Metrics::kMaxGauges];
+
+// Registrations refused because a kMax* table was full, plus the one-shot
+// latch for the registry-full watchdog warning.  Deliberately outside the
+// slot tables: the drop count must survive exactly the condition that
+// exhausted them.
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<bool> g_full_warned{false};
+
+// Counts the refused registration and announces the saturation once per
+// reset.  The warning rides the normal watchdog channel (report "warnings"
+// section + flight-recorder instant), so it is gated on Tracer::enabled()
+// like every other warning; the counter records unconditionally.
+//
+// Must be called WITHOUT registry_mu() held: Watchdog::warn bumps the
+// `watchdog_warnings` counter, which re-enters Metrics::counter.  The
+// thread_local guard breaks the one remaining cycle -- warn's own counter
+// registration overflowing a full table must not warn again.
+int register_dropped(const char* kind, int cap) {
+  g_dropped.fetch_add(1, std::memory_order_relaxed);
+  static thread_local bool in_warn = false;
+  if (!in_warn && !g_full_warned.exchange(true, std::memory_order_relaxed)) {
+    in_warn = true;
+    Watchdog::warn(std::string("metrics_registry_full:") + kind, 0,
+                   static_cast<double>(g_dropped.load(std::memory_order_relaxed)),
+                   static_cast<double>(cap));
+    in_warn = false;
+  }
+  return -1;
+}
+
 std::mutex& registry_mu() {
   static std::mutex mu;
   return mu;
@@ -62,6 +98,11 @@ std::vector<std::string>& registry() {
 }
 
 std::vector<std::string>& counter_registry() {
+  static std::vector<std::string> names;
+  return names;
+}
+
+std::vector<std::string>& gauge_registry() {
   static std::vector<std::string> names;
   return names;
 }
@@ -127,16 +168,18 @@ double HistogramStats::quantile(double q) const {
 }
 
 HistId Metrics::histogram(const std::string& name) {
-  std::lock_guard lock(registry_mu());
-  auto& names = registry();
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    if (names[i] == name) return static_cast<HistId>(i);
+  {
+    std::lock_guard lock(registry_mu());
+    auto& names = registry();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<HistId>(i);
+    }
+    if (names.size() < static_cast<std::size_t>(kMaxHistograms)) {
+      names.push_back(name);
+      return static_cast<HistId>(names.size() - 1);
+    }
   }
-  if (names.size() >= static_cast<std::size_t>(kMaxHistograms)) {
-    throw std::length_error("Metrics: histogram registry full (kMaxHistograms)");
-  }
-  names.push_back(name);
-  return static_cast<HistId>(names.size() - 1);
+  return register_dropped("histogram", kMaxHistograms);
 }
 
 void Metrics::record(HistId id, std::uint64_t value) noexcept {
@@ -169,16 +212,18 @@ std::vector<HistogramStats> Metrics::snapshot() {
 }
 
 CtrId Metrics::counter(const std::string& name) {
-  std::lock_guard lock(registry_mu());
-  auto& names = counter_registry();
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    if (names[i] == name) return static_cast<CtrId>(i);
+  {
+    std::lock_guard lock(registry_mu());
+    auto& names = counter_registry();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<CtrId>(i);
+    }
+    if (names.size() < static_cast<std::size_t>(kMaxCounters)) {
+      names.push_back(name);
+      return static_cast<CtrId>(names.size() - 1);
+    }
   }
-  if (names.size() >= static_cast<std::size_t>(kMaxCounters)) {
-    throw std::length_error("Metrics: counter registry full (kMaxCounters)");
-  }
-  names.push_back(name);
-  return static_cast<CtrId>(names.size() - 1);
+  return register_dropped("counter", kMaxCounters);
 }
 
 void Metrics::add(CtrId id, std::uint64_t delta) noexcept {
@@ -202,13 +247,69 @@ std::vector<CounterStats> Metrics::counters_snapshot() {
     const std::uint64_t v = g_counters[i].value.load(std::memory_order_relaxed);
     if (v != 0) out.push_back({names[i], v});
   }
+  // Saturated registries must not disappear from reports: surface the drop
+  // count as a synthetic counter that cannot itself be dropped.
+  const std::uint64_t dropped = g_dropped.load(std::memory_order_relaxed);
+  if (dropped != 0) out.push_back({"metrics_dropped", dropped});
   return out;
+}
+
+GaugeId Metrics::gauge(const std::string& name) {
+  {
+    std::lock_guard lock(registry_mu());
+    auto& names = gauge_registry();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<GaugeId>(i);
+    }
+    if (names.size() < static_cast<std::size_t>(kMaxGauges)) {
+      names.push_back(name);
+      return static_cast<GaugeId>(names.size() - 1);
+    }
+  }
+  return register_dropped("gauge", kMaxGauges);
+}
+
+void Metrics::gauge_set(GaugeId id, std::int64_t value) noexcept {
+  if (id < 0 || id >= kMaxGauges) return;
+  g_gauges[id].value.store(value, std::memory_order_relaxed);
+}
+
+void Metrics::gauge_add(GaugeId id, std::int64_t delta) noexcept {
+  if (id < 0 || id >= kMaxGauges) return;
+  g_gauges[id].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t Metrics::gauge_value(GaugeId id) noexcept {
+  if (id < 0 || id >= kMaxGauges) return 0;
+  return g_gauges[id].value.load(std::memory_order_relaxed);
+}
+
+std::vector<GaugeStats> Metrics::gauges_snapshot() {
+  std::vector<std::string> names;
+  {
+    std::lock_guard lock(registry_mu());
+    names = gauge_registry();
+  }
+  std::vector<GaugeStats> out;
+  out.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    // Zero is kept: an empty queue is a reading, not a non-event.
+    out.push_back({names[i], g_gauges[i].value.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::uint64_t Metrics::dropped() {
+  return g_dropped.load(std::memory_order_relaxed);
 }
 
 void Metrics::reset() {
   for (auto& s : g_named) s.reset();
   for (auto& s : g_phase_ns) s.reset();
   for (auto& s : g_counters) s.value.store(0, std::memory_order_relaxed);
+  for (auto& s : g_gauges) s.value.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_full_warned.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace bst::util

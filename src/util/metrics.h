@@ -24,6 +24,23 @@
 // reflector build/apply latency distributions come for free wherever spans
 // already exist.  Snapshots land in the perf report's "histograms" section
 // (docs/OBSERVABILITY.md).
+//
+// Three accumulator kinds now share the registry machinery:
+//   * histograms -- "what was the distribution" (latencies, sizes);
+//   * counters   -- monotonic "how often did it happen" event counts;
+//   * gauges     -- "how much right now": set/add semantics for live state
+//     (queue depth, inflight requests, cache resident bytes, dispatcher
+//     backlog age).  Unlike counters they go up AND down, and a snapshot
+//     reports every registered gauge -- zero is a meaningful reading.
+// The live-telemetry exporter (util/telemetry.h) snapshots all three on a
+// timer; reports embed them as "histograms"/"counters"/"gauges" sections.
+//
+// No silent caps: registering past a kMax* table simply disables that one
+// instrument (its id is invalid, records no-op) -- but the drop is counted
+// in the synthetic `metrics_dropped` counter and announced once through a
+// `metrics_registry_full` watchdog warning, so a saturated registry is
+// visible in every report instead of vanishing (or aborting the run, as
+// the old throwing behaviour did).
 #pragma once
 
 #include <cstdint>
@@ -40,6 +57,9 @@ using HistId = int;
 
 /// Stable identifier of an interned counter name.
 using CtrId = int;
+
+/// Stable identifier of an interned gauge name.
+using GaugeId = int;
 
 /// Log-bucket geometry: 4 sub-buckets per power of two.
 inline constexpr int kHistSubBuckets = 4;
@@ -76,11 +96,19 @@ struct CounterStats {
   std::uint64_t value = 0;
 };
 
+/// Copied-out state of one named gauge (signed: gauges go down too).
+struct GaugeStats {
+  std::string name;
+  std::int64_t value = 0;
+};
+
 /// Process-wide histogram registry (accumulators live for the process).
 class Metrics {
  public:
-  /// Interns `name`, returning its id (idempotent; throws std::length_error
-  /// once kMaxHistograms distinct names exist).
+  /// Interns `name`, returning its id (idempotent).  Once kMaxHistograms
+  /// distinct names exist further registrations return an invalid id whose
+  /// records no-op, bump the `metrics_dropped` counter and fire a one-shot
+  /// `metrics_registry_full` watchdog warning (no silent caps).
   static HistId histogram(const std::string& name);
 
   /// Adds one sample.  Lock-free; callers gate on Tracer::enabled().
@@ -94,10 +122,10 @@ class Metrics {
   /// first, then the implicit per-phase `<phase>_ns` ones.
   static std::vector<HistogramStats> snapshot();
 
-  /// Interns a monotonic event counter (idempotent; throws std::length_error
-  /// once kMaxCounters distinct names exist).  Histograms answer "what was
-  /// the distribution"; counters answer "how often did it happen" -- cache
-  /// hits/misses/evictions, admissions, rejections (src/service).
+  /// Interns a monotonic event counter (idempotent; same overflow contract
+  /// as histogram()).  Histograms answer "what was the distribution";
+  /// counters answer "how often did it happen" -- cache hits/misses/
+  /// evictions, admissions, rejections (src/service).
   static CtrId counter(const std::string& name);
 
   /// Adds `delta` to the counter.  Lock-free and NOT gated on the tracer:
@@ -108,15 +136,41 @@ class Metrics {
   /// Current value of one counter (0 for an invalid id).
   static std::uint64_t counter_value(CtrId id) noexcept;
 
-  /// Copies out every counter with a non-zero value, in interning order.
-  /// Lands in the perf report's "counters" section (additive, schema v1).
+  /// Copies out every counter with a non-zero value, in interning order,
+  /// appending a synthetic `metrics_dropped` entry when any registration
+  /// overflowed a kMax* table.  Lands in the perf report's "counters"
+  /// section (additive, schema v1).
   static std::vector<CounterStats> counters_snapshot();
 
-  /// Zeroes every accumulator (names/ids are preserved).
+  /// Interns a gauge (idempotent; same overflow contract as histogram()).
+  /// Gauges carry instantaneous state -- set() for absolute readings
+  /// (queue depth after a push), add() for +/- deltas (inflight requests).
+  static GaugeId gauge(const std::string& name);
+
+  /// Stores `value` / adds `delta`.  Lock-free, never gated on the tracer:
+  /// gauges mirror live service state, which exists whether or not a
+  /// profiled run is watching.
+  static void gauge_set(GaugeId id, std::int64_t value) noexcept;
+  static void gauge_add(GaugeId id, std::int64_t delta) noexcept;
+
+  /// Current reading of one gauge (0 for an invalid id).
+  static std::int64_t gauge_value(GaugeId id) noexcept;
+
+  /// Copies out every registered gauge (zero readings included -- an empty
+  /// queue is a measurement), in interning order.
+  static std::vector<GaugeStats> gauges_snapshot();
+
+  /// Registrations refused because a kMax* table was full (the value the
+  /// synthetic `metrics_dropped` counter reports).
+  static std::uint64_t dropped();
+
+  /// Zeroes every accumulator and the drop count, and re-arms the one-shot
+  /// registry-full warning (names/ids are preserved).
   static void reset();
 
   static constexpr int kMaxHistograms = 64;
   static constexpr int kMaxCounters = 64;
+  static constexpr int kMaxGauges = 64;
 };
 
 }  // namespace bst::util

@@ -622,6 +622,17 @@ Json PerfReport::build(bool include_tracer) const {
   for (const CounterStats& cs : ctr_stats) counters.set(cs.name, Json::number(cs.value));
   if (!counters.members().empty()) root.set("counters", std::move(counters));
 
+  // Gauges are instantaneous, so the report records them as "state at write
+  // time" -- nonzero readings only, to keep single-run reports quiet.
+  Json gauges = Json::object();
+  std::vector<GaugeStats> gauge_stats = Metrics::gauges_snapshot();
+  std::sort(gauge_stats.begin(), gauge_stats.end(),
+            [](const GaugeStats& x, const GaugeStats& y) { return x.name < y.name; });
+  for (const GaugeStats& gs : gauge_stats) {
+    if (gs.value != 0) gauges.set(gs.name, Json::number(gs.value));
+  }
+  if (!gauges.members().empty()) root.set("gauges", std::move(gauges));
+
   for (const auto& [key, value] : extra_.members()) root.set(key, value);
   if (!threads_.items().empty()) root.set("threads", threads_);
   if (!comm_.items().empty()) root.set("comm", comm_);

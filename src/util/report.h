@@ -17,6 +17,8 @@
 //     "histograms": { "<name>": {"count","min","max","mean",
 //                                "p50","p95","p99", "buckets": [[lo,c],...]} },
 //     "warnings": [ {"code","step","value","threshold"}, ... ],
+//     "counters": { "<name>": value, ... },   (+ synthetic "metrics_dropped")
+//     "gauges":   { "<name>": value, ... },   (nonzero readings at write time)
 //     "threads": [ {"busy_seconds","idle_seconds","chunks"}, ... ],
 //     "comm":    [ {"bytes_sent","bytes_recv","messages"}, ... ],
 //     "pe_timeline":   { "makespan", "imbalance", "per_pe": [...] },

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "util/flight_recorder.h"
+#include "util/metrics.h"
 #include "util/trace.h"
 
 namespace bst::util {
@@ -20,6 +21,14 @@ State& state() {
   return s;
 }
 
+// Every warn() lands in this counter, tracer on or off, so long-running
+// services surface numerical-health events in their counters/telemetry even
+// when no profiled run is watching (the structured log stays tracer-gated).
+CtrId warn_counter() {
+  static const CtrId id = Metrics::counter("watchdog_warnings");
+  return id;
+}
+
 }  // namespace
 
 WatchdogLimits& Watchdog::limits() {
@@ -29,6 +38,7 @@ WatchdogLimits& Watchdog::limits() {
 
 void Watchdog::warn(const std::string& code, std::int64_t step, double value,
                     double threshold) {
+  Metrics::add(warn_counter());
   if (!Tracer::enabled()) return;
   if (FlightRecorder::enabled()) {
     FlightRecorder::instant(Tracer::phase("warn:" + code), step, value, threshold);

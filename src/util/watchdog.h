@@ -53,8 +53,10 @@ class Watchdog {
   /// The process-global thresholds (mutate before a run to tighten/loosen).
   static WatchdogLimits& limits();
 
-  /// Records one warning (no-op while the Tracer is disabled).  Also emits
-  /// a flight-recorder instant event named "warn:<code>" when recording.
+  /// Records one warning.  The structured log and the flight-recorder
+  /// instant event ("warn:<code>") are gated on Tracer::enabled(); the
+  /// `watchdog_warnings` Metrics counter is bumped unconditionally so live
+  /// services see health events without a profiled run watching.
   static void warn(const std::string& code, std::int64_t step, double value,
                    double threshold);
 

@@ -398,6 +398,78 @@ TEST(MetricsCounters, InternAddAndSnapshot) {
   EXPECT_TRUE(found);
 }
 
+// ------------------------------------------------- per-request observability
+
+TEST(Service, RequestIdsAreMonotoneAndNonzero) {
+  Service svc(small_opts());
+  BlockToeplitz t = toeplitz::kms(24, 0.5);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  const SolveResult r1 = svc.solve(t, b);
+  const SolveResult r2 = svc.solve(t, b);
+  auto fut = svc.submit(t, b);
+  const SolveResult r3 = fut.get();
+  EXPECT_GT(r1.req_id, 0u);
+  EXPECT_GT(r2.req_id, r1.req_id);
+  EXPECT_GT(r3.req_id, r2.req_id);
+}
+
+TEST(Service, SolveResultCarriesPhaseTimings) {
+  Service svc(small_opts());
+  BlockToeplitz t = toeplitz::kms(32, 0.5);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  const SolveResult miss = svc.solve(t, b);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_GT(miss.factor_ns, 0u);  // a miss pays the factorization
+  EXPECT_GT(miss.solve_ns, 0u);
+  const SolveResult hit = svc.solve(t, b);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_GT(hit.solve_ns, 0u);
+  // Async requests additionally report their admission-to-dispatch wait.
+  auto fut = svc.submit(t, b);
+  const SolveResult async = fut.get();
+  EXPECT_GT(async.done_ns, 0u);
+  EXPECT_GT(async.req_id, 0u);
+}
+
+TEST(Service, SlowRequestsCountedAgainstThreshold) {
+  ServiceOptions o = small_opts();
+  o.slow_ms = 1e-6;  // ~1 ns threshold: everything is "slow" (0 disables)
+  Service svc(o);
+  BlockToeplitz t = toeplitz::kms(24, 0.5);
+  svc.solve(t, toeplitz::rhs_for_ones(t));
+  EXPECT_EQ(svc.stats().slow, 1u);
+  const std::string json = svc.stats_json().dump_compact();
+  EXPECT_NE(json.find("\"slow\""), std::string::npos) << json;
+
+  ServiceOptions fast = small_opts();
+  fast.slow_ms = 1e9;  // nothing is slow
+  Service svc2(fast);
+  svc2.solve(t, toeplitz::rhs_for_ones(t));
+  EXPECT_EQ(svc2.stats().slow, 0u);
+}
+
+TEST(Service, GaugesTrackCacheAndQueueState) {
+  const util::GaugeId resident = util::Metrics::gauge("service_cache_resident_bytes");
+  const util::GaugeId depth = util::Metrics::gauge("service_queue_depth");
+  Service svc(small_opts());
+  BlockToeplitz t = toeplitz::kms(32, 0.5);
+  svc.solve(t, toeplitz::rhs_for_ones(t));
+  EXPECT_GT(util::Metrics::gauge_value(resident), 0);  // the factor is resident
+  svc.drain();
+  EXPECT_EQ(util::Metrics::gauge_value(depth), 0);  // drained queue reads empty
+}
+
+TEST(ServiceOptions, SlowAndTraceKnobsFromEnv) {
+  setenv("BST_SERVICE_SLOW_MS", "7.5", 1);
+  setenv("BST_SERVICE_TRACE_REQS", "3", 1);
+  const ServiceOptions o = ServiceOptions::from_env();
+  EXPECT_NEAR(o.slow_ms, 7.5, 1e-12);
+  EXPECT_EQ(o.trace_requests, 3u);
+  unsetenv("BST_SERVICE_SLOW_MS");
+  unsetenv("BST_SERVICE_TRACE_REQS");
+  EXPECT_NEAR(ServiceOptions::from_env().slow_ms, ServiceOptions{}.slow_ms, 1e-12);
+}
+
 TEST(MetricsCounters, ServiceCountersAccumulate) {
   const util::CtrId hits = util::Metrics::counter("service_cache_hits");
   const util::CtrId misses = util::Metrics::counter("service_cache_misses");

@@ -406,6 +406,7 @@ int print_report(const std::string& path, bool pe_sections) {
   print_kv_object(doc, "params", "params");
   print_kv_object(doc, "metrics", "metrics");
   print_kv_object(doc, "counters", "counters");
+  print_kv_object(doc, "gauges", "gauges");
   print_service(doc);
   print_phases(doc);
   print_attainment(doc);

@@ -1,0 +1,181 @@
+// bst_top: terminal live view of a running service's telemetry stream.
+//
+// Tails the JSONL tick stream a util::TelemetryExporter appends
+// (BST_TELEMETRY_OUT / bench_service --telemetry-out=...) and renders the
+// signals an operator watches first: QPS, cache hit rate, queue depth,
+// inflight, backlog age, p50/p99 latency, and SLO burn-rate -- each with a
+// sparkline over the retained tick history (util::sparkline, the same ramp
+// bst_report --trend uses).
+//
+// Live mode redraws with ANSI home+clear every --refresh-ms, re-reading the
+// stream from the start (tick streams are append-only and bench-sized;
+// simplicity beats an inotify dance).  --once renders a single frame with
+// no escape codes -- the scriptable mode the telemetry-smoke CI job greps.
+// Malformed lines are skipped, not fatal: a tick being written while we
+// read is expected.
+//
+// Exit codes: 0 ok, 1 no parseable ticks (or unreadable stream), 2 usage.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bst.h"
+
+using bst::util::Json;
+
+namespace {
+
+// One parsed tick: the derived signals bst_top renders.
+struct Tick {
+  double uptime_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double slo_p99_ms = 0.0;
+  double burn_rate = 0.0;
+  double hit_rate = 0.0;
+  double queue_depth = 0.0;
+  double inflight = 0.0;
+  double backlog_ms = 0.0;
+  double cache_mb = 0.0;
+  double slow = 0.0;
+  double warnings = 0.0;
+  double self_s = 0.0;
+  std::uint64_t seq = 0;
+};
+
+double num_at(const Json& obj, const std::string& key, double fallback = 0.0) {
+  const Json* v = obj.find(key);
+  return v != nullptr && v->kind() == Json::Kind::Number ? v->as_number() : fallback;
+}
+
+bool parse_tick(const std::string& line, Tick& out) {
+  Json doc;
+  try {
+    doc = bst::util::parse_json(line);
+  } catch (const std::exception&) {
+    return false;  // torn or malformed line: skip
+  }
+  if (doc.kind() != Json::Kind::Object) return false;
+  out.seq = static_cast<std::uint64_t>(num_at(doc, "seq"));
+  out.uptime_s = num_at(doc, "uptime_s");
+  out.self_s = num_at(doc, "telemetry_self_s");
+  out.qps = num_at(doc, "qps");
+  out.p50_ms = num_at(doc, "p50_ms");
+  out.p99_ms = num_at(doc, "p99_ms");
+  out.slo_p99_ms = num_at(doc, "slo_p99_ms");
+  out.burn_rate = num_at(doc, "burn_rate");
+  if (const Json* c = doc.find("counters"); c != nullptr) {
+    const double hits = num_at(*c, "service_cache_hits");
+    const double misses = num_at(*c, "service_cache_misses");
+    out.hit_rate = hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+    out.slow = num_at(*c, "service_slow_requests");
+    out.warnings = num_at(*c, "watchdog_warnings");
+  }
+  if (const Json* g = doc.find("gauges"); g != nullptr) {
+    out.queue_depth = num_at(*g, "service_queue_depth");
+    out.inflight = num_at(*g, "service_inflight");
+    out.backlog_ms = num_at(*g, "service_backlog_age_ms");
+    out.cache_mb = num_at(*g, "service_cache_resident_bytes") / (1024.0 * 1024.0);
+  }
+  return true;
+}
+
+std::vector<Tick> read_stream(const std::string& path, std::size_t keep) {
+  std::vector<Tick> ticks;
+  std::ifstream f(path);
+  if (!f) return ticks;
+  std::string line;
+  while (std::getline(f, line)) {
+    Tick t;
+    if (parse_tick(line, t)) ticks.push_back(t);
+  }
+  if (ticks.size() > keep) ticks.erase(ticks.begin(), ticks.end() - static_cast<long>(keep));
+  return ticks;
+}
+
+std::vector<double> series(const std::vector<Tick>& ticks, double Tick::* field) {
+  std::vector<double> out;
+  out.reserve(ticks.size());
+  for (const Tick& t : ticks) out.push_back(t.*field);
+  return out;
+}
+
+void render(const std::vector<Tick>& ticks, const std::string& stream) {
+  const Tick& now = ticks.back();
+  std::printf("bst_top — %s   tick #%llu   uptime %.1fs   telemetry self %.3fs\n",
+              stream.c_str(), static_cast<unsigned long long>(now.seq), now.uptime_s,
+              now.self_s);
+  std::printf("  qps        %10.1f  %s\n", now.qps,
+              bst::util::sparkline(series(ticks, &Tick::qps)).c_str());
+  std::printf("  p50_ms     %10.3f  %s\n", now.p50_ms,
+              bst::util::sparkline(series(ticks, &Tick::p50_ms)).c_str());
+  std::printf("  p99_ms     %10.3f  %s   (slo %.1f ms, burn %.2f)\n", now.p99_ms,
+              bst::util::sparkline(series(ticks, &Tick::p99_ms)).c_str(), now.slo_p99_ms,
+              now.burn_rate);
+  std::printf("  hit_rate   %10.3f  %s\n", now.hit_rate,
+              bst::util::sparkline(series(ticks, &Tick::hit_rate)).c_str());
+  std::printf("  queue      %10.0f  %s   inflight %.0f   backlog %.0f ms\n",
+              now.queue_depth,
+              bst::util::sparkline(series(ticks, &Tick::queue_depth)).c_str(), now.inflight,
+              now.backlog_ms);
+  std::printf("  cache_mb   %10.2f  slow %.0f   warnings %.0f\n", now.cache_mb, now.slow,
+              now.warnings);
+}
+
+// Complete flag reference (docs/API.md mirrors this; tools/check_docs.py
+// cross-checks bst_solve/bst_report only, but the same contract applies).
+int help() {
+  std::printf(
+      "bst_top: terminal live view of a telemetry JSONL tick stream\n"
+      "\n"
+      "  --stream=ticks.jsonl          the stream to tail (required)\n"
+      "  --refresh-ms=500              redraw period in live mode\n"
+      "  --history=60                  ticks kept for the sparklines\n"
+      "  --once                        render one frame, no escape codes, exit\n"
+      "  --frames=0                    live mode: stop after N frames (0 = forever)\n"
+      "  --help                        this list\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bst::util::Cli cli(argc, argv);
+  if (cli.has("help")) return help();
+  const std::string stream = cli.get("stream", "");
+  if (stream.empty()) {
+    std::fprintf(stderr, "usage: bst_top --stream=ticks.jsonl [--refresh-ms=500] "
+                         "[--history=60] [--once | --frames=N]\n");
+    return 2;
+  }
+  const long refresh_ms = cli.get_int("refresh-ms", 500);
+  const auto history = static_cast<std::size_t>(cli.get_int("history", 60));
+  const bool once = cli.has("once");
+  const long frames = cli.get_int("frames", 0);
+
+  long rendered = 0;
+  for (;;) {
+    const std::vector<Tick> ticks = read_stream(stream, history);
+    if (once) {
+      if (ticks.empty()) {
+        std::fprintf(stderr, "bst_top: no parseable ticks in '%s'\n", stream.c_str());
+        return 1;
+      }
+      render(ticks, stream);
+      return 0;
+    }
+    if (!ticks.empty()) {
+      std::printf("\x1b[H\x1b[2J");  // home + clear: steady live frame
+      render(ticks, stream);
+      std::fflush(stdout);
+      ++rendered;
+      if (frames > 0 && rendered >= frames) return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+  }
+}

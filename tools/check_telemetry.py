@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Telemetry-format gate (run as a ctest and by the telemetry-smoke CI job).
+
+Validates the two artifacts a util::TelemetryExporter produces:
+
+  1. the Prometheus text-exposition file (--prom): every non-comment line
+     must be `name[{labels}] value`, every sample must be preceded by a
+     `# TYPE` for its metric family, and every --require=NAME series must
+     be present;
+  2. the JSONL tick stream (--stream): every line must parse as a JSON
+     object with the tick keys, and `seq` must increase by one per line;
+  3. the exporter's self-overhead: the last tick's telemetry_self_s /
+     uptime_s must stay within --max-overhead (the 3% observability
+     budget calibration already enforces for the tracer).
+
+Usage: check_telemetry.py [--prom=bst.prom] [--stream=ticks.jsonl]
+                          [--require=bst_qps ...] [--max-overhead=0.03]
+"""
+
+import json
+import pathlib
+import re
+import sys
+
+# name{labels} value  |  name value   (value: int/float/scientific/inf/nan)
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?(?:[0-9.]+(?:[eE][+-]?[0-9]+)?|[Ii]nf|[Nn]a[Nn]))$"
+)
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$")
+
+TICK_KEYS = {"seq", "ts_ns", "uptime_s", "telemetry_self_s", "qps", "p50_ms",
+             "p99_ms", "burn_rate", "counters", "gauges", "histograms"}
+
+
+def parse_args(argv):
+    args = {"require": []}
+    for arg in argv:
+        if not arg.startswith("--") or "=" not in arg:
+            sys.exit(f"check_telemetry: unexpected argument '{arg}'")
+        key, _, value = arg[2:].partition("=")
+        if key == "require":
+            args["require"].append(value)
+        else:
+            args[key] = value
+    if "prom" not in args and "stream" not in args:
+        sys.exit("check_telemetry: need --prom=... and/or --stream=...")
+    return args
+
+
+def family_of(name):
+    """The metric family a sample belongs to (summary quantile lines and
+    _sum/_count belong to the base name's family)."""
+    for suffix in ("_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_prom(path, required):
+    problems = []
+    text = pathlib.Path(path).read_text(errors="replace")
+    typed = set()
+    seen = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if line.startswith("# TYPE") and m is None:
+                problems.append(f"{path}:{lineno}: malformed TYPE comment: {line!r}")
+            elif m is not None:
+                typed.add(family_of(m.group(1)))
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"{path}:{lineno}: malformed sample line: {line!r}")
+            continue
+        name = m.group(1)
+        seen.add(name)
+        if family_of(name) not in typed and name not in typed:
+            problems.append(f"{path}:{lineno}: sample '{name}' has no preceding # TYPE")
+    if not seen:
+        problems.append(f"{path}: no samples at all")
+    for name in required:
+        if name not in seen:
+            problems.append(f"{path}: required series '{name}' is missing")
+    return problems
+
+
+def check_stream(path):
+    problems = []
+    last_tick = None
+    prev_seq = None
+    for lineno, line in enumerate(pathlib.Path(path).read_text(errors="replace").splitlines(),
+                                  start=1):
+        if not line.strip():
+            continue
+        try:
+            tick = json.loads(line)
+        except json.JSONDecodeError as e:
+            problems.append(f"{path}:{lineno}: malformed JSON tick: {e}")
+            continue
+        missing = TICK_KEYS - set(tick)
+        if missing:
+            problems.append(f"{path}:{lineno}: tick missing keys {sorted(missing)}")
+            continue
+        if prev_seq is not None and tick["seq"] != prev_seq + 1:
+            problems.append(
+                f"{path}:{lineno}: seq {tick['seq']} does not follow {prev_seq}")
+        prev_seq = tick["seq"]
+        last_tick = tick
+    if last_tick is None:
+        problems.append(f"{path}: no parseable ticks")
+    return problems, last_tick
+
+
+def main(argv):
+    args = parse_args(argv)
+    max_overhead = float(args.get("max-overhead", 0.03))
+    problems = []
+    last_tick = None
+    if "prom" in args:
+        problems += check_prom(args["prom"], args["require"])
+    if "stream" in args:
+        stream_problems, last_tick = check_stream(args["stream"])
+        problems += stream_problems
+    if last_tick is not None and last_tick["uptime_s"] > 0:
+        frac = last_tick["telemetry_self_s"] / last_tick["uptime_s"]
+        if frac > max_overhead:
+            problems.append(
+                f"telemetry self-overhead {frac:.4f} exceeds the budget {max_overhead}")
+        else:
+            print(f"check_telemetry: exporter self-overhead {frac:.4f} "
+                  f"(budget {max_overhead})")
+
+    if problems:
+        print("check_telemetry: telemetry output is malformed:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("check_telemetry: telemetry output is well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
