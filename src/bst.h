@@ -16,6 +16,10 @@
 //   util::Metrics                -- histograms, counters, and live gauges
 //   util::TelemetryExporter      -- periodic Prometheus/JSONL telemetry
 //   util::Watchdog               -- numerical-health warnings
+//   util::Crashbox               -- async-signal-safe crash reports (post-mortem)
+//   util::StallGuard             -- heartbeat-based hang detection
+//   util::Fault                  -- BST_FAULT injection seam (testing only)
+//   util::read_crash_report      -- crash-report decoder (tools/bst_postmortem)
 //   util::PerfReport             -- JSON perf-report writer (stable schema)
 //   util::Calibration            -- machine ceilings for roofline/attainment
 #pragma once
@@ -54,14 +58,18 @@
 #include "util/attainment.h"
 #include "util/calibrate.h"
 #include "util/cli.h"
+#include "util/crashbox.h"
+#include "util/fault.h"
 #include "util/flight_recorder.h"
 #include "util/flops.h"
 #include "util/fpenv.h"
 #include "util/ledger.h"
 #include "util/metrics.h"
 #include "util/par_analysis.h"
+#include "util/postmortem.h"
 #include "util/report.h"
 #include "util/rng.h"
+#include "util/stallguard.h"
 #include "util/table.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"

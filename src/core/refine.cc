@@ -1,6 +1,8 @@
 #include "core/refine.h"
 
 #include "la/norms.h"
+#include "util/fault.h"
+#include "util/stallguard.h"
 #include "util/trace.h"
 #include "util/watchdog.h"
 
@@ -27,6 +29,8 @@ RefineResult solve_refined(const toeplitz::MatVec& op, const FactorSolve& solve,
 
   double prev_ndx = -1.0;
   for (int it = 0; it < opt.max_iters; ++it) {
+    util::Fault::fire("refine");
+    util::StallGuard::beat();  // per-iteration progress
     solve(r, dx);
     const double ndx = la::norm2(dx);
     const double nx = la::norm2(res.x);

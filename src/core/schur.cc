@@ -6,8 +6,10 @@
 #include <sstream>
 
 #include "core/flop_model.h"
+#include "util/fault.h"
 #include "util/flops.h"
 #include "util/metrics.h"
+#include "util/stallguard.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 #include "util/watchdog.h"
@@ -120,6 +122,8 @@ NotPositiveDefinite::NotPositiveDefinite(index_t step_, index_t column_, double 
 
 void schur_step(Generator& g, index_t step, const SchurOptions& opt) {
   util::Tracer::set_step(step);
+  util::Fault::fire("schur_step");
+  util::StallGuard::beat();  // per-step progress during long factorizations
   const index_t m = g.m;
   const index_t active = g.p - step;  // blocks still in play
   BlockReflector bref(opt.rep, m, g.sig);

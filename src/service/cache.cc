@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/ledger.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -94,6 +95,7 @@ FactorPtr FactorCache::get_or_factor(const std::string& key, const Factory& fact
   FactorPtr ptr;
   try {
     util::TraceSpan span(kFactorPhase);
+    util::Fault::fire("cache_fill");
     ptr = std::make_shared<const core::SchurFactor>(factory());
   } catch (...) {
     std::exception_ptr err = std::current_exception();

@@ -7,8 +7,11 @@
 #include <utility>
 
 #include "core/solve.h"
+#include "util/crashbox.h"
+#include "util/fault.h"
 #include "util/flight_recorder.h"
 #include "util/metrics.h"
+#include "util/stallguard.h"
 #include "util/trace.h"
 
 namespace bst::service {
@@ -94,6 +97,19 @@ void log_slow(std::uint64_t id, const SolveResult& res) {
                seq >= 10 ? " (slow log decimated to 1/100)" : "");
 }
 
+// Exception-safe crashbox request-table entry for the synchronous solve
+// paths (the async path threads Request::cb_slot through the queue instead,
+// because the slot outlives the submitting frame).
+struct CrashboxReq {
+  int slot;
+  CrashboxReq(std::uint64_t id, util::ReqPhase p)
+      : slot(util::Crashbox::request_begin(id, p)) {}
+  CrashboxReq(const CrashboxReq&) = delete;
+  CrashboxReq& operator=(const CrashboxReq&) = delete;
+  void phase(util::ReqPhase p) const { util::Crashbox::request_phase(slot, p); }
+  ~CrashboxReq() { util::Crashbox::request_end(slot); }
+};
+
 // The dispatcher thread reads opt_ from construction on, so every clamp
 // must happen before it starts (dispatcher_ is the last member).
 ServiceOptions sanitize(ServiceOptions o) {
@@ -125,7 +141,12 @@ ServiceOptions ServiceOptions::from_env(ServiceOptions base) {
 }
 
 Service::Service(ServiceOptions opt)
-    : opt_(sanitize(opt)), cache_(opt_.cache_bytes), dispatcher_([this] { dispatcher_loop(); }) {}
+    : opt_(sanitize(opt)), cache_(opt_.cache_bytes), dispatcher_([this] { dispatcher_loop(); }) {
+  // Env-gated no-ops unless BST_CRASH_DIR / BST_STALL_MS are set: a live
+  // service is exactly the process whose last moments are worth keeping.
+  util::Crashbox::install();
+  util::StallGuard::start_from_env();
+}
 
 Service::~Service() {
   {
@@ -163,9 +184,11 @@ SolveResult Service::solve(const toeplitz::BlockToeplitz& t, const std::vector<d
   const std::uint64_t id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t t_submit = util::TraceClock::now_ns();
   const std::uint64_t warn0 = util::Metrics::counter_value(kWarnings);
+  const CrashboxReq cb(id, util::ReqPhase::kFactor);
   bool hit = false;
   const FactorPtr f = factor_for(t, problem_key(t, opt_.schur), &hit);
   const std::uint64_t t_factor = util::TraceClock::now_ns();
+  cb.phase(util::ReqPhase::kSolve);
   // One fixed-width panel, zero-padded: the same trsm shape every request
   // sees, so the answer bits match the batched path exactly.
   la::Mat pad(n, opt_.rhs_panel);
@@ -216,9 +239,11 @@ la::Mat Service::solve_many(const toeplitz::BlockToeplitz& t, la::CView b) {
   const std::uint64_t id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t t_submit = util::TraceClock::now_ns();
   const std::uint64_t warn0 = util::Metrics::counter_value(kWarnings);
+  const CrashboxReq cb(id, util::ReqPhase::kFactor);
   bool hit = false;
   const FactorPtr f = factor_for(t, problem_key(t, opt_.schur), &hit);
   const std::uint64_t t_factor = util::TraceClock::now_ns();
+  cb.phase(util::ReqPhase::kSolve);
   const index_t panel = opt_.rhs_panel;
   const index_t padded = ((k + panel - 1) / panel) * panel;
   la::Mat pad(n, padded);
@@ -261,6 +286,7 @@ std::future<SolveResult> Service::submit(const toeplitz::BlockToeplitz& t,
   if (static_cast<index_t>(b.size()) != t.order()) {
     throw std::invalid_argument("Service::submit: rhs length does not match the matrix order");
   }
+  util::Fault::fire("admission");
   Request req;
   req.key = problem_key(t, opt_.schur);
   req.t = t;
@@ -272,6 +298,9 @@ std::future<SolveResult> Service::submit(const toeplitz::BlockToeplitz& t,
     std::unique_lock lock(mu_);
     cv_notfull_.wait(lock, [&] { return stop_ || queue_.size() < opt_.queue_capacity; });
     if (stop_) throw std::runtime_error("Service::submit: service is shutting down");
+    // Registered only once admission is certain; the dispatcher owns the
+    // slot from here (phase transitions + release).
+    req.cb_slot = util::Crashbox::request_begin(req.id, util::ReqPhase::kQueued);
     queue_.push_back(std::move(req));
     ++submitted_;
     queue_peak_ = std::max(queue_peak_, static_cast<std::uint64_t>(queue_.size()));
@@ -287,6 +316,7 @@ bool Service::try_submit(const toeplitz::BlockToeplitz& t, std::vector<double> b
   if (static_cast<index_t>(b.size()) != t.order()) {
     throw std::invalid_argument("Service::try_submit: rhs length does not match the matrix order");
   }
+  util::Fault::fire("admission");
   Request req;
   req.key = problem_key(t, opt_.schur);
   req.t = t;
@@ -301,6 +331,7 @@ bool Service::try_submit(const toeplitz::BlockToeplitz& t, std::vector<double> b
       util::Metrics::add(kRejected);
       return false;
     }
+    req.cb_slot = util::Crashbox::request_begin(req.id, util::ReqPhase::kQueued);
     queue_.push_back(std::move(req));
     ++submitted_;
     queue_peak_ = std::max(queue_peak_, static_cast<std::uint64_t>(queue_.size()));
@@ -318,11 +349,14 @@ void Service::drain() {
 }
 
 void Service::dispatcher_loop() {
+  util::StallGuard::register_self("svc:dispatcher");
   for (;;) {
     std::vector<Request> batch;
     {
+      util::StallGuard::idle();  // parked on the condvar: not a stall
       std::unique_lock lock(mu_);
       cv_nonempty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      util::StallGuard::beat();
       if (queue_.empty()) {
         if (stop_) return;  // drained shutdown: exit only once the queue is empty
         continue;
@@ -353,14 +387,21 @@ void Service::dispatcher_loop() {
     }
     cv_notfull_.notify_all();
 
+    util::Fault::fire("dispatch");
     const auto k = static_cast<index_t>(batch.size());
     const std::uint64_t pop_ns = util::TraceClock::now_ns();
     std::uint64_t slow_count = 0;
     try {
       const std::uint64_t warn0 = util::Metrics::counter_value(kWarnings);
+      for (const Request& req : batch) {
+        util::Crashbox::request_phase(req.cb_slot, util::ReqPhase::kFactor);
+      }
       bool hit = false;
       const FactorPtr f = factor_for(batch.front().t, batch.front().key, &hit);
       const std::uint64_t factor_done_ns = util::TraceClock::now_ns();
+      for (const Request& req : batch) {
+        util::Crashbox::request_phase(req.cb_slot, util::ReqPhase::kSolve);
+      }
       const index_t n = batch.front().t.order();
       const index_t panel = opt_.rhs_panel;
       const index_t padded = ((k + panel - 1) / panel) * panel;
@@ -399,12 +440,16 @@ void Service::dispatcher_loop() {
           log_slow(req.id, res);
         }
         req.done.set_value(std::move(res));
+        util::Crashbox::request_end(req.cb_slot);
       }
     } catch (...) {
       // Factorization failure (e.g. NotPositiveDefinite) fails the whole
       // batch -- every request is the same problem.
       std::exception_ptr err = std::current_exception();
-      for (Request& req : batch) req.done.set_exception(err);
+      for (Request& req : batch) {
+        req.done.set_exception(err);
+        util::Crashbox::request_end(req.cb_slot);
+      }
     }
 
     {

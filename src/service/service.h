@@ -169,6 +169,7 @@ class Service {
     std::promise<SolveResult> done;
     std::uint64_t submit_ns = 0;
     std::uint64_t id = 0;  // minted at admission (next_req_id_)
+    int cb_slot = -1;      // crashbox active-request slot (-1 = table full)
   };
 
   /// Factor via the cache (or directly when caching is off).

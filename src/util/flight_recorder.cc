@@ -9,12 +9,19 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/crashbox.h"  // sigsafe write helpers for unsafe_dump
+
 namespace bst::util {
 namespace {
 
+constexpr std::size_t kLabelBuf = 48;  // signal-safe label mirror (truncating)
+
 struct ThreadRing {
   explicit ThreadRing(std::uint32_t id, std::size_t capacity)
-      : tid(id), ring(capacity) {}
+      : tid(id), ring(capacity) {
+    data.store(ring.data(), std::memory_order_release);
+    cap.store(ring.size(), std::memory_order_release);
+  }
 
   std::uint32_t tid;
   std::string label;                   // guarded by the registry mutex
@@ -22,6 +29,22 @@ struct ThreadRing {
   bool fixed_capacity = false;         // track(): keeps its size across enable()
   std::atomic<std::uint64_t> head{0};  // total events ever recorded
   std::vector<FlightEvent> ring;
+
+  // Mirrors for the async-signal-safe unsafe_dump(): the handler must not
+  // touch the std::vector/std::string members, so storage pointer, capacity,
+  // and label are shadowed in atomics / a fixed buffer (updated under the
+  // registry mutex whenever the real fields change).
+  std::atomic<const FlightEvent*> data{nullptr};
+  std::atomic<std::size_t> cap{0};
+  char label_buf[kLabelBuf] = {};
+
+  void set_label(const std::string& l) {  // caller holds the registry mutex
+    label = l;
+    std::size_t n = l.size();
+    if (n > kLabelBuf - 1) n = kLabelBuf - 1;
+    std::memcpy(label_buf, l.data(), n);
+    label_buf[n] = '\0';
+  }
 
   void push(const FlightEvent& e) noexcept {
     const std::uint64_t h = head.load(std::memory_order_relaxed);
@@ -41,6 +64,24 @@ Registry& registry() {
   return *r;
 }
 
+// Lock-free mirror of the registry for unsafe_dump(): a fixed array of ring
+// pointers published with release stores.  Rings past the cap are counted,
+// not silently dropped (the report carries a rings_skipped line).
+constexpr std::size_t kMaxMirrorRings = 1024;
+std::atomic<ThreadRing*> g_mirror[kMaxMirrorRings];
+std::atomic<std::size_t> g_mirror_count{0};
+std::atomic<std::uint64_t> g_mirror_skipped{0};
+
+void mirror_register(ThreadRing* r) noexcept {  // caller holds the registry mutex
+  const std::size_t n = g_mirror_count.load(std::memory_order_relaxed);
+  if (n >= kMaxMirrorRings) {
+    g_mirror_skipped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  g_mirror[n].store(r, std::memory_order_release);
+  g_mirror_count.store(n + 1, std::memory_order_release);
+}
+
 // The owning thread's ring, registered on first use.  The pointer stays
 // valid for the process lifetime (rings are only cleared, never freed).
 ThreadRing* my_ring() {
@@ -49,6 +90,7 @@ ThreadRing* my_ring() {
     std::lock_guard lock(reg.mu);
     reg.rings.push_back(std::make_unique<ThreadRing>(
         static_cast<std::uint32_t>(reg.rings.size()), reg.capacity));
+    mirror_register(reg.rings.back().get());
     return reg.rings.back().get();
   }();
   return ring;
@@ -79,6 +121,8 @@ void FlightRecorder::enable(std::size_t capacity) {
     for (auto& r : reg.rings) {
       if (!r->fixed_capacity && r->ring.size() != capacity) {
         r->ring.assign(capacity, FlightEvent{});
+        r->data.store(r->ring.data(), std::memory_order_release);
+        r->cap.store(r->ring.size(), std::memory_order_release);
       }
       r->head.store(0, std::memory_order_relaxed);
     }
@@ -115,7 +159,7 @@ void FlightRecorder::instant(PhaseId phase, std::int64_t step, double value,
 void FlightRecorder::label_thread(const std::string& label) {
   ThreadRing* ring = my_ring();
   std::lock_guard lock(registry().mu);
-  ring->label = label;
+  ring->set_label(label);
 }
 
 std::uint32_t FlightRecorder::virtual_track(const std::string& label) {
@@ -126,8 +170,9 @@ std::uint32_t FlightRecorder::virtual_track(const std::string& label) {
   }
   reg.rings.push_back(std::make_unique<ThreadRing>(
       static_cast<std::uint32_t>(reg.rings.size()), reg.capacity));
-  reg.rings.back()->label = label;
+  reg.rings.back()->set_label(label);
   reg.rings.back()->is_virtual = true;
+  mirror_register(reg.rings.back().get());
   return reg.rings.back()->tid;
 }
 
@@ -140,8 +185,9 @@ std::uint32_t FlightRecorder::track(const std::string& label, std::size_t capaci
   }
   reg.rings.push_back(std::make_unique<ThreadRing>(
       static_cast<std::uint32_t>(reg.rings.size()), capacity));
-  reg.rings.back()->label = label;
+  reg.rings.back()->set_label(label);
   reg.rings.back()->fixed_capacity = true;
+  mirror_register(reg.rings.back().get());
   return reg.rings.back()->tid;
 }
 
@@ -158,6 +204,37 @@ void FlightRecorder::virtual_span(std::uint32_t tid, PhaseId phase, std::int64_t
   }
   ring->push({t0_ns, step, 0, 0, phase, EventKind::kBegin, peer});
   ring->push({t1_ns, step, 0, bytes, phase, EventKind::kEnd, peer});
+}
+
+std::uint32_t FlightRecorder::current_tid() { return my_ring()->tid; }
+
+std::string FlightRecorder::open_span_name(std::uint32_t tid) {
+  Registry& reg = registry();
+  PhaseId open = -1;
+  {
+    std::lock_guard lock(reg.mu);
+    if (tid >= reg.rings.size()) return std::string();
+    const ThreadRing& r = *reg.rings[tid];
+    const std::uint64_t head = r.head.load(std::memory_order_acquire);
+    const std::uint64_t cap = r.ring.size();
+    const std::uint64_t first = head > cap ? head - cap : 0;
+    std::vector<PhaseId> stack;
+    for (std::uint64_t i = first; i < head; ++i) {
+      const FlightEvent& e = r.ring[static_cast<std::size_t>(i % cap)];
+      if (e.kind == EventKind::kBegin) {
+        stack.push_back(e.phase);
+      } else if (e.kind == EventKind::kEnd && !stack.empty()) {
+        stack.pop_back();
+      }
+    }
+    if (stack.empty()) return std::string();
+    open = stack.back();
+  }
+  const std::vector<std::string> names = Tracer::phase_names();
+  if (open >= 0 && static_cast<std::size_t>(open) < names.size()) {
+    return names[static_cast<std::size_t>(open)];
+  }
+  return "phase_" + std::to_string(open);
 }
 
 std::vector<ThreadEvents> FlightRecorder::snapshot() {
@@ -178,9 +255,73 @@ std::vector<ThreadEvents> FlightRecorder::snapshot() {
     for (std::uint64_t i = first; i < head; ++i) {
       te.events.push_back(r->ring[static_cast<std::size_t>(i % cap)]);
     }
+    // An End whose Begin was overwritten by ring wrap is a lost span, not
+    // just an unmatched token: count it into the dropped tally so the wrap
+    // loss is never silent (the exporter already skips it when balancing).
+    std::uint64_t depth = 0;
+    for (const FlightEvent& e : te.events) {
+      if (e.kind == EventKind::kBegin) {
+        ++depth;
+      } else if (e.kind == EventKind::kEnd) {
+        if (depth > 0) {
+          --depth;
+        } else {
+          ++te.unmatched_ends;
+        }
+      }
+    }
+    te.dropped += te.unmatched_ends;
     out.push_back(std::move(te));
   }
   return out;
+}
+
+void FlightRecorder::unsafe_dump(int fd) noexcept {
+  using sigsafe::write_all;
+  using sigsafe::write_str;
+  using sigsafe::write_u64;
+
+  write_str(fd, "event_size ");
+  write_u64(fd, sizeof(FlightEvent));
+  write_str(fd, "\nrings_begin\n");
+  const std::size_t n = g_mirror_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ThreadRing* r = g_mirror[i].load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    const FlightEvent* data = r->data.load(std::memory_order_acquire);
+    const std::uint64_t cap = r->cap.load(std::memory_order_acquire);
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    if (data == nullptr || cap == 0 || head == 0) continue;
+    const std::uint64_t count = head < cap ? head : cap;
+    write_str(fd, "ring ");
+    write_u64(fd, r->tid);
+    write_str(fd, r->is_virtual ? " 1 " : " 0 ");
+    write_u64(fd, head);
+    write_str(fd, " ");
+    write_u64(fd, cap);
+    write_str(fd, " ");
+    write_u64(fd, count);
+    write_str(fd, " ");
+    write_u64(fd, head > cap ? head - cap : 0);
+    write_str(fd, " ");
+    write_str(fd, r->label_buf);
+    write_str(fd, "\n");
+    // Oldest-first is at most two contiguous chunks of the ring storage.
+    const std::uint64_t start = (head - count) % cap;
+    const std::uint64_t chunk = std::min(count, cap - start);
+    write_all(fd, data + start, static_cast<std::size_t>(chunk) * sizeof(FlightEvent));
+    if (chunk < count) {
+      write_all(fd, data, static_cast<std::size_t>(count - chunk) * sizeof(FlightEvent));
+    }
+    write_str(fd, "\n");
+  }
+  const std::uint64_t skipped = g_mirror_skipped.load(std::memory_order_relaxed);
+  if (skipped > 0) {
+    write_str(fd, "rings_skipped ");
+    write_u64(fd, skipped);
+    write_str(fd, "\n");
+  }
+  write_str(fd, "rings_end\n");
 }
 
 namespace {

@@ -57,7 +57,8 @@ struct FlightEvent {
 /// Snapshot of one thread's ring, oldest event first.
 struct ThreadEvents {
   std::uint32_t tid = 0;            // dense recorder-assigned id
-  std::uint64_t dropped = 0;        // events lost to ring wrap
+  std::uint64_t dropped = 0;        // wrap-lost events + unmatched_ends
+  std::uint64_t unmatched_ends = 0; // Ends whose Begin was overwritten by wrap
   std::string label;                // display name ("pe:<k>"; "" = unnamed)
   bool virtual_time = false;        // virtual_track(): ts is virtual, zero-based
   std::vector<FlightEvent> events;
@@ -111,8 +112,26 @@ class FlightRecorder {
                            std::uint64_t t0_ns, std::uint64_t t1_ns, std::uint64_t bytes,
                            std::int32_t peer);
 
+  /// The calling thread's recorder tid (registers the ring on first use).
+  /// util/stallguard captures it at heartbeat registration so the monitor
+  /// can name a stalled thread's open span.
+  static std::uint32_t current_tid();
+
+  /// Name of the deepest still-open span in `tid`'s ring window, or "" when
+  /// none is open (or the tid is unknown).  Takes the registry mutex; meant
+  /// for the stallguard monitor, not hot paths.
+  static std::string open_span_name(std::uint32_t tid);
+
   /// Copies out every thread's ring, oldest-first per thread.
   static std::vector<ThreadEvents> snapshot();
+
+  /// Async-signal-safe raw dump of every ring to `fd` for the crashbox
+  /// handler (util/crashbox.h): per-ring header lines followed by the raw
+  /// FlightEvent bytes, oldest-first.  Walks a lock-free mirror of the
+  /// registry (no mutex, no allocation) while other threads may still be
+  /// recording, so individual events can be torn -- the decoder
+  /// (util/postmortem.h) validates and skips garbage records.
+  static void unsafe_dump(int fd) noexcept;
 
   /// Writes the chrome-trace ("traceEvents") JSON document.  Unmatched
   /// events are dropped so every emitted tid has balanced B/E pairs.

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "util/crashbox.h"
 #include "util/watchdog.h"
 
 namespace bst::util {
@@ -220,7 +221,11 @@ CtrId Metrics::counter(const std::string& name) {
     }
     if (names.size() < static_cast<std::size_t>(kMaxCounters)) {
       names.push_back(name);
-      return static_cast<CtrId>(names.size() - 1);
+      const auto id = static_cast<CtrId>(names.size() - 1);
+      // Mirror the name for the crashbox signal handler, which reads counter
+      // values (relaxed atomics) but must not take this registry's mutex.
+      Crashbox::note_counter(id, name.c_str());
+      return id;
     }
   }
   return register_dropped("counter", kMaxCounters);
@@ -263,7 +268,9 @@ GaugeId Metrics::gauge(const std::string& name) {
     }
     if (names.size() < static_cast<std::size_t>(kMaxGauges)) {
       names.push_back(name);
-      return static_cast<GaugeId>(names.size() - 1);
+      const auto id = static_cast<GaugeId>(names.size() - 1);
+      Crashbox::note_gauge(id, name.c_str());
+      return id;
     }
   }
   return register_dropped("gauge", kMaxGauges);

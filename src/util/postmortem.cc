@@ -1,0 +1,374 @@
+#include "util/postmortem.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bst::util {
+namespace {
+
+// First whitespace-separated token; `rest` gets everything after it.
+std::string split_first(const std::string& line, std::string* rest) {
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string::npos) {
+    if (rest != nullptr) rest->clear();
+    return line;
+  }
+  if (rest != nullptr) *rest = line.substr(sp + 1);
+  return line.substr(0, sp);
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::int64_t to_i64(const std::string& s) {
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+bool plausible_event(const FlightEvent& e) {
+  const auto kind = static_cast<std::uint8_t>(e.kind);
+  if (kind > static_cast<std::uint8_t>(EventKind::kInstant)) return false;
+  return e.phase >= -1 && e.phase < 65536;
+}
+
+double unbits(std::uint64_t u) {
+  double v = 0.0;
+  std::memcpy(&v, &u, sizeof v);
+  return v;
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string CrashReport::phase_name(int id) const {
+  for (const auto& [pid, name] : phase_names) {
+    if (pid == id) return name;
+  }
+  return "phase_" + std::to_string(id);
+}
+
+CrashReport read_crash_report(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open crash report '" + path + "'");
+
+  std::string line;
+  if (!std::getline(f, line) || line != "BSTCRASH v1") {
+    throw std::runtime_error("'" + path + "' is not a BSTCRASH v1 report");
+  }
+
+  CrashReport rep;
+  rep.truncated = true;  // cleared by the `end` marker
+  enum class Section { kTop, kProvenance, kCounters, kRequests, kPhases, kRings };
+  Section sec = Section::kTop;
+
+  while (std::getline(f, line)) {
+    if (sec == Section::kProvenance) {
+      if (line == "provenance_end") {
+        sec = Section::kTop;
+      } else {
+        std::string rest;
+        const std::string key = split_first(line, &rest);
+        rep.provenance.emplace_back(key, rest);
+      }
+      continue;
+    }
+    if (sec == Section::kCounters) {
+      if (line == "counters_end") {
+        sec = Section::kTop;
+      } else {
+        std::string rest, value;
+        const std::string tag = split_first(line, &rest);
+        const std::string name = split_first(rest, &value);
+        if (tag == "c") rep.counters.emplace_back(name, to_u64(value));
+        else if (tag == "g") rep.gauges.emplace_back(name, to_i64(value));
+      }
+      continue;
+    }
+    if (sec == Section::kRequests) {
+      if (line == "requests_end") {
+        sec = Section::kTop;
+      } else {
+        std::string rest;
+        const std::string tag = split_first(line, &rest);
+        if (tag == "r") {
+          CrashRequest req;
+          std::string after_id, age;
+          req.id = to_u64(split_first(rest, &after_id));
+          req.phase = split_first(after_id, &age);
+          req.age_ns = to_u64(age);
+          rep.requests.push_back(std::move(req));
+        } else if (tag == "overflow") {
+          rep.request_overflow = to_u64(rest);
+        }
+      }
+      continue;
+    }
+    if (sec == Section::kPhases) {
+      if (line == "phases_end") {
+        sec = Section::kTop;
+      } else {
+        std::string rest, id;
+        if (split_first(line, &rest) == "p") {
+          const std::string name = split_first(rest, &id);
+          rep.phase_names.emplace_back(static_cast<int>(to_i64(id)), name);
+        }
+      }
+      continue;
+    }
+    if (sec == Section::kRings) {
+      if (line == "rings_end") {
+        sec = Section::kTop;
+        continue;
+      }
+      std::string rest;
+      const std::string tag = split_first(line, &rest);
+      if (tag == "rings_skipped") {
+        rep.rings_skipped = to_u64(rest);
+        continue;
+      }
+      if (tag != "ring") continue;
+      // ring <tid> <virtual> <head> <cap> <count> <dropped> <label>
+      CrashRing ring;
+      std::string r2, r3, r4, r5, r6;
+      ring.tid = static_cast<std::uint32_t>(to_u64(split_first(rest, &r2)));
+      ring.virtual_time = to_u64(split_first(r2, &r3)) != 0;
+      ring.head = to_u64(split_first(r3, &r4));
+      ring.cap = to_u64(split_first(r4, &r5));
+      const std::uint64_t count = to_u64(split_first(r5, &r6));
+      ring.dropped = to_u64(split_first(r6, &ring.label));
+      if (rep.event_size == 0 || count > (1ull << 32)) break;  // malformed: stop
+      std::vector<char> raw(static_cast<std::size_t>(count) * rep.event_size);
+      if (!f.read(raw.data(), static_cast<std::streamsize>(raw.size()))) {
+        // Truncated mid-ring: decode what arrived.
+        raw.resize(static_cast<std::size_t>(f.gcount()));
+      }
+      const std::size_t n = raw.size() / rep.event_size;
+      ring.events.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        FlightEvent e;
+        if (rep.event_size == sizeof(FlightEvent)) {
+          std::memcpy(&e, raw.data() + i * rep.event_size, sizeof e);
+          if (plausible_event(e)) {
+            ring.events.push_back(e);
+            continue;
+          }
+        }
+        ++ring.torn;  // torn record, or a cross-version event size
+      }
+      rep.rings.push_back(std::move(ring));
+      f.get();  // the '\n' after the raw bytes
+      continue;
+    }
+
+    // Top level.
+    std::string rest;
+    const std::string key = split_first(line, &rest);
+    if (key == "signal") {
+      std::string name;
+      rep.signal = static_cast<int>(to_i64(split_first(rest, &name)));
+      rep.signal_name = name;
+    } else if (key == "reason") {
+      rep.reason = rest;
+    } else if (key == "ts_ns") {
+      rep.ts_ns = to_u64(rest);
+    } else if (key == "provenance_begin") {
+      sec = Section::kProvenance;
+    } else if (key == "counters_begin") {
+      sec = Section::kCounters;
+    } else if (key == "requests_begin") {
+      sec = Section::kRequests;
+    } else if (key == "phases_begin") {
+      sec = Section::kPhases;
+    } else if (key == "tick") {
+      const std::uint64_t len = to_u64(rest);
+      if (len > 0 && len < (1ull << 24)) {
+        std::string tick(static_cast<std::size_t>(len), '\0');
+        if (f.read(tick.data(), static_cast<std::streamsize>(len))) {
+          rep.last_tick = std::move(tick);
+        }
+      }
+      f.get();  // trailing '\n'
+    } else if (key == "tick_torn") {
+      rep.tick_torn = true;
+    } else if (key == "event_size") {
+      rep.event_size = static_cast<std::size_t>(to_u64(rest));
+    } else if (key == "rings_begin") {
+      sec = Section::kRings;
+    } else if (key == "end") {
+      rep.truncated = false;
+      break;
+    }
+  }
+  return rep;
+}
+
+std::string crash_summary(const CrashReport& rep) {
+  std::ostringstream os;
+  os << "BSTCRASH v1: " << (rep.signal_name.empty() ? "unknown" : rep.signal_name)
+     << " (signal " << rep.signal << ")";
+  if (!rep.reason.empty() && rep.reason != rep.signal_name) {
+    os << ", reason: " << rep.reason;
+  }
+  os << "\n";
+  if (rep.truncated) os << "WARNING: report truncated (process died mid-dump)\n";
+
+  os << "provenance:\n";
+  for (const auto& [key, value] : rep.provenance) {
+    os << "  " << key << " " << value << "\n";
+  }
+
+  if (rep.last_tick.empty()) {
+    os << "last tick: (none)\n";
+  } else {
+    os << "last tick" << (rep.tick_torn ? " (torn)" : "") << ": " << rep.last_tick << "\n";
+  }
+
+  os << "active requests (" << rep.requests.size();
+  if (rep.request_overflow > 0) os << ", overflow " << rep.request_overflow;
+  os << "):\n";
+  for (const CrashRequest& r : rep.requests) {
+    char age[32];
+    std::snprintf(age, sizeof age, "%.3f", static_cast<double>(r.age_ns) / 1e6);
+    os << "  req " << r.id << " phase=" << r.phase << " age_ms=" << age << "\n";
+  }
+
+  os << "counters (nonzero):\n";
+  for (const auto& [name, value] : rep.counters) {
+    if (value != 0) os << "  " << name << " " << value << "\n";
+  }
+  os << "gauges:\n";
+  for (const auto& [name, value] : rep.gauges) {
+    os << "  " << name << " " << value << "\n";
+  }
+
+  std::uint64_t events = 0, dropped = 0, torn = 0;
+  for (const CrashRing& ring : rep.rings) {
+    events += ring.events.size();
+    dropped += ring.dropped;
+    torn += ring.torn;
+  }
+  os << "rings (" << rep.rings.size() << ", " << events << " events, " << dropped
+     << " dropped, " << torn << " torn";
+  if (rep.rings_skipped > 0) os << ", " << rep.rings_skipped << " rings skipped";
+  os << "):\n";
+  for (const CrashRing& ring : rep.rings) {
+    os << "  tid " << ring.tid << " '" << ring.label << "' " << ring.events.size()
+       << " events";
+    // The deepest still-open span is where that thread died.
+    std::vector<PhaseId> stack;
+    for (const FlightEvent& e : ring.events) {
+      if (e.kind == EventKind::kBegin) stack.push_back(e.phase);
+      else if (e.kind == EventKind::kEnd && !stack.empty()) stack.pop_back();
+    }
+    if (!stack.empty()) os << ", open span: " << rep.phase_name(stack.back());
+    os << "\n";
+  }
+  return os.str();
+}
+
+void write_crash_trace(const CrashReport& rep, std::ostream& os) {
+  // Common steady-clock origin (virtual tracks are already zero-based).
+  std::uint64_t t0 = ~std::uint64_t{0};
+  bool any_real = false;
+  for (const CrashRing& ring : rep.rings) {
+    if (ring.virtual_time) continue;
+    for (const FlightEvent& e : ring.events) {
+      any_real = true;
+      t0 = std::min(t0, e.ts_ns);
+    }
+  }
+  if (!any_real) t0 = 0;
+
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    " << body;
+  };
+  for (const CrashRing& ring : rep.rings) {
+    if (ring.label.empty()) continue;
+    std::ostringstream b;
+    b << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << ring.tid
+      << ", \"args\": {\"name\": ";
+    write_json_string(b, ring.label);
+    b << "}}";
+    emit(b.str());
+  }
+  for (const CrashRing& ring : rep.rings) {
+    // Re-balance exactly like the live exporter; Begins still open at the
+    // crash are emitted as instants so the viewer shows where it died.
+    std::vector<char> emit_flag(ring.events.size(), 0);
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < ring.events.size(); ++i) {
+      switch (ring.events[i].kind) {
+        case EventKind::kBegin: stack.push_back(i); break;
+        case EventKind::kEnd:
+          if (!stack.empty()) {
+            emit_flag[stack.back()] = 1;
+            emit_flag[i] = 1;
+            stack.pop_back();
+          }
+          break;
+        case EventKind::kInstant: emit_flag[i] = 1; break;
+      }
+    }
+    auto ts_of = [&](const FlightEvent& e) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(e.ts_ns - (ring.virtual_time ? 0 : t0)) * 1e-3);
+      return std::string(buf);
+    };
+    for (std::size_t i = 0; i < ring.events.size(); ++i) {
+      const FlightEvent& e = ring.events[i];
+      const bool open_at_crash =
+          e.kind == EventKind::kBegin && !emit_flag[i];
+      if (!emit_flag[i] && !open_at_crash) continue;
+      std::ostringstream b;
+      b << "{\"name\": ";
+      write_json_string(b, rep.phase_name(e.phase) +
+                               (open_at_crash ? " (open at crash)" : ""));
+      const char ph = open_at_crash                  ? 'i'
+                      : e.kind == EventKind::kBegin  ? 'B'
+                      : e.kind == EventKind::kEnd    ? 'E'
+                                                     : 'i';
+      b << ", \"ph\": \"" << ph << "\"";
+      if (ph == 'i') b << ", \"s\": \"t\"";
+      b << ", \"pid\": 1, \"tid\": " << ring.tid << ", \"ts\": " << ts_of(e);
+      b << ", \"args\": {\"step\": " << e.step;
+      if (e.kind == EventKind::kInstant) {
+        char v[40], t[40];
+        std::snprintf(v, sizeof v, "%.17g", unbits(e.a));
+        std::snprintf(t, sizeof t, "%.17g", unbits(e.b));
+        b << ", \"value\": " << v << ", \"threshold\": " << t;
+      }
+      b << "}}";
+      emit(b.str());
+    }
+    if (ring.dropped > 0 || ring.torn > 0) {
+      std::ostringstream b;
+      b << "{\"name\": \"flight_recorder_dropped\", \"ph\": \"i\", \"s\": \"t\", "
+           "\"pid\": 1, \"tid\": "
+        << ring.tid << ", \"ts\": 0.000, \"args\": {\"dropped\": " << ring.dropped
+        << ", \"torn\": " << ring.torn << "}}";
+      emit(b.str());
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace bst::util

@@ -1,0 +1,76 @@
+// Decoder for crashbox reports ("BSTCRASH v1", util/crashbox.h): parses the
+// artifact back into structured form, renders a human-readable summary, and
+// exports the final flight-recorder rings as a chrome-trace/Perfetto JSON
+// document.  `tools/bst_postmortem` is the CLI over this; the library form
+// exists so tests can round-trip a dump without shelling out.
+//
+// A report written from a signal handler can be imperfect: individual ring
+// events may be torn (another thread was mid-push), and a report can be
+// truncated if the process died while dumping.  The decoder is strict about
+// the header (a file that is not a crash report throws) but tolerant past
+// it: torn events are skipped and counted, truncation sets `truncated`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/flight_recorder.h"
+
+namespace bst::util {
+
+/// One decoded ring: the header fields plus the valid-filtered events.
+struct CrashRing {
+  std::uint32_t tid = 0;
+  bool virtual_time = false;
+  std::uint64_t head = 0;
+  std::uint64_t cap = 0;
+  std::uint64_t dropped = 0;     // wrap-lost events (as counted at dump time)
+  std::uint64_t torn = 0;        // events discarded as unparseable
+  std::string label;
+  std::vector<FlightEvent> events;  // oldest first
+};
+
+struct CrashRequest {
+  std::uint64_t id = 0;
+  std::string phase;    // queued / factor / solve
+  std::uint64_t age_ns = 0;
+};
+
+struct CrashReport {
+  int signal = 0;                // 0 = non-signal dump (stall escalation, tests)
+  std::string signal_name;
+  std::string reason;
+  std::uint64_t ts_ns = 0;
+  std::vector<std::pair<std::string, std::string>> provenance;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<CrashRequest> requests;
+  std::uint64_t request_overflow = 0;
+  std::vector<std::pair<int, std::string>> phase_names;
+  std::string last_tick;         // raw JSON tick line ("" = none captured)
+  bool tick_torn = false;
+  std::size_t event_size = 0;    // sizeof(FlightEvent) in the writing process
+  std::vector<CrashRing> rings;
+  std::uint64_t rings_skipped = 0;
+  bool truncated = false;        // file ended before the `end` marker
+
+  /// Phase-id -> name using the report's own table (not this process's).
+  std::string phase_name(int id) const;
+};
+
+/// Parses a crash report.  Throws std::runtime_error when the file cannot
+/// be read or is not a BSTCRASH v1 artifact.
+CrashReport read_crash_report(const std::string& path);
+
+/// Human-readable multi-line rendering (what `bst_postmortem` prints).
+std::string crash_summary(const CrashReport& report);
+
+/// Chrome-trace JSON of the report's rings, same shape as
+/// FlightRecorder::write_chrome_trace but driven entirely by the decoded
+/// report (phase names included), so it works across processes.
+void write_crash_trace(const CrashReport& report, std::ostream& os);
+
+}  // namespace bst::util

@@ -10,7 +10,9 @@
 #include <sstream>
 #include <utility>
 
+#include "util/crashbox.h"
 #include "util/report.h"
+#include "util/stallguard.h"
 #include "util/trace.h"
 
 namespace bst::util {
@@ -60,6 +62,30 @@ std::string num(double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
+}
+
+// HELP text shares the label-value escapes except for the double quote,
+// which is legal in help text.
+std::string prom_escape_help(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+std::string gauge_help(const std::string& name) {
+  if (name == "bst_qps") return "Rolling-window completed-request throughput (1/s).";
+  if (name == "bst_p50_ms") return "Rolling-window p50 request latency (ms).";
+  if (name == "bst_p99_ms") return "Rolling-window p99 request latency (ms).";
+  if (name == "bst_slo_p99_ms") return "Configured p99 latency SLO target (ms).";
+  if (name == "bst_burn_rate") return "SLO error-budget burn rate (bad fraction over a 1% budget).";
+  if (name == "bst_uptime_seconds") return "Telemetry exporter uptime (s).";
+  if (name == "bst_telemetry_self_seconds") return "Cumulative telemetry exporter self time (s).";
+  return "Instantaneous gauge from the bst metrics registry.";
 }
 
 const CounterStats* find_counter(const TelemetrySnapshot& s, const std::string& name) {
@@ -218,6 +244,18 @@ std::string telemetry_tick_json(std::uint64_t seq, const TelemetrySnapshot& snap
   return tick.dump_compact();
 }
 
+std::string prom_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
 std::string prometheus_exposition(const TelemetrySnapshot& snap, const TelemetryDerived& d,
                                   double uptime_s, double self_s) {
   std::ostringstream os;
@@ -226,6 +264,8 @@ std::string prometheus_exposition(const TelemetrySnapshot& snap, const Telemetry
   for (const CounterStats& c : snap.counters) ctrs.emplace_back(prom_name(c.name), c.value);
   std::sort(ctrs.begin(), ctrs.end());
   for (const auto& [name, value] : ctrs) {
+    os << "# HELP " << name << "_total "
+       << prom_escape_help("Monotonic counter from the bst metrics registry.") << "\n";
     os << "# TYPE " << name << "_total counter\n";
     os << name << "_total " << value << "\n";
   }
@@ -243,6 +283,7 @@ std::string prometheus_exposition(const TelemetrySnapshot& snap, const Telemetry
   gs.emplace_back("bst_telemetry_self_seconds", num(self_s));
   std::sort(gs.begin(), gs.end());
   for (const auto& [name, value] : gs) {
+    os << "# HELP " << name << " " << prom_escape_help(gauge_help(name)) << "\n";
     os << "# TYPE " << name << " gauge\n";
     os << name << " " << value << "\n";
   }
@@ -251,10 +292,13 @@ std::string prometheus_exposition(const TelemetrySnapshot& snap, const Telemetry
   for (const HistogramStats& h : snap.histograms) hs.emplace_back(prom_name(h.name), &h);
   std::sort(hs.begin(), hs.end());
   for (const auto& [name, h] : hs) {
+    os << "# HELP " << name << " "
+       << prom_escape_help("Log-bucketed summary (quantiles interpolated, <=25% bucket error).")
+       << "\n";
     os << "# TYPE " << name << " summary\n";
-    os << name << "{quantile=\"0.5\"} " << num(h->p50) << "\n";
-    os << name << "{quantile=\"0.95\"} " << num(h->p95) << "\n";
-    os << name << "{quantile=\"0.99\"} " << num(h->p99) << "\n";
+    os << name << "{quantile=\"" << prom_escape_label("0.5") << "\"} " << num(h->p50) << "\n";
+    os << name << "{quantile=\"" << prom_escape_label("0.95") << "\"} " << num(h->p95) << "\n";
+    os << name << "{quantile=\"" << prom_escape_label("0.99") << "\"} " << num(h->p99) << "\n";
     os << name << "_sum " << h->sum << "\n";
     os << name << "_count " << h->count << "\n";
   }
@@ -267,6 +311,8 @@ TelemetryExporter::~TelemetryExporter() { stop(); }
 
 void TelemetryExporter::start() {
   if (!opt_.active()) return;
+  Crashbox::install();          // env-gated no-ops: a telemetry-carrying
+  StallGuard::start_from_env();  // process gets the post-mortem layer too
   std::lock_guard lock(mu_);
   if (running_) return;
   stop_ = false;
@@ -306,17 +352,23 @@ double TelemetryExporter::self_seconds() const {
 }
 
 void TelemetryExporter::run() {
+  StallGuard::register_self("telemetry");
   std::uint64_t seq = 0;
   for (;;) {
     bool stopping = false;
     {
+      StallGuard::idle();  // parked between ticks: not a stall
       std::unique_lock lock(mu_);
       cv_.wait_for(lock, std::chrono::milliseconds(opt_.interval_ms),
                    [&] { return stop_; });
       stopping = stop_;
     }
+    StallGuard::beat();
     tick(seq++);
-    if (stopping) return;  // one final tick on stop(): short runs still observe
+    if (stopping) {
+      StallGuard::idle();
+      return;  // one final tick on stop(): short runs still observe
+    }
   }
 }
 
@@ -336,6 +388,9 @@ void TelemetryExporter::tick(std::uint64_t seq) {
   }
   const TelemetryDerived d = telemetry_derive(oldest, snap, opt_);
   const std::string line = telemetry_tick_json(seq, snap, d, uptime_s, self_before);
+  // Publish to the crashbox seqlock buffer: a crash report carries the most
+  // recent tick even though the exporter thread dies with the process.
+  Crashbox::set_last_tick(line.data(), line.size());
   if (!opt_.out.empty()) {
     std::ofstream f(opt_.out, std::ios::app);
     if (f) f << line << '\n';

@@ -116,10 +116,17 @@ struct TelemetryDerived {
 /// `bst_<name>_total`, gauges as `bst_<name>`, histograms as summaries with
 /// quantile labels, plus the derived series (bst_qps, bst_p50_ms, bst_p99_ms,
 /// bst_burn_rate, bst_uptime_seconds, bst_telemetry_self_seconds).  Metric
-/// names are sanitized to [a-zA-Z0-9_:]; entries sorted by name.
+/// names are sanitized to [a-zA-Z0-9_:]; entries sorted by name; every
+/// family gets `# HELP` + `# TYPE` lines (tools/check_telemetry.py gates
+/// both).
 [[nodiscard]] std::string prometheus_exposition(const TelemetrySnapshot& snap,
                                                 const TelemetryDerived& d,
                                                 double uptime_s, double self_s);
+
+/// Escapes a Prometheus label *value*: backslash, double quote, and newline
+/// become \\ \" \n per the text-exposition format, so third-party scrapers
+/// parse labels carrying arbitrary interned names.
+[[nodiscard]] std::string prom_escape_label(const std::string& value);
 
 /// The background exporter thread.  Construction does not start it; start()
 /// is a no-op when !opt.active().  stop() (or destruction) emits one final

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/metrics.h"
+#include "util/stallguard.h"
 #include "util/trace.h"
 
 namespace bst::util {
@@ -54,6 +56,11 @@ bool ThreadPool::in_parallel_region() noexcept { return tl_in_parallel; }
 
 void ThreadPool::worker_loop(std::size_t slot) {
   tl_in_parallel = true;  // workers only ever run parallel_for chunks
+  {
+    char label[32];
+    std::snprintf(label, sizeof label, "pool:%zu", slot);
+    StallGuard::register_self(label);
+  }
   StatSlot& stats = stats_[slot];
   std::size_t seen = 0;
   std::uint64_t counter_epoch_seen = counter_epoch_.load(std::memory_order_acquire);
@@ -62,10 +69,12 @@ void ThreadPool::worker_loop(std::size_t slot) {
     {
       const bool timed = Tracer::enabled();
       const std::uint64_t w0 = timed ? now_ns() : 0;
+      StallGuard::idle();  // parked on the condvar: not a stall
       std::unique_lock lock(mu_);
       cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (timed) stats.idle_ns.fetch_add(now_ns() - w0, std::memory_order_relaxed);
       if (stop_) return;
+      StallGuard::beat();
       seen = generation_;
       task = task_;
       ++inflight_;
@@ -135,6 +144,7 @@ std::uint64_t ThreadPool::run_chunks(Task& task, StatSlot& stats) {
     const std::size_t hi = std::min(task.end, lo + task.grain);
     for (std::size_t i = lo; i < hi; ++i) (*task.body)(i);
     ++executed;
+    StallGuard::beat();  // per-chunk progress: long tasks never read as stalls
     if (timed) {
       const std::uint64_t now = now_ns();
       Metrics::record(chunk_hist(), now - prev);

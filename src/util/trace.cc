@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/crashbox.h"
 #include "util/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/watchdog.h"
@@ -62,7 +63,11 @@ PhaseId Tracer::phase(const std::string& name) {
     throw std::length_error("Tracer: phase registry full (kMaxPhases)");
   }
   names.push_back(name);
-  return static_cast<PhaseId>(names.size() - 1);
+  const auto id = static_cast<PhaseId>(names.size() - 1);
+  // Mirror into the crashbox name table (fixed, lock-free) so the signal
+  // handler can emit a phase-id -> name mapping without this mutex.
+  Crashbox::note_phase(id, name.c_str());
+  return id;
 }
 
 std::vector<std::string> Tracer::phase_names() {

@@ -14,7 +14,8 @@
 // Malformed lines are skipped, not fatal: a tick being written while we
 // read is expected.
 //
-// Exit codes: 0 ok, 1 no parseable ticks (or unreadable stream), 2 usage.
+// Exit codes: 0 ok, 1 failure (unreadable stream and no-parseable-ticks get
+// distinct stderr messages), 2 usage.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -85,9 +86,14 @@ bool parse_tick(const std::string& line, Tick& out) {
   return true;
 }
 
-std::vector<Tick> read_stream(const std::string& path, std::size_t keep) {
+// `readable` distinguishes "the stream cannot be opened" (missing path,
+// permissions) from "the stream opened but held no parseable tick" (empty
+// file, or every line torn/malformed) -- the two failures an operator
+// debugs differently, so --once reports them apart.
+std::vector<Tick> read_stream(const std::string& path, std::size_t keep, bool* readable) {
   std::vector<Tick> ticks;
   std::ifstream f(path);
+  if (readable != nullptr) *readable = static_cast<bool>(f);
   if (!f) return ticks;
   std::string line;
   while (std::getline(f, line)) {
@@ -160,10 +166,21 @@ int main(int argc, char** argv) {
 
   long rendered = 0;
   for (;;) {
-    const std::vector<Tick> ticks = read_stream(stream, history);
+    bool readable = false;
+    const std::vector<Tick> ticks = read_stream(stream, history, &readable);
     if (once) {
+      if (!readable) {
+        std::fprintf(stderr,
+                     "bst_top: cannot read tick stream '%s' (missing file or "
+                     "permission denied)\n",
+                     stream.c_str());
+        return 1;
+      }
       if (ticks.empty()) {
-        std::fprintf(stderr, "bst_top: no parseable ticks in '%s'\n", stream.c_str());
+        std::fprintf(stderr,
+                     "bst_top: no parseable ticks in '%s' (stream is empty or "
+                     "every line is malformed)\n",
+                     stream.c_str());
         return 1;
       }
       render(ticks, stream);

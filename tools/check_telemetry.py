@@ -4,9 +4,10 @@
 Validates the two artifacts a util::TelemetryExporter produces:
 
   1. the Prometheus text-exposition file (--prom): every non-comment line
-     must be `name[{labels}] value`, every sample must be preceded by a
-     `# TYPE` for its metric family, and every --require=NAME series must
-     be present;
+     must be `name[{labels}] value` with correctly escaped label values
+     (backslash, double quote, and newline as \\ \" \n), every sample must
+     be preceded by both a `# HELP` and a `# TYPE` for its metric family,
+     and every --require=NAME series must be present;
   2. the JSONL tick stream (--stream): every line must parse as a JSON
      object with the tick keys, and `seq` must increase by one per line;
   3. the exporter's self-overhead: the last tick's telemetry_self_s /
@@ -22,11 +23,18 @@ import pathlib
 import re
 import sys
 
+# One label pair: name="value" where the value escapes backslash, double
+# quote, and newline as \\ \" \n (Prometheus text-exposition rules).  A raw
+# backslash before anything else, a bare quote, or a literal newline inside
+# a label value is malformed.
+LABEL_RE = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
 # name{labels} value  |  name value   (value: int/float/scientific/inf/nan)
 SAMPLE_RE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?(?:[0-9.]+(?:[eE][+-]?[0-9]+)?|[Ii]nf|[Nn]a[Nn]))$"
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{" + LABEL_RE + r"(?:," + LABEL_RE + r")*\})? "
+    r"(-?(?:[0-9.]+(?:[eE][+-]?[0-9]+)?|[Ii]nf|[Nn]a[Nn]))$"
 )
 TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$")
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) \S.*$")
 
 TICK_KEYS = {"seq", "ts_ns", "uptime_s", "telemetry_self_s", "qps", "p50_ms",
              "p99_ms", "burn_rate", "counters", "gauges", "histograms"}
@@ -60,16 +68,24 @@ def check_prom(path, required):
     problems = []
     text = pathlib.Path(path).read_text(errors="replace")
     typed = set()
+    helped = set()
     seen = set()
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
         if line.startswith("#"):
-            m = TYPE_RE.match(line)
-            if line.startswith("# TYPE") and m is None:
-                problems.append(f"{path}:{lineno}: malformed TYPE comment: {line!r}")
-            elif m is not None:
-                typed.add(family_of(m.group(1)))
+            if line.startswith("# TYPE"):
+                m = TYPE_RE.match(line)
+                if m is None:
+                    problems.append(f"{path}:{lineno}: malformed TYPE comment: {line!r}")
+                else:
+                    typed.add(family_of(m.group(1)))
+            elif line.startswith("# HELP"):
+                m = HELP_RE.match(line)
+                if m is None:
+                    problems.append(f"{path}:{lineno}: malformed HELP comment: {line!r}")
+                else:
+                    helped.add(family_of(m.group(1)))
             continue
         m = SAMPLE_RE.match(line)
         if m is None:
@@ -79,6 +95,8 @@ def check_prom(path, required):
         seen.add(name)
         if family_of(name) not in typed and name not in typed:
             problems.append(f"{path}:{lineno}: sample '{name}' has no preceding # TYPE")
+        if family_of(name) not in helped and name not in helped:
+            problems.append(f"{path}:{lineno}: sample '{name}' has no preceding # HELP")
     if not seen:
         problems.append(f"{path}: no samples at all")
     for name in required:
