@@ -33,6 +33,7 @@
 #include "util/cli.h"
 #include "util/flight_recorder.h"
 #include "util/ledger.h"
+#include "util/prof.h"
 #include "util/report.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -51,16 +52,25 @@ class Obs {
       if (const char* env = std::getenv("BST_CALIBRATION"); env != nullptr) cal_path = env;
     }
     if (!cal_path.empty()) load_calibration(cal_path);
+    // --prof / BST_PROF arms the hardware-truth profiler (util/prof): PMU
+    // counter groups at span boundaries plus the SIGPROF sampler.  It
+    // implies tracing (the PMU snapshots ride the spans).
+    util::ProfOptions popt = util::ProfOptions::from_env();
+    prof_ = cli.has("prof") || popt.armed_by_env;
     if (!armed()) return;
     util::Tracer::reset();
     util::ThreadPool::global().reset_worker_stats();
     util::Tracer::enable();
     if (!trace_.empty()) util::FlightRecorder::enable();
+    if (prof_) {
+      popt.out_prefix = cli.get("prof-out", popt.out_prefix);
+      util::Prof::arm(popt);
+    }
   }
 
   /// True when any observability flag was given.
   [[nodiscard]] bool armed() const noexcept {
-    return !trace_.empty() || !profile_.empty() || !ledger_.empty();
+    return !trace_.empty() || !profile_.empty() || !ledger_.empty() || prof_;
   }
 
   [[nodiscard]] bool has_calibration() const noexcept { return has_cal_; }
@@ -87,6 +97,16 @@ class Obs {
   /// requested: the chrome trace, the JSON profile (with thread-pool
   /// utilization attached) and the ledger line.  Call once, after the run.
   void finish(util::PerfReport& report) {
+    if (prof_) {
+      // Stop sampling before any report is built so the stats (and the
+      // folded artifacts) are final.
+      util::Prof::disarm();
+      const util::Prof::Artifacts art = util::Prof::write_artifacts();
+      if (!art.folded.empty()) {
+        std::fprintf(stderr, "bench: profiler artifacts: %s %s\n", art.folded.c_str(),
+                     art.perfetto.c_str());
+      }
+    }
     if (armed()) {
       if (!trace_.empty()) {
         util::FlightRecorder::disable();
@@ -151,6 +171,7 @@ class Obs {
 
   std::string trace_, profile_, ledger_, json_flag_;
   util::Json cal_json_;
+  bool prof_ = false;
   bool has_cal_ = false;
   std::vector<util::PhaseModel> models_;
 };

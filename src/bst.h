@@ -67,6 +67,7 @@
 #include "util/metrics.h"
 #include "util/par_analysis.h"
 #include "util/postmortem.h"
+#include "util/prof.h"
 #include "util/report.h"
 #include "util/rng.h"
 #include "util/stallguard.h"

@@ -11,6 +11,7 @@
 #include "util/fault.h"
 #include "util/flight_recorder.h"
 #include "util/metrics.h"
+#include "util/prof.h"
 #include "util/stallguard.h"
 #include "util/trace.h"
 
@@ -390,6 +391,10 @@ void Service::dispatcher_loop() {
     util::Fault::fire("dispatch");
     const auto k = static_cast<index_t>(batch.size());
     const std::uint64_t pop_ns = util::TraceClock::now_ns();
+    // Profiler sample attribution: tag this thread's samples with the id
+    // leading the batch (the same id the crashbox request table carries),
+    // so flamegraphs fold per `req:<id>` like the flight-recorder tracks.
+    util::Prof::set_request(batch.front().id);
     std::uint64_t slow_count = 0;
     try {
       const std::uint64_t warn0 = util::Metrics::counter_value(kWarnings);
@@ -451,6 +456,7 @@ void Service::dispatcher_loop() {
         util::Crashbox::request_end(req.cb_slot);
       }
     }
+    util::Prof::set_request(0);
 
     {
       std::lock_guard lock(mu_);

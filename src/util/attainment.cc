@@ -76,6 +76,19 @@ Json attainment_section(const Json& report_doc, const Json* calibration,
           r.set("attainment", Json::number(gflops / ceiling));
         }
       }
+      // Measured-vs-modeled join (util/prof): when the PMU ran, judge the
+      // modeled byte count against LLC-derived DRAM traffic.  A ratio far
+      // from 1 means the roofline above was fed the wrong intensity.
+      const double measured_bytes = field(ph, "measured_bytes");
+      if (measured_bytes > 0.0 && flops > 0.0) {
+        r.set("measured_intensity", Json::number(flops / measured_bytes));
+      }
+      if (measured_bytes > 0.0 && bytes > 0.0) {
+        r.set("measured_vs_model_bytes_ratio", Json::number(measured_bytes / bytes));
+      }
+      if (const double ipc = field(ph, "ipc"); ipc > 0.0) {
+        r.set("ipc", Json::number(ipc));
+      }
       if (const PhaseModel* m = find_model(models, name); m != nullptr) {
         if (m->model_flops > 0.0) {
           r.set("model_flops", Json::number(m->model_flops));

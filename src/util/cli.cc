@@ -1,6 +1,7 @@
 #include "util/cli.h"
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string_view>
 
 namespace bst::util {
@@ -26,12 +27,26 @@ std::string Cli::get(const std::string& key, const std::string& fallback) const 
 
 long Cli::get_int(const std::string& key, long fallback) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  if (it == kv_.end()) return fallback;
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    throw std::runtime_error("--" + key + ": expected an integer, got '" + it->second + "'");
+  }
+  return v;
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == kv_.end()) return fallback;
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    throw std::runtime_error("--" + key + ": expected a number, got '" + it->second + "'");
+  }
+  return v;
 }
 
 bool Cli::has(const std::string& key) const { return kv_.contains(key); }

@@ -14,6 +14,10 @@ class Cli {
 
   /// Returns the value for `key`, or `fallback` when absent.
   [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Numeric accessors parse the *whole* value: trailing garbage
+  /// (`--np=4x`, `--panel=8q`) throws std::runtime_error naming the flag
+  /// instead of silently truncating to the leading digits.
   [[nodiscard]] long get_int(const std::string& key, long fallback) const;
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] bool has(const std::string& key) const;

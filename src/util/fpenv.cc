@@ -5,12 +5,57 @@
 #define BST_HAVE_MXCSR 1
 #endif
 
+#if defined(__GLIBC__)
+#define BST_HAVE_FE_TRAPS 1
+#endif
+
 namespace bst::util {
 
 void enable_flush_to_zero() noexcept {
 #ifdef BST_HAVE_MXCSR
   // Bit 15: flush-to-zero, bit 6: denormals-are-zero.
   _mm_setcsr(_mm_getcsr() | 0x8040u);
+#endif
+}
+
+FpTrapScope::FpTrapScope(int excepts) noexcept {
+#ifdef BST_HAVE_FE_TRAPS
+  prev_mask_ = fegetexcept();
+  if (prev_mask_ >= 0) {
+    std::feclearexcept(excepts);
+    feenableexcept(excepts);
+  }
+#else
+  (void)excepts;
+#endif
+}
+
+FpTrapScope::~FpTrapScope() {
+#ifdef BST_HAVE_FE_TRAPS
+  if (prev_mask_ < 0) return;
+  const int now = fegetexcept();
+  if (now < 0) return;
+  // Restore the saved mask exactly, whichever direction it moved: traps
+  // this scope added come down, traps something disarmed underneath us
+  // (e.g. a nested scope's sloppy teardown) come back up.
+  if (const int extra = now & ~prev_mask_; extra != 0) fedisableexcept(extra);
+  if (const int missing = prev_mask_ & ~now; missing != 0) feenableexcept(missing);
+#endif
+}
+
+bool FpTrapScope::supported() noexcept {
+#ifdef BST_HAVE_FE_TRAPS
+  return fegetexcept() >= 0;
+#else
+  return false;
+#endif
+}
+
+int FpTrapScope::enabled_traps() noexcept {
+#ifdef BST_HAVE_FE_TRAPS
+  return fegetexcept();
+#else
+  return -1;
 #endif
 }
 

@@ -1,6 +1,8 @@
 // Floating point environment helpers.
 #pragma once
 
+#include <cfenv>
+
 namespace bst::util {
 
 /// Enables flush-to-zero and denormals-are-zero on x86 (no-op elsewhere).
@@ -9,5 +11,36 @@ namespace bst::util {
 /// arithmetic is ~100x slower on most CPUs; every bench enables this, as
 /// any HPC production build would.
 void enable_flush_to_zero() noexcept;
+
+/// RAII scope that turns the given FP exceptions (FE_DIVBYZERO | FE_INVALID
+/// | FE_OVERFLOW ...) into SIGFPE traps for debugging, restoring the
+/// previous trap mask exactly on destruction.  Scopes nest: an inner scope
+/// adding FE_INVALID on top of an outer FE_DIVBYZERO leaves both armed
+/// until the inner scope ends, then just the outer one, then none --
+/// whatever was armed before the outer scope.  Pending exception flags for
+/// the requested traps are cleared first so stale flags cannot fire
+/// spuriously on enable.
+///
+/// Trap control (feenableexcept) is a glibc extension: supported() says
+/// whether this build has it; elsewhere the scope is a no-op and
+/// enabled_traps() returns -1.  Not async-signal-safe; not for use inside
+/// kernels (a trap mask flip serializes the pipeline) -- this is a debug
+/// tool for chasing the NaN/Inf origins the watchdog reports.
+class FpTrapScope {
+ public:
+  explicit FpTrapScope(int excepts) noexcept;
+  ~FpTrapScope();
+  FpTrapScope(const FpTrapScope&) = delete;
+  FpTrapScope& operator=(const FpTrapScope&) = delete;
+
+  /// True when this build can flip trap masks (glibc).
+  [[nodiscard]] static bool supported() noexcept;
+
+  /// Currently armed trap mask (FE_* bits), or -1 when unsupported.
+  [[nodiscard]] static int enabled_traps() noexcept;
+
+ private:
+  int prev_mask_ = -1;  // trap mask before this scope; -1 = unsupported
+};
 
 }  // namespace bst::util

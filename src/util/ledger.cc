@@ -82,6 +82,30 @@ Json ledger_entry(const Json& report_doc) {
   if (const Json* metrics = report_doc.find("metrics"); metrics != nullptr) {
     e.set("metrics", *metrics);
   }
+  // Hardware-truth columns (util/prof): run-level measured IPC and LLC
+  // miss rate, summed over the report's per-phase PMU deltas.  Omitted
+  // entirely when the PMU was unavailable -- trend readers skip absent
+  // keys, so pre-PMU ledger lines and no-perf containers stay comparable.
+  if (const Json* phases = report_doc.find("phases"); phases != nullptr) {
+    auto num = [](const Json& obj, const char* key) {
+      const Json* v = obj.find(key);
+      return (v != nullptr && v->kind() == Json::Kind::Number) ? v->as_number() : 0.0;
+    };
+    double cycles = 0.0, instructions = 0.0, llc_loads = 0.0, llc_misses = 0.0;
+    for (const auto& [name, ph] : phases->members()) {
+      (void)name;
+      cycles += num(ph, "cycles");
+      instructions += num(ph, "instructions");
+      llc_loads += num(ph, "llc_loads");
+      llc_misses += num(ph, "llc_misses");
+    }
+    Json pmu = Json::object();
+    if (cycles > 0.0 && instructions > 0.0) {
+      pmu.set("ipc", Json::number(instructions / cycles));
+    }
+    if (llc_loads > 0.0) pmu.set("llc_miss_rate", Json::number(llc_misses / llc_loads));
+    if (!pmu.members().empty()) e.set("pmu", std::move(pmu));
+  }
   // Event counters (cache hits/misses, admissions...) ride along so a
   // trend reader can plot e.g. hit rates over time; never gated (counts
   // are workload-denominated, not time-denominated).
@@ -174,6 +198,10 @@ TrendReport ledger_trend(const std::vector<Json>& entries, double max_regress,
   collect_keys(comparable, "phases", keys);
   collect_keys(comparable, "metrics", keys);
   collect_keys(comparable, "attainment", keys);
+  // "pmu" series are informational (not gated below): entries that predate
+  // the hardware-truth columns, or ran where perf was denied, simply lack
+  // the key and drop out of the series instead of failing the trend.
+  collect_keys(comparable, "pmu", keys);
   std::sort(keys.begin(), keys.end());
 
   for (const std::string& key : keys) {

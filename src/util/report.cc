@@ -12,6 +12,7 @@
 
 #include "util/calibrate.h"
 #include "util/metrics.h"
+#include "util/prof.h"
 #include "util/trace.h"
 #include "util/watchdog.h"
 
@@ -546,15 +547,53 @@ Json PerfReport::build(bool include_tracer) const {
     std::vector<PhaseStats> phase_stats = Tracer::snapshot();
     std::sort(phase_stats.begin(), phase_stats.end(),
               [](const PhaseStats& x, const PhaseStats& y) { return x.name < y.name; });
+    // Hardware-truth join (util/prof): phases that accumulated PMU deltas
+    // carry the measured counters next to the modeled flops/bytes.
+    // `measured_bytes` estimates DRAM traffic as LLC misses x 64-byte
+    // lines; attainment_section() joins it against the modeled bytes.
+    std::map<std::string, PmuCounts> pmu_by_name;
+    if (Prof::was_armed()) {
+      const std::vector<std::string> phase_names = Tracer::phase_names();
+      for (const PhasePmu& pp : Prof::pmu_snapshot()) {
+        if (pp.id >= 0 && static_cast<std::size_t>(pp.id) < phase_names.size()) {
+          pmu_by_name[phase_names[static_cast<std::size_t>(pp.id)]] = pp.c;
+        }
+      }
+    }
     for (const PhaseStats& ps : phase_stats) {
       Json p = Json::object();
       p.set("calls", Json::number(ps.calls));
       p.set("seconds", Json::number(ps.seconds));
       p.set("flops", Json::number(ps.flops));
       p.set("bytes", Json::number(ps.bytes));
+      if (const auto it = pmu_by_name.find(ps.name); it != pmu_by_name.end()) {
+        const PmuCounts& c = it->second;
+        p.set("cycles", Json::number(c.cycles));
+        p.set("instructions", Json::number(c.instructions));
+        if (c.cycles > 0) {
+          p.set("ipc", Json::number(static_cast<double>(c.instructions) /
+                                    static_cast<double>(c.cycles)));
+        }
+        p.set("stalled_cycles", Json::number(c.stalled_cycles));
+        p.set("branch_misses", Json::number(c.branch_misses));
+        p.set("l1d_loads", Json::number(c.l1d_loads));
+        p.set("l1d_misses", Json::number(c.l1d_misses));
+        if (c.l1d_loads > 0) {
+          p.set("l1d_miss_rate", Json::number(static_cast<double>(c.l1d_misses) /
+                                              static_cast<double>(c.l1d_loads)));
+        }
+        p.set("llc_loads", Json::number(c.llc_loads));
+        p.set("llc_misses", Json::number(c.llc_misses));
+        if (c.llc_loads > 0) {
+          p.set("llc_miss_rate", Json::number(static_cast<double>(c.llc_misses) /
+                                              static_cast<double>(c.llc_loads)));
+        }
+        p.set("measured_bytes", Json::number(c.llc_misses * 64));
+      }
       phases.set(ps.name, std::move(p));
     }
     if (!phases.members().empty()) root.set("phases", std::move(phases));
+    if (Prof::was_armed()) root.set("prof", Prof::section_json());
 
     Json steps = Json::array();
     for (const StepDiag& sd : Tracer::steps()) {

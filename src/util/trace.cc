@@ -7,6 +7,7 @@
 #include "util/crashbox.h"
 #include "util/flight_recorder.h"
 #include "util/metrics.h"
+#include "util/prof.h"
 #include "util/watchdog.h"
 
 namespace bst::util {
@@ -89,6 +90,7 @@ void Tracer::reset() {
   Metrics::reset();
   Watchdog::reset();
   FlightRecorder::reset();
+  Prof::reset();
 }
 
 void Tracer::set_step(std::int64_t step) noexcept { t_current_step = step; }
@@ -151,9 +153,13 @@ void TraceSpan::open(PhaseId id) noexcept {
   bytes0_ = ByteCounter::now();
   t0_ = TraceClock::now_ns();
   if (FlightRecorder::enabled()) FlightRecorder::begin(id_, t0_, flops0_, bytes0_);
+  if (Prof::armed()) Prof::on_span_open(id_);
 }
 
 void TraceSpan::close() noexcept {
+  // PMU delta first, so the hardware window excludes the bookkeeping below
+  // (the wall-time window symmetrically excludes the open()-side PMU read).
+  if (Prof::armed()) Prof::on_span_close(id_);
   const std::uint64_t t1 = TraceClock::now_ns();
   const std::uint64_t dflops = FlopCounter::now() - flops0_;
   const std::uint64_t dbytes = ByteCounter::now() - bytes0_;

@@ -213,6 +213,65 @@ TEST(Ledger, EntryCarriesMachineAndAttainmentColumns) {
   EXPECT_DOUBLE_EQ(a->find("reflector_apply")->as_number(), 0.42);
 }
 
+TEST(Ledger, EntryCarriesPmuColumnsWhenCountersPresent) {
+  util::Json row = util::Json::object();
+  row.set("seconds", util::Json::number(0.5));
+  row.set("cycles", util::Json::number(1.5e9));
+  row.set("instructions", util::Json::number(3.0e9));
+  row.set("llc_loads", util::Json::number(1.0e6));
+  row.set("llc_misses", util::Json::number(2.5e5));
+  util::Json phases = util::Json::object();
+  phases.set("reflector_apply", std::move(row));
+  util::Json doc = util::Json::object();
+  doc.set("tool", util::Json::string("test_tool"));
+  doc.set("phases", std::move(phases));
+
+  const util::Json entry = util::ledger_entry(doc);
+  const util::Json* pmu = entry.find("pmu");
+  ASSERT_NE(pmu, nullptr);
+  ASSERT_NE(pmu->find("ipc"), nullptr);
+  EXPECT_DOUBLE_EQ(pmu->find("ipc")->as_number(), 2.0);
+  ASSERT_NE(pmu->find("llc_miss_rate"), nullptr);
+  EXPECT_DOUBLE_EQ(pmu->find("llc_miss_rate")->as_number(), 0.25);
+}
+
+TEST(Ledger, EntryOmitsPmuColumnsWithoutCounters) {
+  // A run where perf_event_open was denied (or --prof never given) has no
+  // hardware columns in its phases; the entry must omit "pmu" entirely
+  // rather than write zeros that would poison the trend series.
+  util::PerfReport report("test_tool");
+  report.metric("time_s", 0.25);
+  const util::Json entry = util::ledger_entry(report.build(false));
+  EXPECT_EQ(entry.find("pmu"), nullptr);
+}
+
+TEST(Ledger, TrendSkipsPmuOnPrePmuHistory) {
+  // Two pre-PR lines without pmu columns plus a new one with them: the
+  // pmu series is informational (never gated) and absent keys drop out of
+  // the series instead of failing the trend.
+  util::Json newest = entry_with(1.0, 1e-12);
+  util::Json pmu = util::Json::object();
+  pmu.set("ipc", util::Json::number(1.8));
+  pmu.set("llc_miss_rate", util::Json::number(0.1));
+  newest.set("pmu", std::move(pmu));
+  std::vector<util::Json> entries{entry_with(1.0, 1e-12), entry_with(1.0, 1e-12),
+                                  std::move(newest)};
+  const util::TrendReport trend = util::ledger_trend(entries, /*max_regress=*/0.5,
+                                                     /*min_seconds=*/0.0);
+  EXPECT_EQ(trend.regressions, 0);
+  bool saw_ipc = false;
+  for (const util::TrendStat& s : trend.series) {
+    if (s.key == "pmu.ipc") {
+      saw_ipc = true;
+      EXPECT_FALSE(s.gated);
+      EXPECT_FALSE(s.regressed);
+      ASSERT_EQ(s.values.size(), 1u);  // only the new line carries it
+      EXPECT_DOUBLE_EQ(s.last, 1.8);
+    }
+  }
+  EXPECT_TRUE(saw_ipc);
+}
+
 TEST(Ledger, SparklineShapes) {
   const std::string ramp = util::sparkline({0.0, 1.0, 2.0, 3.0});
   ASSERT_EQ(ramp.size(), 4u);

@@ -356,6 +356,42 @@ TEST(TelemetryExporter, StopIsIdempotentAndRestartable) {
   std::remove(out.c_str());
 }
 
+// Shutdown racing an in-flight tick: stop() from another thread while the
+// exporter thread is mid-tick and the process keeps mutating metrics.  The
+// assertions are deliberately weak (no crash, monotone tick count, not
+// running afterwards); the real check is the TSan CI job, which runs this
+// binary and flags any data race between the tick loop, the metric
+// writers, and the stop path.
+TEST(TelemetryExporter, StopRacesInflightTick) {
+  const std::string out = temp_path("bst_test_race") + ".jsonl";
+  std::remove(out.c_str());
+  const util::CtrId c = Metrics::counter("service_completed");
+  for (int round = 0; round < 8; ++round) {
+    TelemetryOptions opt;
+    opt.out = out;
+    opt.interval_ms = 1;  // as many in-flight ticks as possible
+    util::TelemetryExporter exp(opt);
+    exp.start();
+    std::atomic<bool> done{false};
+    std::thread stopper([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 + round));
+      exp.stop();
+      done.store(true);
+    });
+    // Keep the registry hot while the tick loop reads it...
+    while (!done.load()) {
+      Metrics::add(c, 1);
+      (void)exp.running();
+      (void)exp.ticks();
+    }
+    stopper.join();
+    exp.stop();  // second stop from this thread: idempotent under the race
+    EXPECT_FALSE(exp.running());
+    EXPECT_GE(exp.ticks(), 1u);  // the final stop() tick always lands
+  }
+  std::remove(out.c_str());
+}
+
 // A full registry refuses further names without throwing or aborting: the
 // id is invalid, records no-op, the drop is counted, and counters_snapshot
 // surfaces the synthetic `metrics_dropped` entry (no silent caps).  Interned

@@ -1,12 +1,15 @@
 // Tests for util/: RNG determinism and distributions, flop counting,
-// table rendering, CLI parsing.
+// table rendering, CLI parsing, FP trap scopes.
 #include <gtest/gtest.h>
 
+#include <cfenv>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/cli.h"
 #include "util/flops.h"
+#include "util/fpenv.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -113,6 +116,87 @@ TEST(Cli, ParsesKeysAndDefaults) {
   EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
   EXPECT_EQ(cli.get_int("missing", -7), -7);
   EXPECT_FALSE(cli.has("positional"));
+}
+
+TEST(Cli, RejectsTrailingGarbageOnIntegers) {
+  const char* argv[] = {"prog", "--np=4x", "--panel=8q", "--n=16"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("np", 0), std::runtime_error);
+  EXPECT_THROW((void)cli.get_int("panel", 0), std::runtime_error);
+  EXPECT_EQ(cli.get_int("n", 0), 16);  // clean values still parse
+  try {
+    (void)cli.get_int("np", 0);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // The message names the flag and echoes the bad value.
+    EXPECT_NE(std::string(e.what()).find("--np"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4x"), std::string::npos);
+  }
+}
+
+TEST(Cli, RejectsTrailingGarbageOnDoubles) {
+  const char* argv[] = {"prog", "--rate=2.5mb", "--tol=1e-9", "--empty="};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_double("rate", 0.0), std::runtime_error);
+  EXPECT_DOUBLE_EQ(cli.get_double("tol", 0.0), 1e-9);  // exponents are fine
+  EXPECT_THROW((void)cli.get_double("empty", 0.0), std::runtime_error);
+}
+
+TEST(Cli, RejectsNonNumericValues) {
+  const char* argv[] = {"prog", "--n=abc", "--rate=fast"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW((void)cli.get_double("rate", 0.0), std::runtime_error);
+}
+
+// FpTrapScope save/restore when no scope is active: the baseline mask is
+// whatever the harness runs with, and a scope must hand it back exactly.
+TEST(FpTrap, RestoresBaselineMask) {
+  if (!FpTrapScope::supported()) GTEST_SKIP() << "no feenableexcept on this libc";
+  const int baseline = FpTrapScope::enabled_traps();
+  {
+    FpTrapScope scope(FE_DIVBYZERO);
+    EXPECT_EQ(FpTrapScope::enabled_traps() & FE_DIVBYZERO, FE_DIVBYZERO);
+  }
+  EXPECT_EQ(FpTrapScope::enabled_traps(), baseline);
+}
+
+// Nested scopes: the inner scope adds its traps on top of the outer one's
+// and each destructor peels back exactly one layer.
+TEST(FpTrap, ScopesNestAndUnwindExactly) {
+  if (!FpTrapScope::supported()) GTEST_SKIP() << "no feenableexcept on this libc";
+  const int baseline = FpTrapScope::enabled_traps();
+  {
+    FpTrapScope outer(FE_DIVBYZERO);
+    const int outer_mask = FpTrapScope::enabled_traps();
+    EXPECT_EQ(outer_mask & FE_DIVBYZERO, FE_DIVBYZERO);
+    {
+      FpTrapScope inner(FE_INVALID);
+      const int inner_mask = FpTrapScope::enabled_traps();
+      EXPECT_EQ(inner_mask & FE_DIVBYZERO, FE_DIVBYZERO);  // outer survives
+      EXPECT_EQ(inner_mask & FE_INVALID, FE_INVALID);      // inner added
+    }
+    EXPECT_EQ(FpTrapScope::enabled_traps(), outer_mask);  // inner peeled off
+  }
+  EXPECT_EQ(FpTrapScope::enabled_traps(), baseline);
+}
+
+// Re-requesting a trap the outer scope already armed must not disarm it
+// when the inner scope ends (the restore is to the saved mask, not a
+// subtraction).
+TEST(FpTrap, OverlappingRequestsRestoreToSavedMask) {
+  if (!FpTrapScope::supported()) GTEST_SKIP() << "no feenableexcept on this libc";
+  const int baseline = FpTrapScope::enabled_traps();
+  {
+    FpTrapScope outer(FE_DIVBYZERO | FE_OVERFLOW);
+    {
+      FpTrapScope inner(FE_OVERFLOW);  // overlaps the outer request
+      EXPECT_EQ(FpTrapScope::enabled_traps() & FE_OVERFLOW, FE_OVERFLOW);
+    }
+    EXPECT_EQ(FpTrapScope::enabled_traps() & (FE_DIVBYZERO | FE_OVERFLOW),
+              FE_DIVBYZERO | FE_OVERFLOW);
+  }
+  EXPECT_EQ(FpTrapScope::enabled_traps(), baseline);
 }
 
 }  // namespace

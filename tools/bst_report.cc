@@ -29,6 +29,16 @@
 //       (fingerprint mismatch vs the newest entry) are skipped, and a
 //       single-entry ledger reports "insufficient history" and exits 0.
 //
+//   bst_report one.json --prof [--max-bytes-skew=8]
+//       Hardware-truth view of a report produced under --prof: per-phase
+//       PMU table (cycles, IPC, stall and miss rates, measured DRAM bytes
+//       vs the modeled byte counts), sampling-profiler summary and the top
+//       folded stacks.  With --max-bytes-skew=F, exits 3 when any phase's
+//       measured/modeled byte ratio (either direction) exceeds F -- the
+//       measured-vs-modeled gate.  When the report says the PMU was
+//       unavailable (containers, CI runners), the view still renders the
+//       sampler side and the gate passes vacuously.
+//
 //   bst_report one.json --roofline
 //       ASCII log-log roofline of the report's attainment section: the
 //       calibrated memory-bandwidth and peak-GFLOP/s ceilings with each
@@ -245,6 +255,102 @@ void print_attainment(const Json& doc) {
                 fmt(field(*att, "span_calls")).c_str(), fmt(field(*att, "obs_overhead_s")).c_str(),
                 pct(of->as_number()).c_str());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Hardware-truth (prof) view
+// ---------------------------------------------------------------------------
+
+int prof_report(const std::string& path, double max_bytes_skew, double min_seconds) {
+  const Json doc = load_report(path);
+  const Json* prof = doc.find("prof");
+  if (prof == nullptr) {
+    std::fprintf(stderr,
+                 "bst_report: '%s' has no prof section; produce it with "
+                 "`bst_solve ... --prof --profile=%s`\n",
+                 path.c_str(), path.c_str());
+    return 2;
+  }
+  const Json* pmu = prof->find("pmu");
+  const Json* avail = pmu != nullptr ? pmu->find("available") : nullptr;
+  const bool available = avail != nullptr && avail->kind() == Json::Kind::Bool &&
+                         avail->as_bool();
+  const Json* status = pmu != nullptr ? pmu->find("status") : nullptr;
+  std::printf("prof: %s\n", path.c_str());
+  std::printf("  pmu: %s",
+              status != nullptr ? status->as_string().c_str() : "(no status)");
+  if (available && pmu != nullptr) {
+    std::printf(" (%s thread(s) measured)", fmt(field(*pmu, "threads")).c_str());
+  }
+  std::printf("\n");
+
+  int regressions = 0;
+  const Json* phases = doc.find("phases");
+  if (available && phases != nullptr) {
+    std::printf("  %-24s %11s %7s %7s %7s %7s %10s %10s\n", "phase", "cycles", "IPC",
+                "stall%", "br/Ki", "LLC%", "meas MB", "meas/model");
+    for (const auto& [name, ph] : phases->members()) {
+      const double cycles = field(ph, "cycles");
+      if (cycles <= 0.0) continue;
+      const double instr = field(ph, "instructions");
+      const double stalled = field(ph, "stalled_cycles");
+      const double brm = field(ph, "branch_misses");
+      const double measured = field(ph, "measured_bytes");
+      const double modeled = field(ph, "bytes");
+      const double ratio = modeled > 0.0 && measured > 0.0 ? measured / modeled : 0.0;
+      const Json* llc = ph.find("llc_miss_rate");
+      // Skew in either direction matters: measured >> model means the
+      // roofline was fed too little traffic, measured << model too much.
+      const double skew = ratio > 0.0 ? std::max(ratio, 1.0 / ratio) : 0.0;
+      const bool gated = max_bytes_skew >= 0.0 && skew > max_bytes_skew &&
+                         field(ph, "seconds") >= min_seconds;
+      if (gated) ++regressions;
+      std::printf("  %-24s %11s %7s %7s %7s %7s %10s %10s%s\n", name.c_str(),
+                  fmt(cycles).c_str(),
+                  cycles > 0.0 ? fmt(instr / cycles).c_str() : "-",
+                  cycles > 0.0 ? fmt(100.0 * stalled / cycles).c_str() : "-",
+                  instr > 0.0 ? fmt(1024.0 * brm / instr).c_str() : "-",
+                  llc != nullptr ? fmt(100.0 * llc->as_number()).c_str() : "-",
+                  fmt(measured / 1e6).c_str(),
+                  ratio > 0.0 ? fmt(ratio).c_str() : "-", gated ? "  << SKEW" : "");
+    }
+  } else if (!available) {
+    std::printf("  (no per-phase hardware counters -- software sampling only)\n");
+  }
+
+  if (const Json* sam = prof->find("sampler"); sam != nullptr) {
+    std::printf("  sampler: %s samples (%s dropped) on %s thread(s), every %s us, "
+                "~%s ns/sample (%ss total)\n",
+                fmt(field(*sam, "samples")).c_str(), fmt(field(*sam, "dropped")).c_str(),
+                fmt(field(*sam, "threads")).c_str(), fmt(field(*sam, "interval_us")).c_str(),
+                fmt(field(*sam, "est_sample_cost_ns")).c_str(),
+                fmt(field(*sam, "overhead_s")).c_str());
+    const Json* stacks = sam->find("top_stacks");
+    if (stacks != nullptr && !stacks->items().empty()) {
+      std::printf("  top stacks (folded: phase;req;outer;...;leaf count)\n");
+      for (const Json& row : stacks->items()) {
+        const Json* stack = row.find("stack");
+        std::printf("    %s %s\n",
+                    stack != nullptr ? stack->as_string().c_str() : "?",
+                    fmt(field(row, "count")).c_str());
+      }
+    }
+  }
+
+  if (regressions > 0) {
+    std::printf("RESULT: %d phase(s) skewed past %s between measured and modeled bytes\n",
+                regressions, fmt(max_bytes_skew).c_str());
+    return 3;
+  }
+  if (max_bytes_skew >= 0.0) {
+    if (available) {
+      std::printf("RESULT: measured and modeled bytes agree within %sx\n",
+                  fmt(max_bytes_skew).c_str());
+    } else {
+      std::printf("RESULT: pmu unavailable; measured-vs-modeled gate not applicable\n");
+    }
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -636,6 +742,7 @@ int help() {
       "modes:\n"
       "  bst_report report.json        pretty-print one report\n"
       "  --pe                          also print per-PE simnet sections\n"
+      "  --prof                        hardware-truth view: PMU table + sampler stacks\n"
       "  --roofline                    ASCII roofline of the attainment section\n"
       "  --baseline=a.json             diff mode: the reference report\n"
       "  --candidate=b.json            diff mode: the report under test\n"
@@ -645,6 +752,7 @@ int help() {
       "gates:\n"
       "  --max-regress=50%%             per-phase slowdown gate (diff/trend)\n"
       "  --max-attain-drop=10%%         attainment drop gate (--attain)\n"
+      "  --max-bytes-skew=8            measured-vs-modeled byte skew gate (--prof)\n"
       "  --min-seconds=1e-3            ignore phases below this baseline\n"
       "  --help                        this list\n");
   return 0;
@@ -684,11 +792,15 @@ int main(int argc, char** argv) {
       return diff_reports(baseline, candidate, max_regress, min_seconds);
     }
     if (!positional.empty() && baseline.empty() && candidate.empty()) {
+      if (cli.has("prof")) {
+        return prof_report(positional, cli.get_double("max-bytes-skew", -1.0), min_seconds);
+      }
       if (cli.has("roofline")) return roofline_report(positional);
       return print_report(positional, cli.has("pe"));
     }
     std::fprintf(stderr,
                  "usage: bst_report report.json [--pe] [--roofline]\n"
+                 "       bst_report report.json --prof [--max-bytes-skew=8]\n"
                  "       bst_report --baseline=a.json --candidate=b.json\n"
                  "                  [--max-regress=50%%] [--min-seconds=1e-3]\n"
                  "       bst_report --attain --baseline=a.json --candidate=b.json\n"

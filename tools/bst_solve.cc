@@ -97,6 +97,8 @@ int help() {
       "  --profile=out.json  write the JSON perf report\n"
       "  --trace=out.json    write a chrome://tracing event timeline\n"
       "  --ledger=runs.jsonl append one JSONL run line (bst_report --trend)\n"
+      "  --prof              hardware profiler: per-phase PMU counters + sampling\n"
+      "  --prof-out=prof     profiler artifact prefix (<p>.folded, <p>.samples.json)\n"
       "  --calibrate[=p.json] measure/load machine ceilings (attainment)\n"
       "  --fingerprint       print the machine/build fingerprint and exit\n"
       "  --help              this list\n");
@@ -183,6 +185,13 @@ int run_simnet(const util::Cli& cli, const toeplitz::BlockToeplitz& t,
                  "bst_solve: warning: critical path (%.9e s) does not telescope to the "
                  "simulated makespan (%.9e s)\n",
                  analysis.critical_path_seconds, analysis.makespan);
+  }
+
+  // Profiled run: settle the sampler before any report is built so the
+  // prof section and the folded artifacts are final.
+  if (util::Prof::armed()) {
+    util::Prof::disarm();
+    util::Prof::write_artifacts();
   }
 
   util::PerfReport report("bst_solve");
@@ -298,12 +307,22 @@ int main(int argc, char** argv) {
     const std::string profile_path = cli.get("profile", "");
     const std::string trace_path = cli.get("trace", "");
     const std::string ledger_path = cli.get("ledger", "");
-    const bool observe = !profile_path.empty() || !trace_path.empty() || !ledger_path.empty();
+    // --prof / BST_PROF: hardware-truth profiling (util/prof).  It rides
+    // the tracer's spans, so it implies the observed path even without
+    // --profile (artifacts still get written; the report just isn't).
+    util::ProfOptions popt = util::ProfOptions::from_env();
+    const bool prof = cli.has("prof") || popt.armed_by_env;
+    const bool observe =
+        !profile_path.empty() || !trace_path.empty() || !ledger_path.empty() || prof;
     if (observe) {
       util::Tracer::reset();
       util::ThreadPool::global().reset_worker_stats();
       util::Tracer::enable();
       if (!trace_path.empty()) util::FlightRecorder::enable();
+      if (prof) {
+        popt.out_prefix = cli.get("prof-out", popt.out_prefix);
+        util::Prof::arm(popt);
+      }
     }
 
     if (simulate) {
@@ -321,6 +340,13 @@ int main(int argc, char** argv) {
     const double t0 = util::wall_seconds();
     core::SolveReport rep = core::toeplitz_solve(t, b, opt);
     const double dt = util::wall_seconds() - t0;
+
+    // Stop sampling at solve end: the report below must carry final
+    // sampler stats, and I/O time does not belong in the flamegraph.
+    if (prof) {
+      util::Prof::disarm();
+      util::Prof::write_artifacts();
+    }
 
     if (cli.has("out")) {
       toeplitz::write_vector_file(cli.get("out", ""), rep.x);

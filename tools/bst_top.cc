@@ -45,6 +45,9 @@ struct Tick {
   double cache_mb = 0.0;
   double slow = 0.0;
   double warnings = 0.0;
+  double stalls = 0.0;
+  double stalled_threads = 0.0;
+  double dropped = 0.0;
   double self_s = 0.0;
   std::uint64_t seq = 0;
 };
@@ -76,12 +79,15 @@ bool parse_tick(const std::string& line, Tick& out) {
     out.hit_rate = hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
     out.slow = num_at(*c, "service_slow_requests");
     out.warnings = num_at(*c, "watchdog_warnings");
+    out.stalls = num_at(*c, "stalls_detected");
+    out.dropped = num_at(*c, "metrics_dropped");
   }
   if (const Json* g = doc.find("gauges"); g != nullptr) {
     out.queue_depth = num_at(*g, "service_queue_depth");
     out.inflight = num_at(*g, "service_inflight");
     out.backlog_ms = num_at(*g, "service_backlog_age_ms");
     out.cache_mb = num_at(*g, "service_cache_resident_bytes") / (1024.0 * 1024.0);
+    out.stalled_threads = num_at(*g, "stalled_threads");
   }
   return true;
 }
@@ -131,6 +137,13 @@ void render(const std::vector<Tick>& ticks, const std::string& stream) {
               now.backlog_ms);
   std::printf("  cache_mb   %10.2f  slow %.0f   warnings %.0f\n", now.cache_mb, now.slow,
               now.warnings);
+  // Health line: stallguard verdicts and the exporter's own drop counter.
+  // Zero across the board is the healthy steady state; any nonzero value is
+  // the first thing an operator should chase (docs/OBSERVABILITY.md).
+  std::printf("  health     stalls %.0f   stalled_threads %.0f  %s   metrics_dropped %.0f\n",
+              now.stalls, now.stalled_threads,
+              bst::util::sparkline(series(ticks, &Tick::stalled_threads)).c_str(),
+              now.dropped);
 }
 
 // Complete flag reference (docs/API.md mirrors this; tools/check_docs.py
@@ -150,7 +163,7 @@ int help() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   bst::util::Cli cli(argc, argv);
   if (cli.has("help")) return help();
   const std::string stream = cli.get("stream", "");
@@ -195,4 +208,7 @@ int main(int argc, char** argv) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
   }
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bst_top: %s\n", e.what());
+  return 2;
 }

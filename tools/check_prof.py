@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Profiler-artifact gate (run as a ctest and by the prof-smoke CI job).
+
+Validates the three outputs of a --prof run (util/prof, docs/OBSERVABILITY.md):
+
+  1. the JSON report's "prof" section: pmu status/available/threads are
+     consistent, the sampler block is well-formed, and -- when hardware
+     counters were live -- the per-phase rows carry cycles/IPC and the
+     attainment section joins measured against modeled bytes;
+  2. the folded-stack file: every line is "stack count" with the stack
+     rooted at a "phase:" frame (flamegraph.pl-compatible);
+  3. the Perfetto/chrome-trace JSON: a traceEvents array holding the
+     thread-name metadata and the instant sample events.
+
+The PMU expectation is explicit because CI asserts *both* directions:
+--require-pmu=yes on bare metal, --require-pmu=no for the graceful
+fallback in restricted containers (perf_event_open denied), and the
+default auto accepts whatever the kernel allowed.
+
+The sampling-overhead budget (--max-overhead, default 3% of the measured
+makespan) is only enforced when the run is long enough to measure
+meaningfully; sub-50 ms runs are all noise.
+
+Usage:
+  check_prof.py --report=prof.json [--folded=prof.folded]
+                [--perfetto=prof.samples.json] [--require-pmu=auto|yes|no]
+                [--require-samples=N] [--max-overhead=0.03]
+
+Exit codes: 0 ok, 1 validation failure, 2 usage.
+"""
+
+import json
+import pathlib
+import re
+import sys
+
+FOLDED_RE = re.compile(r"^(\S.*) (\d+)$")
+MIN_MEASURABLE_MAKESPAN_S = 0.05
+
+
+def parse_args(argv):
+    args = {
+        "report": None,
+        "folded": None,
+        "perfetto": None,
+        "require-pmu": "auto",
+        "require-samples": "0",
+        "max-overhead": "0.03",
+    }
+    for arg in argv:
+        if not arg.startswith("--") or "=" not in arg:
+            sys.exit(f"check_prof: unexpected argument '{arg}' (want --key=value)")
+        key, _, value = arg[2:].partition("=")
+        if key not in args:
+            sys.exit(f"check_prof: unknown argument '--{key}'")
+        args[key] = value
+    if not args["report"]:
+        sys.exit("usage: check_prof.py --report=prof.json [--folded=...] "
+                 "[--perfetto=...] [--require-pmu=auto|yes|no] "
+                 "[--require-samples=N] [--max-overhead=0.03]")
+    if args["require-pmu"] not in ("auto", "yes", "no"):
+        sys.exit("check_prof: --require-pmu must be auto, yes or no")
+    return args
+
+
+def makespan_seconds(report):
+    """Best available wall-clock estimate: the attainment makespan when the
+    run was calibrated, otherwise the sum of per-phase seconds."""
+    att = report.get("attainment")
+    if isinstance(att, dict) and isinstance(att.get("makespan_s"), (int, float)):
+        return float(att["makespan_s"])
+    total = 0.0
+    for row in report.get("phases", {}).values():
+        if isinstance(row, dict):
+            total += float(row.get("seconds", 0.0))
+    return total
+
+
+def check_report(path, require_pmu, require_samples, max_overhead, problems):
+    try:
+        report = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as e:
+        problems.append(f"report '{path}': cannot load ({e})")
+        return None
+    prof = report.get("prof")
+    if not isinstance(prof, dict):
+        problems.append(f"report '{path}': no 'prof' section (was --prof given?)")
+        return None
+
+    pmu = prof.get("pmu")
+    if not isinstance(pmu, dict):
+        problems.append("prof.pmu: missing")
+        return report
+    status = pmu.get("status", "")
+    available = pmu.get("available")
+    if not isinstance(available, bool):
+        problems.append("prof.pmu.available: not a boolean")
+        available = False
+    if available and status != "ok":
+        problems.append(f"prof.pmu: available but status is '{status}', not 'ok'")
+    if not available and status == "ok":
+        problems.append("prof.pmu: status 'ok' but available is false")
+    if available and pmu.get("threads", 0) < 1:
+        problems.append("prof.pmu: available but no thread opened a counter group")
+    if require_pmu == "yes" and not available:
+        problems.append(f"prof.pmu: required but unavailable (status: '{status}')")
+    if require_pmu == "no" and available:
+        problems.append("prof.pmu: expected the no-PMU fallback but counters are live")
+
+    # With live counters, the phase rows must carry the measured columns and
+    # the attainment section must join measured against modeled bytes.
+    if available:
+        phases = report.get("phases", {})
+        counted = [r for r in phases.values()
+                   if isinstance(r, dict) and r.get("cycles", 0) > 0]
+        if not counted:
+            problems.append("prof.pmu: available but no phase row carries cycles")
+        for name, row in sorted(phases.items()):
+            if not isinstance(row, dict) or row.get("cycles", 0) <= 0:
+                continue
+            if row.get("instructions", 0) > 0 and row.get("ipc", 0) <= 0:
+                problems.append(f"phase '{name}': instructions counted but ipc missing")
+        att = report.get("attainment", {})
+        att_phases = att.get("phases", {}) if isinstance(att, dict) else {}
+        joined = [r for r in att_phases.values()
+                  if isinstance(r, dict) and "measured_vs_model_bytes_ratio" in r]
+        if att_phases and counted and not joined:
+            problems.append("attainment: no phase joins measured against modeled bytes")
+
+    sampler = prof.get("sampler")
+    if not isinstance(sampler, dict):
+        problems.append("prof.sampler: missing")
+        return report
+    samples = int(sampler.get("samples", 0))
+    if sampler.get("enabled") and int(sampler.get("interval_us", 0)) <= 0:
+        problems.append("prof.sampler: enabled but interval_us is not positive")
+    if samples < int(require_samples):
+        problems.append(f"prof.sampler: {samples} samples, required >= {require_samples}")
+    if samples > 0 and not sampler.get("enabled"):
+        problems.append("prof.sampler: samples captured while marked disabled")
+
+    # Overhead budget: estimated capture cost against the measured makespan.
+    makespan = makespan_seconds(report)
+    overhead = float(sampler.get("overhead_s", 0.0))
+    if samples > 0 and makespan >= MIN_MEASURABLE_MAKESPAN_S:
+        budget = float(max_overhead) * makespan
+        if overhead > budget:
+            problems.append(
+                f"prof.sampler: overhead {overhead:.6f}s exceeds "
+                f"{float(max_overhead):.1%} of makespan {makespan:.3f}s")
+    return report
+
+
+def check_folded(path, problems):
+    try:
+        lines = pathlib.Path(path).read_text().splitlines()
+    except OSError as e:
+        problems.append(f"folded '{path}': cannot read ({e})")
+        return
+    if not lines:
+        problems.append(f"folded '{path}': empty")
+        return
+    for i, line in enumerate(lines, 1):
+        m = FOLDED_RE.match(line)
+        if not m:
+            problems.append(f"folded '{path}' line {i}: not 'stack count'")
+            continue
+        stack, count = m.group(1), int(m.group(2))
+        if not stack.startswith("phase:"):
+            problems.append(f"folded '{path}' line {i}: stack not rooted at 'phase:'")
+        if count < 1:
+            problems.append(f"folded '{path}' line {i}: zero count")
+        if ";;" in stack or stack.endswith(";"):
+            problems.append(f"folded '{path}' line {i}: empty frame in stack")
+
+
+def check_perfetto(path, problems):
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as e:
+        problems.append(f"perfetto '{path}': cannot load ({e})")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append(f"perfetto '{path}': no traceEvents array")
+        return
+    kinds = {}
+    for ev in events:
+        kinds[ev.get("ph")] = kinds.get(ev.get("ph"), 0) + 1
+    if kinds.get("M", 0) < 1:
+        problems.append(f"perfetto '{path}': no thread-name metadata events")
+    if kinds.get("i", 0) < 1:
+        problems.append(f"perfetto '{path}': no instant sample events")
+    for ev in events:
+        if ev.get("ph") == "i" and "stack" not in ev.get("args", {}):
+            problems.append(f"perfetto '{path}': sample event without args.stack")
+            break
+
+
+def main(argv):
+    args = parse_args(argv)
+    problems = []
+    check_report(args["report"], args["require-pmu"], args["require-samples"],
+                 args["max-overhead"], problems)
+    if args["folded"]:
+        check_folded(args["folded"], problems)
+    if args["perfetto"]:
+        check_perfetto(args["perfetto"], problems)
+    if problems:
+        print("check_prof: validation failed:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("check_prof: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
