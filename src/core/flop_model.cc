@@ -1,5 +1,9 @@
 #include "core/flop_model.h"
 
+#include <cstdint>
+
+#include "toeplitz/fft.h"
+
 namespace bst::core {
 namespace {
 double d(index_t v) { return static_cast<double>(v); }
@@ -152,6 +156,59 @@ std::vector<util::PhaseModel> schur_phase_models(Representation rep, index_t n, 
 
 double factorization_flops_model(index_t n, index_t ms) {
   return 4.0 * d(ms) * d(n) * d(n);
+}
+
+double fft_flops_impl(std::size_t n, bool inverse) {
+  if (n <= 1) return 0.0;
+  std::uint64_t log2n = 0;
+  for (std::size_t v = n; v > 1; v >>= 1) ++log2n;
+  return 5.0 * static_cast<double>(n) * static_cast<double>(log2n) +
+         (inverse ? static_cast<double>(n) : 0.0);
+}
+
+double dft_flops_impl(std::size_t n, bool inverse) {
+  if (n <= 1) return 0.0;
+  if ((n & (n - 1)) == 0) return fft_flops_impl(n, inverse);
+  // Bluestein: two forward and one inverse transform at the embedding
+  // order, plus the explicitly charged chirp/pointwise work.  The cost is
+  // direction-independent (the inverse only changes the chirp's sign).
+  const std::size_t nfft = toeplitz::next_pow2(2 * n - 1);
+  return 2.0 * fft_flops_impl(nfft, false) + fft_flops_impl(nfft, true) +
+         6.0 * static_cast<double>(nfft) + 12.0 * static_cast<double>(n);
+}
+
+std::vector<util::PhaseModel> pcg_phase_models(index_t m, index_t p, int iterations) {
+  std::vector<util::PhaseModel> out;
+  if (m <= 0 || p <= 0) return out;
+  const double md = d(m), pd = d(p), n = md * pd;
+  const std::size_t nfft = toeplitz::next_pow2(2 * static_cast<std::size_t>(p));
+  const double its = static_cast<double>(iterations);
+
+  // BlockCirculantMultiplier ctor: m^2 forward transforms at the embedding
+  // order (the pointwise assembly is copies, not flops).
+  out.push_back({"fft_setup", md * md * fft_flops_impl(nfft, false), 0.0});
+
+  // CirculantPreconditioner ctor: m^2 forward DFTs of length p plus the
+  // integer-arithmetic Cholesky charge from pcg.cc.
+  const double chol = static_cast<double>(8 * static_cast<std::uint64_t>(m) *
+                                          static_cast<std::uint64_t>(m) *
+                                          static_cast<std::uint64_t>(m) *
+                                          static_cast<std::uint64_t>(p) / 3);
+  out.push_back({"pcg_setup", md * md * dft_flops_impl(static_cast<std::size_t>(p), false) + chol,
+                 0.0});
+
+  // The solve, inclusive of nested spans: per matvec m forward + m inverse
+  // transforms and the 8 P m^2 spectral accumulate; per preconditioner
+  // apply (one initial + one per non-final iteration = `iterations` total
+  // on a converged run) 2m DFTs of length p and the 8 m^2 p triangular
+  // solves; plus 10 n vector-update flops per iteration.
+  const double matvec = md * (fft_flops_impl(nfft, false) + fft_flops_impl(nfft, true)) +
+                        8.0 * static_cast<double>(nfft) * md * md;
+  const double precond = md * (dft_flops_impl(static_cast<std::size_t>(p), false) +
+                               dft_flops_impl(static_cast<std::size_t>(p), true)) +
+                         8.0 * md * md * pd;
+  out.push_back({"pcg", its * (matvec + precond + 10.0 * n), 0.0});
+  return out;
 }
 
 }  // namespace bst::core

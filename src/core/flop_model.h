@@ -70,4 +70,22 @@ std::vector<util::PhaseModel> schur_phase_models(Representation rep, index_t n, 
 /// the leading-order term used in the block-size tradeoff discussion.
 double factorization_flops_model(index_t n, index_t ms);
 
+/// As-charged cost of one fft() call of the given length (toeplitz/fft.h
+/// charges 5 n log2 n, plus n for the inverse's scaling pass).
+double fft_flops_impl(std::size_t n, bool inverse);
+
+/// As-charged cost of one dft() call: fft for powers of two, Bluestein's
+/// three transforms plus chirp work otherwise.
+double dft_flops_impl(std::size_t n, bool inverse);
+
+/// Per-phase modeled flop budget of a *converged* circulant-preconditioned
+/// CG solve (core/pcg.h) on a block Toeplitz system with block size m and
+/// p block rows that spent `iterations` matvecs: "fft_setup" (the
+/// block-circulant spectra of the operator), "pcg_setup" (Strang spectra +
+/// per-frequency Cholesky) and "pcg" (the solve, inclusive of its nested
+/// matvec/preconditioner spans).  As-implemented models only -- the paper
+/// has no superfast tier, so paper_flops stays 0 and the attainment join
+/// reports model_ratio alone for these phases.
+std::vector<util::PhaseModel> pcg_phase_models(index_t m, index_t p, int iterations);
+
 }  // namespace bst::core

@@ -10,6 +10,7 @@
 #include "util/crashbox.h"
 #include "util/fault.h"
 #include "util/flight_recorder.h"
+#include "util/flops.h"
 #include "util/metrics.h"
 #include "util/prof.h"
 #include "util/stallguard.h"
@@ -19,7 +20,9 @@ namespace bst::service {
 namespace {
 
 const util::PhaseId kSolvePhase = util::Tracer::phase("service_solve");
+const util::PhaseId kRefinePhase = util::Tracer::phase("service_refine");
 const util::CtrId kSubmitted = util::Metrics::counter("service_submitted");
+const util::CtrId kRefineSweeps = util::Metrics::counter("service_refine_sweeps");
 const util::CtrId kRejected = util::Metrics::counter("service_rejected");
 const util::CtrId kCompleted = util::Metrics::counter("service_completed");
 const util::CtrId kBatches = util::Metrics::counter("service_batches");
@@ -117,6 +120,7 @@ ServiceOptions sanitize(ServiceOptions o) {
   o.max_batch = std::max<index_t>(1, o.max_batch);
   o.rhs_panel = std::max<index_t>(1, o.rhs_panel);
   o.queue_capacity = std::max<std::size_t>(1, o.queue_capacity);
+  o.refine_steps = std::max(0, o.refine_steps);
   return o;
 }
 
@@ -138,6 +142,9 @@ ServiceOptions ServiceOptions::from_env(ServiceOptions base) {
   }
   base.slow_ms = env_f64("BST_SERVICE_SLOW_MS", base.slow_ms);
   base.trace_requests = env_u64("BST_SERVICE_TRACE_REQS", base.trace_requests);
+  base.refine_steps = std::max(
+      0, static_cast<int>(env_u64("BST_SERVICE_REFINE",
+                                  static_cast<std::uint64_t>(std::max(0, base.refine_steps)))));
   return base;
 }
 
@@ -172,6 +179,50 @@ void Service::solve_batch(const core::SchurFactor& f, la::View b_padded) {
   core::solve_rtdr_panels(f.r.view(), nullptr, b_padded, opt_.rhs_panel, opt_.parallel_panels);
 }
 
+std::shared_ptr<const toeplitz::BlockCirculantMultiplier> Service::multiplier_for(
+    const toeplitz::BlockToeplitz& t, const std::string& key) {
+  std::lock_guard lock(fftmul_mu_);
+  if (auto it = fftmul_.find(key); it != fftmul_.end()) return it->second;
+  // Cheap bound: each entry holds m^2 spectra of O(2P) complex values, tiny
+  // next to the factors -- a simple clear-on-overflow keeps it honest for
+  // services that churn through many distinct matrices.
+  if (fftmul_.size() >= 16) fftmul_.clear();
+  auto mul = std::make_shared<const toeplitz::BlockCirculantMultiplier>(t);
+  fftmul_.emplace(key, mul);
+  return mul;
+}
+
+void Service::solve_batch_refined(const toeplitz::BlockToeplitz& t, const std::string& key,
+                                  const core::SchurFactor& f, la::View b_inout) {
+  if (opt_.refine_steps <= 0) {
+    solve_batch(f, b_inout);
+    return;
+  }
+  const index_t n = b_inout.rows(), cols = b_inout.cols();
+  const auto mul = multiplier_for(t, key);
+  // Keep B: after the in-place solve b_inout holds X, and each sweep needs
+  // the original right-hand sides for R = B - T X.  Zero-padded columns
+  // have zero residuals, so refining the full padded width is exact.
+  la::Mat b0(n, cols);
+  la::copy(b_inout, b0.view());
+  solve_batch(f, b_inout);
+  la::Mat r(n, cols);
+  for (int s = 0; s < opt_.refine_steps; ++s) {
+    util::TraceSpan span(kRefinePhase);
+    mul->residual(b0.view(), b_inout, r.view());
+    solve_batch(f, r.view());  // r becomes the correction dX
+    for (index_t j = 0; j < cols; ++j) {
+      const double* dj = r.data() + j * r.ld();
+      double* xj = b_inout.data() + j * b_inout.ld();
+      for (index_t i = 0; i < n; ++i) xj[i] += dj[i];
+    }
+    util::FlopCounter::charge(static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(cols));
+  }
+  refine_sweeps_.fetch_add(static_cast<std::uint64_t>(opt_.refine_steps),
+                          std::memory_order_relaxed);
+  util::Metrics::add(kRefineSweeps, static_cast<std::uint64_t>(opt_.refine_steps));
+}
+
 SolveResult Service::solve(const toeplitz::BlockToeplitz& t, const std::vector<double>& b) {
   const index_t n = t.order();
   if (static_cast<index_t>(b.size()) != n) {
@@ -194,12 +245,14 @@ SolveResult Service::solve(const toeplitz::BlockToeplitz& t, const std::vector<d
   // sees, so the answer bits match the batched path exactly.
   la::Mat pad(n, opt_.rhs_panel);
   std::copy(b.begin(), b.end(), pad.data());
-  solve_batch(*f, pad.view());
+  solve_batch_refined(t, problem_key(t, opt_.schur), *f, pad.view());
   SolveResult res;
   res.x.assign(pad.data(), pad.data() + n);
   res.cache_hit = hit;
   res.factor_flops = f->flops;
   res.batch_cols = 1;
+  res.refine_steps = opt_.refine_steps;
+  res.solver_path = opt_.refine_steps > 0 ? "schur+refine" : "schur";
   res.done_ns = util::TraceClock::now_ns();
   res.req_id = id;
   res.queue_ns = 0;
@@ -249,7 +302,7 @@ la::Mat Service::solve_many(const toeplitz::BlockToeplitz& t, la::CView b) {
   const index_t padded = ((k + panel - 1) / panel) * panel;
   la::Mat pad(n, padded);
   la::copy(b, pad.block(0, 0, n, k));
-  solve_batch(*f, pad.view());
+  solve_batch_refined(t, problem_key(t, opt_.schur), *f, pad.view());
   la::Mat x(n, k);
   la::copy(pad.block(0, 0, n, k), x.view());
   const std::uint64_t done_ns = util::TraceClock::now_ns();
@@ -415,7 +468,7 @@ void Service::dispatcher_loop() {
         const std::vector<double>& b = batch[static_cast<std::size_t>(j)].b;
         std::copy(b.begin(), b.end(), pad.data() + j * n);
       }
-      solve_batch(*f, pad.view());
+      solve_batch_refined(batch.front().t, batch.front().key, *f, pad.view());
       const std::uint64_t done_ns = util::TraceClock::now_ns();
       const std::uint64_t warn_delta = util::Metrics::counter_value(kWarnings) - warn0;
       util::Metrics::record(kBatchHist, static_cast<std::uint64_t>(k));
@@ -433,6 +486,8 @@ void Service::dispatcher_loop() {
         res.factor_ns = factor_done_ns - pop_ns;
         res.solve_ns = done_ns - factor_done_ns;
         res.warnings = warn_delta;
+        res.refine_steps = opt_.refine_steps;
+        res.solver_path = opt_.refine_steps > 0 ? "schur+refine" : "schur";
         util::Metrics::record(kLatencyHist, done_ns - req.submit_ns);
         emit_request_track(opt_, req.id, hit, req.submit_ns, pop_ns, factor_done_ns,
                            done_ns, static_cast<std::uint64_t>(k));
@@ -484,6 +539,7 @@ ServiceStats Service::stats() const {
   s.max_batch = max_batch_;
   s.queue_peak = queue_peak_;
   s.slow = slow_;
+  s.refine_sweeps = refine_sweeps_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -512,10 +568,14 @@ util::Json Service::stats_json() const {
   batch.set("mean_batch", util::Json::number(s.mean_batch()));
   batch.set("max_batch_limit", util::Json::number(static_cast<std::uint64_t>(opt_.max_batch)));
   batch.set("rhs_panel", util::Json::number(static_cast<std::uint64_t>(opt_.rhs_panel)));
+  util::Json refine = util::Json::object();
+  refine.set("steps", util::Json::number(static_cast<std::uint64_t>(opt_.refine_steps)));
+  refine.set("sweeps", util::Json::number(s.refine_sweeps));
   util::Json root = util::Json::object();
   root.set("cache", std::move(cache));
   root.set("queue", std::move(queue));
   root.set("batch", std::move(batch));
+  root.set("refine", std::move(refine));
   return root;
 }
 

@@ -55,6 +55,16 @@
 //   BST_SERVICE_NOCACHE      "1" disables the factor cache (baseline mode)
 //   BST_SERVICE_SLOW_MS      slow-request log threshold in ms (0 = off)
 //   BST_SERVICE_TRACE_REQS   max requests that get "req:<id>" trace tracks
+//   BST_SERVICE_REFINE       iterative-refinement sweeps per solve (0 = off)
+//
+// Refinement (BST_SERVICE_REFINE / ServiceOptions::refine_steps): every
+// solve -- sync, batched, or dispatched -- is followed by that many sweeps
+// of  R = B - T X;  solve R panels;  X += dX, with the residuals computed
+// through the cached block-circulant FFT embedding (toeplitz/fft.h), so a
+// k-column batch pays O(k m^2 P log P) per sweep instead of k dense
+// matvecs.  The multipliers are cached per problem key alongside the
+// factor cache.  Requests report the route as SolveResult::solver_path
+// ("schur" or "schur+refine") plus the sweeps applied.
 #pragma once
 
 #include <atomic>
@@ -62,14 +72,17 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/schur.h"
 #include "service/cache.h"
 #include "toeplitz/block_toeplitz.h"
+#include "toeplitz/fft.h"
 #include "util/report.h"
 
 namespace bst::service {
@@ -87,6 +100,7 @@ struct ServiceOptions {
   bool parallel_panels = true;         // spread panels across the ThreadPool
   double slow_ms = 100.0;              // slow-request log threshold (0 = off)
   std::uint64_t trace_requests = 32;   // "req:<id>" tracks minted while tracing
+  int refine_steps = 0;                // FFT-residual refinement sweeps (0 = off)
 
   /// Applies BST_SERVICE_* environment overrides on top of `base`.
   static ServiceOptions from_env(ServiceOptions base);
@@ -105,6 +119,8 @@ struct SolveResult {
   std::uint64_t factor_ns = 0;    // cache lookup + (on miss) factorization
   std::uint64_t solve_ns = 0;     // panel solve + scatter
   std::uint64_t warnings = 0;     // watchdog warnings fired while serving it
+  int refine_steps = 0;           // FFT-residual sweeps applied to this solve
+  std::string solver_path = "schur";  // "schur" or "schur+refine"
 };
 
 /// Copied-out service counters (cache + queue + batching).
@@ -117,6 +133,7 @@ struct ServiceStats {
   std::uint64_t max_batch = 0;  // largest coalesced batch
   std::uint64_t queue_peak = 0; // high-water mark of the admission queue
   std::uint64_t slow = 0;       // requests past the slow_ms threshold
+  std::uint64_t refine_sweeps = 0;  // FFT-residual sweeps executed
 
   [[nodiscard]] double mean_batch() const {
     return batches == 0 ? 0.0 : static_cast<double>(completed) / static_cast<double>(batches);
@@ -178,6 +195,17 @@ class Service {
   /// Solves the padded batch in place: fixed-width panels over the pool.
   void solve_batch(const core::SchurFactor& f, la::View b_padded);
 
+  /// solve_batch plus opt_.refine_steps batched FFT-residual sweeps (the
+  /// plain solve when refinement is off; needs `t`/`key` for the cached
+  /// block-circulant multiplier).
+  void solve_batch_refined(const toeplitz::BlockToeplitz& t, const std::string& key,
+                           const core::SchurFactor& f, la::View b_inout);
+
+  /// Cached block-circulant embedding for the FFT residuals, keyed like
+  /// the factor cache.
+  std::shared_ptr<const toeplitz::BlockCirculantMultiplier> multiplier_for(
+      const toeplitz::BlockToeplitz& t, const std::string& key);
+
   void dispatcher_loop();
 
   ServiceOptions opt_;
@@ -193,6 +221,13 @@ class Service {
   std::uint64_t submitted_ = 0, rejected_ = 0, completed_ = 0;
   std::uint64_t batches_ = 0, max_batch_ = 0, queue_peak_ = 0, slow_ = 0;
   std::atomic<std::uint64_t> next_req_id_{1};
+  std::atomic<std::uint64_t> refine_sweeps_{0};
+
+  // Cached FFT embeddings for refinement residuals (small: spectra are
+  // O(m^2 P) complex values per matrix; bounded by eviction below).
+  mutable std::mutex fftmul_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const toeplitz::BlockCirculantMultiplier>>
+      fftmul_;
 
   std::thread dispatcher_;  // started last, joined first
 };

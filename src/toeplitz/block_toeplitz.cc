@@ -1,5 +1,6 @@
 #include "toeplitz/block_toeplitz.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -43,6 +44,28 @@ Mat BlockToeplitz::dense() const {
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < n; ++i) t(i, j) = entry(i, j);
   return t;
+}
+
+double BlockToeplitz::norm1_upper() const {
+  // Column (bj, rj) of the full matrix sums |T_k(:, rj)| for the blocks
+  // above the diagonal and |T_k(rj, :)| for the transposed blocks below
+  // it; bounding both sums by their full k = 1..p totals gives a bound
+  // independent of bj.
+  double worst = 0.0;
+  for (index_t rj = 0; rj < m_; ++rj) {
+    double s = 0.0;
+    for (index_t k = 1; k <= p_; ++k) {
+      const CView tk = block(k);
+      double down = 0.0, across = 0.0;
+      for (index_t ri = 0; ri < m_; ++ri) {
+        down += std::fabs(tk(ri, rj));
+        across += std::fabs(tk(rj, ri));
+      }
+      s += (k == 1) ? down : down + across;
+    }
+    worst = std::max(worst, s);
+  }
+  return worst;
 }
 
 BlockToeplitz BlockToeplitz::with_block_size(index_t ms) const {

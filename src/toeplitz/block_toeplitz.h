@@ -44,6 +44,14 @@ class BlockToeplitz {
   /// Materializes the full dense n x n matrix (tests / baselines).
   [[nodiscard]] Mat dense() const;
 
+  /// Cheap upper bound on ||T||_1 (= ||T||_inf by symmetry): one O(p m^2)
+  /// pass over the first block row that bounds every column sum of the
+  /// full matrix by the worst within-block column's total across all
+  /// blocks (both orientations).  Overestimates by at most 2x; used by the
+  /// solver-crossover policy's condition estimate (core/solver.h), where a
+  /// factor of two does not move the decision.
+  [[nodiscard]] double norm1_upper() const;
+
   /// Re-interprets the same matrix with block size `ms` (must divide the
   /// order and be a multiple of m).  This is the paper's m_s != m device:
   /// a block Toeplitz matrix with block size m is also block Toeplitz for

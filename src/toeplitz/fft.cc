@@ -10,6 +10,10 @@
 namespace bst::toeplitz {
 namespace {
 const util::PhaseId kFftPhase = util::Tracer::phase("fft");
+const util::PhaseId kDftPhase = util::Tracer::phase("dft");
+const util::PhaseId kFftSetupPhase = util::Tracer::phase("fft_setup");
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 }  // namespace
 
 std::size_t next_pow2(std::size_t n) {
@@ -58,23 +62,172 @@ void fft(std::vector<cplx>& a, bool inverse) {
   }
 }
 
+void dft(std::vector<cplx>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n <= 1) return;
+  if (is_pow2(n)) {
+    fft(a, inverse);
+    return;
+  }
+  // Bluestein's chirp-z: with w_j = exp(sign i pi j^2 / n),
+  //   X_k = w_k * sum_j (a_j w_j) conj(w_{k-j}),
+  // a linear convolution computed cyclically at order next_pow2(2n-1).
+  // j^2 is reduced mod 2n before the twiddle (exp has period 2n in j^2),
+  // so the argument stays O(pi) at any length.  Separate phase from "fft"
+  // so the three inner transforms are not double-committed to one id.
+  util::TraceSpan span(kDftPhase);
+  const double sign = inverse ? 1.0 : -1.0;
+  const std::size_t nfft = next_pow2(2 * n - 1);
+  std::vector<cplx> w(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t q = (j * j) % (2 * n);
+    const double ang = sign * M_PI * static_cast<double>(q) / static_cast<double>(n);
+    w[j] = cplx(std::cos(ang), std::sin(ang));
+  }
+  std::vector<cplx> x(nfft, cplx{}), chirp(nfft, cplx{});
+  for (std::size_t j = 0; j < n; ++j) x[j] = a[j] * w[j];
+  chirp[0] = cplx(1.0, 0.0);
+  for (std::size_t j = 1; j < n; ++j) chirp[j] = chirp[nfft - j] = std::conj(w[j]);
+  fft(x, /*inverse=*/false);
+  fft(chirp, /*inverse=*/false);
+  for (std::size_t i = 0; i < nfft; ++i) x[i] *= chirp[i];
+  fft(x, /*inverse=*/true);
+  // Chirp setup + two pointwise products (6 real flops per complex mult).
+  util::FlopCounter::charge(6 * static_cast<std::uint64_t>(nfft) +
+                            12 * static_cast<std::uint64_t>(n));
+  const double scale = inverse ? 1.0 / static_cast<double>(n) : 1.0;
+  for (std::size_t k = 0; k < n; ++k) a[k] = scale * (w[k] * x[k]);
+}
+
 CirculantMultiplier::CirculantMultiplier(const std::vector<double>& first_col) {
   n_ = first_col.size();
-  assert((n_ & (n_ - 1)) == 0 && "circulant order must be a power of two");
-  eig_.assign(n_, cplx{});
-  for (std::size_t i = 0; i < n_; ++i) eig_[i] = cplx(first_col[i], 0.0);
+  assert(n_ > 0 && "circulant order must be positive");
+  if (is_pow2(n_)) {
+    // Power-of-two order: diagonalize the circulant itself.
+    nfft_ = n_;
+    eig_.assign(nfft_, cplx{});
+    for (std::size_t i = 0; i < n_; ++i) eig_[i] = cplx(first_col[i], 0.0);
+  } else {
+    // Any other order: the circulant is a Toeplitz matrix with first column
+    // c and first row [c_0, c_{n-1}, ..., c_1]; embed it into a circulant
+    // of order next_pow2(2n-1) whose products restricted to the leading n
+    // entries are exact (zero padding prevents wraparound).
+    nfft_ = next_pow2(2 * n_ - 1);
+    eig_.assign(nfft_, cplx{});
+    for (std::size_t i = 0; i < n_; ++i) eig_[i] = cplx(first_col[i], 0.0);
+    for (std::size_t k = 1; k < n_; ++k) eig_[nfft_ - k] = cplx(first_col[n_ - k], 0.0);
+  }
   fft(eig_, /*inverse=*/false);
 }
 
 void CirculantMultiplier::apply(const std::vector<double>& x, std::vector<double>& y) const {
   assert(x.size() == n_);
-  std::vector<cplx> v(n_);
+  std::vector<cplx> v(nfft_, cplx{});
   for (std::size_t i = 0; i < n_; ++i) v[i] = cplx(x[i], 0.0);
   fft(v, /*inverse=*/false);
-  for (std::size_t i = 0; i < n_; ++i) v[i] *= eig_[i];
+  for (std::size_t i = 0; i < nfft_; ++i) v[i] *= eig_[i];
+  util::FlopCounter::charge(6 * static_cast<std::uint64_t>(nfft_));
   fft(v, /*inverse=*/true);
   y.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) y[i] = v[i].real();
+}
+
+BlockCirculantMultiplier::BlockCirculantMultiplier(const BlockToeplitz& t)
+    : m_(t.block_size()), p_(t.num_blocks()), n_(t.order()) {
+  util::TraceSpan span(kFftSetupPhase);
+  nfft_ = next_pow2(static_cast<std::size_t>(2 * p_));
+  eig_.resize(static_cast<std::size_t>(m_ * m_));
+  // For block-row offset ri and block-col offset rj, the scalar sequence
+  // over block indices (bi, bj) is Toeplitz with
+  //   first row  h_k = T_{k+1}(ri, rj)   (k = bj - bi >= 0)
+  //   first col  g_k = T_{k+1}(rj, ri)   (k = bi - bj >= 0, transposed block)
+  // and its circulant embedding of order nfft has first column
+  //   [g_0 .. g_{p-1}, 0 ..., h_{p-1} .. h_1].
+  std::vector<cplx> col(nfft_);
+  for (la::index_t ri = 0; ri < m_; ++ri) {
+    for (la::index_t rj = 0; rj < m_; ++rj) {
+      std::fill(col.begin(), col.end(), cplx{});
+      for (la::index_t k = 0; k < p_; ++k) {
+        col[static_cast<std::size_t>(k)] = cplx(t.block(k + 1)(rj, ri), 0.0);  // g_k
+      }
+      for (la::index_t k = 1; k < p_; ++k) {
+        col[nfft_ - static_cast<std::size_t>(k)] = cplx(t.block(k + 1)(ri, rj), 0.0);  // h_k
+      }
+      fft(col, /*inverse=*/false);
+      eig_[static_cast<std::size_t>(ri * m_ + rj)] = col;
+    }
+  }
+}
+
+void BlockCirculantMultiplier::apply_col(const double* x, double* y,
+                                         std::vector<std::vector<cplx>>& xs,
+                                         std::vector<cplx>& acc) const {
+  // Forward transforms of the m strided components of x.
+  for (la::index_t rj = 0; rj < m_; ++rj) {
+    auto& v = xs[static_cast<std::size_t>(rj)];
+    v.assign(nfft_, cplx{});
+    for (la::index_t k = 0; k < p_; ++k) {
+      v[static_cast<std::size_t>(k)] = cplx(x[k * m_ + rj], 0.0);
+    }
+    fft(v, /*inverse=*/false);
+  }
+  for (la::index_t ri = 0; ri < m_; ++ri) {
+    std::fill(acc.begin(), acc.end(), cplx{});
+    for (la::index_t rj = 0; rj < m_; ++rj) {
+      const auto& e = eig_[static_cast<std::size_t>(ri * m_ + rj)];
+      const auto& v = xs[static_cast<std::size_t>(rj)];
+      for (std::size_t i = 0; i < nfft_; ++i) acc[i] += e[i] * v[i];
+    }
+    // Complex multiply-accumulate: 8 real flops per element per (ri, rj).
+    util::FlopCounter::charge(8 * static_cast<std::uint64_t>(nfft_) *
+                              static_cast<std::uint64_t>(m_));
+    fft(acc, /*inverse=*/true);
+    for (la::index_t k = 0; k < p_; ++k) {
+      y[k * m_ + ri] = acc[static_cast<std::size_t>(k)].real();
+    }
+  }
+}
+
+void BlockCirculantMultiplier::apply(const std::vector<double>& x, std::vector<double>& y) const {
+  assert(static_cast<la::index_t>(x.size()) == n_);
+  y.resize(static_cast<std::size_t>(n_));
+  std::vector<std::vector<cplx>> xs(static_cast<std::size_t>(m_));
+  std::vector<cplx> acc(nfft_);
+  apply_col(x.data(), y.data(), xs, acc);
+}
+
+void BlockCirculantMultiplier::apply(la::CView x, la::View y) const {
+  assert(x.rows() == n_ && y.rows() == n_ && x.cols() == y.cols());
+  // Shared scratch across columns: the spectra are cached, so a k-column
+  // batch costs k times the transforms but one setup and one allocation.
+  std::vector<std::vector<cplx>> xs(static_cast<std::size_t>(m_));
+  std::vector<cplx> acc(nfft_);
+  for (la::index_t j = 0; j < x.cols(); ++j) {
+    apply_col(x.data() + j * x.ld(), y.data() + j * y.ld(), xs, acc);
+  }
+  util::ByteCounter::charge(16 * static_cast<std::uint64_t>(n_) *
+                            static_cast<std::uint64_t>(x.cols()));
+}
+
+void BlockCirculantMultiplier::residual(const std::vector<double>& b,
+                                        const std::vector<double>& x,
+                                        std::vector<double>& r) const {
+  apply(x, r);
+  assert(b.size() == r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+  util::FlopCounter::charge(static_cast<std::uint64_t>(r.size()));
+}
+
+void BlockCirculantMultiplier::residual(la::CView b, la::CView x, la::View r) const {
+  assert(b.rows() == n_ && b.cols() == x.cols() && b.cols() == r.cols());
+  apply(x, r);
+  for (la::index_t j = 0; j < b.cols(); ++j) {
+    const double* bj = b.data() + j * b.ld();
+    double* rj = r.data() + j * r.ld();
+    for (la::index_t i = 0; i < n_; ++i) rj[i] = bj[i] - rj[i];
+  }
+  util::FlopCounter::charge(static_cast<std::uint64_t>(n_) *
+                            static_cast<std::uint64_t>(b.cols()));
 }
 
 }  // namespace bst::toeplitz

@@ -1,12 +1,22 @@
-// Radix-2 complex FFT (iterative, in place).
+// Radix-2 complex FFT (iterative, in place) plus the circulant machinery
+// built on it.
 //
-// Used for the fast symmetric-Toeplitz matrix-vector product (circulant
-// embedding), which makes each iterative-refinement residual O(n log n)
-// instead of O(n^2) for scalar Toeplitz systems.
+// Used for the fast Toeplitz matrix-vector product (circulant embedding),
+// which makes each iterative-refinement residual -- and each iteration of
+// the preconditioned CG path (core/pcg.h) -- O(n log n) instead of O(n^2).
+// Three layers:
+//   * fft():  power-of-two radix-2 transform (the only kernel);
+//   * dft():  any length, via Bluestein's chirp-z reduction to fft();
+//   * CirculantMultiplier / BlockCirculantMultiplier: precomputed spectra
+//     for repeated products with a fixed (block) circulant / Toeplitz
+//     matrix.  Both own their power-of-two embedding internally, so
+//     callers never pad.
 #pragma once
 
 #include <complex>
 #include <vector>
+
+#include "toeplitz/block_toeplitz.h"
 
 namespace bst::toeplitz {
 
@@ -16,23 +26,82 @@ using cplx = std::complex<double>;
 /// `inverse` applies the conjugate transform and the 1/N scaling.
 void fft(std::vector<cplx>& a, bool inverse);
 
+/// In-place DFT of `a` of *any* length: power-of-two sizes go straight to
+/// fft(); everything else runs Bluestein's chirp-z algorithm (two
+/// power-of-two convolution transforms), so odd and prime lengths cost
+/// O(n log n) like the rest.
+void dft(std::vector<cplx>& a, bool inverse);
+
 /// Smallest power of two >= n.
 std::size_t next_pow2(std::size_t n);
 
 /// Precomputed circulant multiplier: y = C x where C is the circulant whose
-/// first column is `c`.  Apply() works for any real x of length c.size().
+/// first column is `c`.  Any logical order works: a power-of-two order is
+/// diagonalized directly; otherwise the circulant (itself a Toeplitz
+/// matrix) is embedded into a circulant of order next_pow2(2n-1) owned by
+/// this class -- callers never see or provide the padding.
 class CirculantMultiplier {
  public:
   explicit CirculantMultiplier(const std::vector<double>& first_col);
 
-  /// y := C x (x and y of the circulant order; y resized as needed).
+  /// y := C x (x and y of the logical order; y resized as needed).
   void apply(const std::vector<double>& x, std::vector<double>& y) const;
 
+  /// Logical circulant order (= first_col.size()).
   [[nodiscard]] std::size_t order() const noexcept { return n_; }
 
+  /// Internal transform length (n for power-of-two orders, else the
+  /// embedding order next_pow2(2n-1)).
+  [[nodiscard]] std::size_t fft_order() const noexcept { return nfft_; }
+
  private:
-  std::size_t n_ = 0;        // circulant order (power of two)
-  std::vector<cplx> eig_;    // FFT of the first column = eigenvalues
+  std::size_t n_ = 0;      // logical circulant order (any size)
+  std::size_t nfft_ = 0;   // power-of-two transform length
+  std::vector<cplx> eig_;  // spectra of the (embedded) first column
+};
+
+/// Precomputed block-circulant embedding of a symmetric block Toeplitz
+/// matrix T (block size m, p block rows, order n = m p): y = T x in
+/// O(m^2 P log P) per product (P = next_pow2(2p)) after one
+/// O(m^2 P log P) setup that caches the m^2 eigenvalue spectra -- the
+/// "eigen-blocks" of the embedding.  The batched overload runs every
+/// right-hand-side column through the same cached spectra with shared
+/// scratch, which is what makes multi-RHS residuals in the service layer
+/// O(k m^2 P log P) instead of k dense matvecs.
+class BlockCirculantMultiplier {
+ public:
+  explicit BlockCirculantMultiplier(const BlockToeplitz& t);
+
+  /// y := T x (y resized to the order of T).
+  void apply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Batched y := T x over columns: x and y are order() x k views (same k).
+  void apply(la::CView x, la::View y) const;
+
+  /// r := b - T x.
+  void residual(const std::vector<double>& b, const std::vector<double>& x,
+                std::vector<double>& r) const;
+
+  /// Batched r := b - T x over columns (all views order() x k).
+  void residual(la::CView b, la::CView x, la::View r) const;
+
+  [[nodiscard]] la::index_t order() const noexcept { return n_; }
+  [[nodiscard]] la::index_t block_size() const noexcept { return m_; }
+  [[nodiscard]] la::index_t num_blocks() const noexcept { return p_; }
+
+  /// Internal circulant order of the embedding (next_pow2(2p)).
+  [[nodiscard]] std::size_t fft_order() const noexcept { return nfft_; }
+
+ private:
+  // One column through the cached spectra; `xs` and `acc` are caller-owned
+  // scratch (m vectors of length nfft_ and one accumulator) so batched
+  // applies reuse them across columns.
+  void apply_col(const double* x, double* y, std::vector<std::vector<cplx>>& xs,
+                 std::vector<cplx>& acc) const;
+
+  la::index_t m_ = 0, p_ = 0, n_ = 0;
+  std::size_t nfft_ = 0;
+  std::vector<std::vector<cplx>> eig_;  // m*m spectra, index ri*m + rj
 };
 
 }  // namespace bst::toeplitz

@@ -1,5 +1,7 @@
 #include "toeplitz/io.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -44,14 +46,14 @@ class Tokens {
 
   double next_double(const char* what) {
     const std::string tok = next(what);
-    std::size_t pos = 0;
-    double v = 0;
-    try {
-      v = std::stod(tok, &pos);
-    } catch (...) {
-      pos = 0;
-    }
-    if (pos != tok.size()) {
+    // Not std::stod: glibc strtod flags subnormal results as ERANGE, which
+    // stod turns into out_of_range -- but subnormals are legitimate entries
+    // (kms decay reaches them well before n = 4096). Accept any finite
+    // parse that consumes the whole token; true overflow (HUGE_VAL) and
+    // trailing junk still reject.
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || !std::isfinite(v)) {
       throw std::runtime_error("expected number for " + std::string(what) + ", got '" + tok +
                                "'");
     }

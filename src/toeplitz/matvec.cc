@@ -8,58 +8,45 @@
 namespace bst::toeplitz {
 namespace {
 const util::PhaseId kMatVecPhase = util::Tracer::phase("toeplitz_matvec");
-const util::PhaseId kFftSetupPhase = util::Tracer::phase("fft_setup");
 }  // namespace
 
 MatVec::MatVec(const BlockToeplitz& t, MatVecMode mode) : t_(t), mode_(mode) {
-  if (mode_ != MatVecMode::Fft) return;
-  util::TraceSpan span(kFftSetupPhase);
-  const la::index_t m = t_.block_size();
-  const la::index_t p = t_.num_blocks();
-  nfft_ = next_pow2(static_cast<std::size_t>(2 * p));
-  eig_.resize(static_cast<std::size_t>(m * m));
-  // For block-row offset ri and block-col offset rj, the scalar sequence over
-  // block indices (bi, bj) is Toeplitz with
-  //   first row  h_k = T_{k+1}(ri, rj)   (k = bj - bi >= 0)
-  //   first col  g_k = T_{k+1}(rj, ri)   (k = bi - bj >= 0, transposed block)
-  // and its circulant embedding of order nfft has first column
-  //   [g_0 .. g_{p-1}, 0 ..., h_{p-1} .. h_1].
-  std::vector<double> col(nfft_);
-  for (la::index_t ri = 0; ri < m; ++ri) {
-    for (la::index_t rj = 0; rj < m; ++rj) {
-      std::fill(col.begin(), col.end(), 0.0);
-      for (la::index_t k = 0; k < p; ++k) {
-        col[static_cast<std::size_t>(k)] = t_.block(k + 1)(rj, ri);  // g_k
-      }
-      for (la::index_t k = 1; k < p; ++k) {
-        col[nfft_ - static_cast<std::size_t>(k)] = t_.block(k + 1)(ri, rj);  // h_k
-      }
-      auto& e = eig_[static_cast<std::size_t>(ri * m + rj)];
-      e.assign(nfft_, cplx{});
-      for (std::size_t i = 0; i < nfft_; ++i) e[i] = cplx(col[i], 0.0);
-      fft(e, /*inverse=*/false);
-    }
+  if (mode_ == MatVecMode::Fft) {
+    fftmul_ = std::make_shared<const BlockCirculantMultiplier>(t_);
   }
 }
 
 void MatVec::apply(const std::vector<double>& x, std::vector<double>& y) const {
   util::TraceSpan span(kMatVecPhase);
   assert(static_cast<la::index_t>(x.size()) == t_.order());
+  y.resize(static_cast<std::size_t>(t_.order()));
   if (mode_ == MatVecMode::Fft) {
-    apply_fft(x, y);
+    fftmul_->apply(x, y);
   } else {
-    apply_direct(x, y);
+    apply_direct(x.data(), y.data());
   }
 }
 
-void MatVec::apply_direct(const std::vector<double>& x, std::vector<double>& y) const {
+void MatVec::apply(la::CView x, la::View y) const {
+  util::TraceSpan span(kMatVecPhase);
+  assert(x.rows() == t_.order() && y.rows() == t_.order() && x.cols() == y.cols());
+  if (mode_ == MatVecMode::Fft) {
+    fftmul_->apply(x, y);
+    return;
+  }
+  for (la::index_t j = 0; j < x.cols(); ++j) {
+    apply_direct(x.data() + j * x.ld(), y.data() + j * y.ld());
+  }
+}
+
+void MatVec::apply_direct(const double* x, double* y) const {
   const la::index_t m = t_.block_size();
   const la::index_t p = t_.num_blocks();
-  y.assign(static_cast<std::size_t>(t_.order()), 0.0);
+  for (la::index_t i = 0; i < t_.order(); ++i) y[i] = 0.0;
   for (la::index_t bi = 0; bi < p; ++bi) {
-    double* yi = y.data() + bi * m;
+    double* yi = y + bi * m;
     for (la::index_t bj = 0; bj < p; ++bj) {
-      const double* xj = x.data() + bj * m;
+      const double* xj = x + bj * m;
       if (bj >= bi) {
         la::gemv(/*trans=*/false, 1.0, t_.block(bj - bi + 1), xj, 1.0, yi);
       } else {
@@ -69,40 +56,21 @@ void MatVec::apply_direct(const std::vector<double>& x, std::vector<double>& y) 
   }
 }
 
-void MatVec::apply_fft(const std::vector<double>& x, std::vector<double>& y) const {
-  const la::index_t m = t_.block_size();
-  const la::index_t p = t_.num_blocks();
-  // Forward transforms of the m strided components of x.
-  std::vector<std::vector<cplx>> xs(static_cast<std::size_t>(m));
-  for (la::index_t rj = 0; rj < m; ++rj) {
-    auto& v = xs[static_cast<std::size_t>(rj)];
-    v.assign(nfft_, cplx{});
-    for (la::index_t k = 0; k < p; ++k) {
-      v[static_cast<std::size_t>(k)] = cplx(x[static_cast<std::size_t>(k * m + rj)], 0.0);
-    }
-    fft(v, /*inverse=*/false);
-  }
-  y.assign(static_cast<std::size_t>(t_.order()), 0.0);
-  std::vector<cplx> acc(nfft_);
-  for (la::index_t ri = 0; ri < m; ++ri) {
-    std::fill(acc.begin(), acc.end(), cplx{});
-    for (la::index_t rj = 0; rj < m; ++rj) {
-      const auto& e = eig_[static_cast<std::size_t>(ri * m + rj)];
-      const auto& v = xs[static_cast<std::size_t>(rj)];
-      for (std::size_t i = 0; i < nfft_; ++i) acc[i] += e[i] * v[i];
-    }
-    fft(acc, /*inverse=*/true);
-    for (la::index_t k = 0; k < p; ++k) {
-      y[static_cast<std::size_t>(k * m + ri)] = acc[static_cast<std::size_t>(k)].real();
-    }
-  }
-}
-
 void MatVec::residual(const std::vector<double>& b, const std::vector<double>& x,
                       std::vector<double>& r) const {
   apply(x, r);
   assert(b.size() == r.size());
   for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+}
+
+void MatVec::residual(la::CView b, la::CView x, la::View r) const {
+  assert(b.rows() == t_.order() && b.cols() == x.cols() && b.cols() == r.cols());
+  apply(x, r);
+  for (la::index_t j = 0; j < b.cols(); ++j) {
+    const double* bj = b.data() + j * b.ld();
+    double* rj = r.data() + j * r.ld();
+    for (la::index_t i = 0; i < t_.order(); ++i) rj[i] = bj[i] - rj[i];
+  }
 }
 
 }  // namespace bst::toeplitz

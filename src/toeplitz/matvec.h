@@ -3,8 +3,10 @@
 // Iterative refinement (paper section 8) needs residuals r = b - T x against
 // the *exact* structured matrix.  Two evaluators are provided:
 //   * Direct:  block-wise gemv, O(p^2 m^2) per product, no setup cost.
-//   * Fft:     circulant embedding of the m^2 scalar Toeplitz sequences,
-//              O(m^2 P log P) per product after O(m^2 P log P) setup.
+//   * Fft:     block-circulant embedding (toeplitz/fft.h), O(m^2 P log P)
+//              per product after O(m^2 P log P) setup; the spectra are
+//              cached once per operator and shared by every residual,
+//              including the batched multi-RHS overloads.
 #pragma once
 
 #include <memory>
@@ -26,22 +28,27 @@ class MatVec {
   /// y := T x (y resized to the order of T).
   void apply(const std::vector<double>& x, std::vector<double>& y) const;
 
+  /// Batched y := T x over columns (x and y are order x k views).
+  void apply(la::CView x, la::View y) const;
+
   /// r := b - T x.
   void residual(const std::vector<double>& b, const std::vector<double>& x,
                 std::vector<double>& r) const;
 
+  /// Batched r := b - T x over columns (all views order x k).
+  void residual(la::CView b, la::CView x, la::View r) const;
+
   [[nodiscard]] la::index_t order() const noexcept { return t_.order(); }
+  [[nodiscard]] MatVecMode mode() const noexcept { return mode_; }
 
  private:
-  void apply_direct(const std::vector<double>& x, std::vector<double>& y) const;
-  void apply_fft(const std::vector<double>& x, std::vector<double>& y) const;
+  void apply_direct(const double* x, double* y) const;
 
   BlockToeplitz t_;
   MatVecMode mode_;
-  // FFT path: eigenvalue spectra of the (ri, rj) scalar sequences, each of
-  // circulant order nfft_.
-  std::size_t nfft_ = 0;
-  std::vector<std::vector<cplx>> eig_;  // m*m entries, index ri*m + rj
+  // FFT path: the block-circulant embedding with its cached eigen-blocks.
+  // Shared so MatVec stays cheap to copy.
+  std::shared_ptr<const BlockCirculantMultiplier> fftmul_;
 };
 
 }  // namespace bst::toeplitz

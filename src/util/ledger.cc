@@ -183,12 +183,27 @@ TrendReport ledger_trend(const std::vector<Json>& entries, double max_regress,
       m != nullptr && m->kind() == Json::Kind::String) {
     ref_machine = m->as_string();
   }
+  // Same-solver guard: "phases.pcg" seconds and "phases.reflector_apply"
+  // seconds belong to different algorithms; comparing a PCG run against a
+  // Schur history (or vice versa) would flag phantom regressions.  Entries
+  // predating the field (no params.solver_path) match anything.
+  auto solver_path_of = [](const Json& e) -> std::string {
+    const Json* params = e.find("params");
+    const Json* sp = params != nullptr ? params->find("solver_path") : nullptr;
+    return (sp != nullptr && sp->kind() == Json::Kind::String) ? sp->as_string() : "";
+  };
+  const std::string ref_path = solver_path_of(entries.back());
   std::vector<const Json*> comparable;
   for (const Json& e : entries) {
     const Json* m = e.find("machine");
     if (!ref_machine.empty() && m != nullptr && m->kind() == Json::Kind::String &&
         m->as_string() != ref_machine) {
       ++rep.skipped_machines;
+      continue;
+    }
+    if (const std::string p = solver_path_of(e); !ref_path.empty() && !p.empty() &&
+                                                 p != ref_path) {
+      ++rep.skipped_paths;
       continue;
     }
     comparable.push_back(&e);

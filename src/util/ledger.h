@@ -25,7 +25,11 @@
 // median.  Attainment series gate in the opposite direction (a *drop* past
 // the threshold regresses).  Entries whose "machine" fingerprint differs
 // from the newest entry's are excluded (apples vs oranges across
-// machines); entries predating the fingerprint field match anything.
+// machines); entries predating the fingerprint field match anything.  The
+// same guard applies to "params.solver_path": a PCG run and a full Schur
+// factorization have incomparable phase profiles, so entries recording a
+// different solver path than the newest entry's are excluded (counted in
+// skipped_paths) rather than compared.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +81,7 @@ struct TrendReport {
   std::vector<TrendStat> series;  // sorted by key
   int regressions = 0;
   int skipped_machines = 0;  // entries excluded by fingerprint mismatch
+  int skipped_paths = 0;     // entries excluded by solver-path mismatch
   // True when no gated series has a pre-history to compare against (fresh
   // ledger): nothing can regress, callers should say "insufficient
   // history" instead of "no regression".

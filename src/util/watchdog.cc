@@ -75,6 +75,12 @@ void Watchdog::check_refine(std::int64_t iterations, bool converged, double stal
   if (!converged) warn("refine_no_convergence", iterations, stall_ratio, 0.0);
 }
 
+void Watchdog::check_pcg(std::int64_t iterations, bool converged, double divergence_ratio) {
+  if (!Tracer::enabled()) return;
+  if (divergence_ratio > 10.0) warn("pcg_divergence", iterations, divergence_ratio, 10.0);
+  if (!converged) warn("pcg_no_convergence", iterations, divergence_ratio, 0.0);
+}
+
 std::vector<Warning> Watchdog::snapshot() {
   State& s = state();
   std::lock_guard lock(s.mu);

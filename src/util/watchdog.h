@@ -74,6 +74,11 @@ class Watchdog {
   /// iteration cap ("refine_no_convergence").
   static void check_refine(std::int64_t iterations, bool converged, double stall_ratio);
 
+  /// PCG-health check: flags a diverging residual sequence
+  /// ("pcg_divergence", ratio = |r_k|/min_j |r_j|) and non-convergence at
+  /// the iteration cap ("pcg_no_convergence").
+  static void check_pcg(std::int64_t iterations, bool converged, double divergence_ratio);
+
   /// Copies out the recorded warnings (order of arrival).
   static std::vector<Warning> snapshot();
 

@@ -119,5 +119,137 @@ TEST(Circulant, IdentityFirstColumn) {
   for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(y[i], x[i], 1e-13);
 }
 
+// --- Bluestein DFT: arbitrary (odd, prime, composite) lengths ---
+
+class DftSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DftSweep, MatchesNaiveDft) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(1000 + static_cast<std::uint64_t>(n));
+  std::vector<cplx> a(n);
+  for (auto& v : a) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  std::vector<cplx> expect = naive_dft(a, false);
+  std::vector<cplx> fwd = a;
+  dft(fwd, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fwd[i].real(), expect[i].real(), 1e-10 * static_cast<double>(n));
+    EXPECT_NEAR(fwd[i].imag(), expect[i].imag(), 1e-10 * static_cast<double>(n));
+  }
+  dft(fwd, true);  // round trip back to the input
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fwd[i].real(), a[i].real(), 1e-10 * static_cast<double>(n));
+    EXPECT_NEAR(fwd[i].imag(), a[i].imag(), 1e-10 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddPrimeComposite, DftSweep,
+                         ::testing::Values(3, 5, 7, 12, 17, 31, 100, 243, 509));
+
+// --- CirculantMultiplier at non-power-of-two logical orders ---
+// The multiplier owns the next_pow2 embedding; callers hand it the logical
+// first column and never see the padding.
+
+class OddCirculantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OddCirculantSweep, MatchesNaiveCirculantProduct) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(2000 + static_cast<std::uint64_t>(n));
+  std::vector<double> c(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = rng.uniform(-1, 1);
+    x[i] = rng.uniform(-1, 1);
+  }
+  CirculantMultiplier mult(c);
+  EXPECT_EQ(mult.order(), n);
+  EXPECT_EQ(mult.fft_order(), next_pow2(2 * n - 1));
+  std::vector<double> y;
+  mult.apply(x, y);
+  ASSERT_EQ(y.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += c[(i + n - j) % n] * x[j];
+    EXPECT_NEAR(y[i], s, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddPrime, OddCirculantSweep,
+                         ::testing::Values(3, 5, 7, 13, 31, 97, 100));
+
+TEST(Circulant, Pow2OrderUsesNoEmbedding) {
+  std::vector<double> c{1.0, 2.0, 3.0, 4.0};
+  CirculantMultiplier mult(c);
+  EXPECT_EQ(mult.order(), 4u);
+  EXPECT_EQ(mult.fft_order(), 4u);
+}
+
+// --- BlockCirculantMultiplier: embedding of a full block Toeplitz matrix ---
+
+TEST(BlockCirculant, MatchesDenseMatVec) {
+  const la::index_t m = 3, p = 7;  // odd p exercises the padded embedding
+  util::Rng rng(42);
+  la::Mat row(m, m * p);
+  for (la::index_t j = 0; j < m * p; ++j)
+    for (la::index_t i = 0; i < m; ++i) row(i, j) = rng.uniform(-1, 1);
+  for (la::index_t i = 0; i < m; ++i)  // symmetrize T1
+    for (la::index_t j = 0; j < i; ++j) row(i, j) = row(j, i);
+  const BlockToeplitz t(m, row);
+  const BlockCirculantMultiplier mult(t);
+  EXPECT_EQ(mult.fft_order(), next_pow2(2 * static_cast<std::size_t>(p)));
+
+  const la::Mat dense = t.dense();
+  const la::index_t n = t.order();
+  std::vector<double> x(static_cast<std::size_t>(n)), y;
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  mult.apply(x, y);
+  for (la::index_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (la::index_t j = 0; j < n; ++j) s += dense(i, j) * x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], s, 1e-11);
+  }
+}
+
+TEST(BlockCirculant, BatchedMatchesColumnwise) {
+  const la::index_t m = 2, p = 12, k = 5;
+  util::Rng rng(7);
+  la::Mat row(m, m * p);
+  for (la::index_t j = 0; j < m * p; ++j)
+    for (la::index_t i = 0; i < m; ++i) row(i, j) = rng.uniform(-1, 1);
+  for (la::index_t i = 0; i < m; ++i)
+    for (la::index_t j = 0; j < i; ++j) row(i, j) = row(j, i);
+  const BlockToeplitz t(m, row);
+  const BlockCirculantMultiplier mult(t);
+
+  const la::index_t n = t.order();
+  la::Mat xs(n, k), ys(n, k);
+  for (la::index_t j = 0; j < k; ++j)
+    for (la::index_t i = 0; i < n; ++i) xs(i, j) = rng.uniform(-1, 1);
+  mult.apply(xs.view(), ys.view());
+  for (la::index_t j = 0; j < k; ++j) {
+    std::vector<double> x(static_cast<std::size_t>(n)), y;
+    for (la::index_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = xs(i, j);
+    mult.apply(x, y);
+    for (la::index_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ys(i, j), y[static_cast<std::size_t>(i)], 1e-13);
+    }
+  }
+}
+
+TEST(BlockCirculant, ResidualIsExactForTrueSolution) {
+  const la::index_t m = 2, p = 9;
+  util::Rng rng(11);
+  la::Mat row(m, m * p);
+  for (la::index_t j = 0; j < m * p; ++j)
+    for (la::index_t i = 0; i < m; ++i) row(i, j) = rng.uniform(-1, 1);
+  for (la::index_t i = 0; i < m; ++i)
+    for (la::index_t j = 0; j < i; ++j) row(i, j) = row(j, i);
+  const BlockToeplitz t(m, row);
+  const BlockCirculantMultiplier mult(t);
+  std::vector<double> x(static_cast<std::size_t>(t.order())), b, r;
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  mult.apply(x, b);
+  mult.residual(b, x, r);
+  for (const double v : r) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace bst::toeplitz

@@ -47,6 +47,20 @@ TEST(Io, CommentsAndWhitespaceTolerated) {
   EXPECT_DOUBLE_EQ(t.entry(0, 2), 0.25);
 }
 
+// kms decay 0.5^k underflows to subnormal well before n = 4096; the reader
+// must accept subnormal entries (glibc strtod flags them ERANGE) so large
+// superfast-tier matrices round-trip. Infinity/overflow still reject.
+TEST(Io, SubnormalEntriesRoundTrip) {
+  std::stringstream ss("bst-toeplitz 1 3 1.0 1.1125369292536007e-308 4.9e-324");
+  BlockToeplitz t = read_block_toeplitz(ss);
+  EXPECT_DOUBLE_EQ(t.entry(0, 1), 1.1125369292536007e-308);
+  EXPECT_GT(t.entry(0, 2), 0.0);
+  std::stringstream big("bst-toeplitz 1 2 1.0 1e999");
+  EXPECT_THROW(read_block_toeplitz(big), std::runtime_error);
+  std::stringstream inf("bst-vector 2 1.0 inf");
+  EXPECT_THROW(read_vector(inf), std::runtime_error);
+}
+
 TEST(Io, BadHeaderRejected) {
   std::stringstream ss("toeplitz 1 3 1 0 0");
   EXPECT_THROW(read_block_toeplitz(ss), std::runtime_error);

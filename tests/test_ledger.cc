@@ -166,6 +166,33 @@ TEST(Ledger, TrendSkipsEntriesFromOtherMachines) {
   EXPECT_EQ(util::ledger_trend(mixed, 0.5, 0.0).skipped_machines, 0);
 }
 
+TEST(Ledger, TrendSkipsEntriesOnDifferentSolverPath) {
+  auto on_path = [](double solve_s, const char* sp) {
+    util::Json e = entry_with(solve_s, 0.0);
+    util::Json params = util::Json::object();
+    params.set("solver_path", util::Json::string(sp));
+    e.set("params", std::move(params));
+    return e;
+  };
+  // A much-faster PCG history would make the Schur entry look regressed;
+  // cross-path entries must be excluded, not compared.
+  std::vector<util::Json> entries{on_path(0.1, "pcg"), on_path(0.1, "pcg"),
+                                  on_path(2.0, "schur")};
+  const util::TrendReport trend = util::ledger_trend(entries, 0.5, 0.0);
+  EXPECT_EQ(trend.skipped_paths, 2);
+  EXPECT_EQ(trend.regressions, 0);
+  for (const util::TrendStat& s : trend.series) {
+    if (s.key == "phases.solve") EXPECT_EQ(s.values.size(), 1u);
+  }
+  // Entries predating the field stay in (old ledgers keep their history),
+  // and a same-path history is compared as before.
+  std::vector<util::Json> mixed{entry_with(1.0, 0), on_path(1.0, "schur")};
+  EXPECT_EQ(util::ledger_trend(mixed, 0.5, 0.0).skipped_paths, 0);
+  std::vector<util::Json> same{on_path(1.0, "pcg"), on_path(1.0, "pcg"), on_path(2.0, "pcg")};
+  EXPECT_EQ(util::ledger_trend(same, 0.5, 0.0).skipped_paths, 0);
+  EXPECT_EQ(util::ledger_trend(same, 0.5, 0.0).regressions, 1);
+}
+
 TEST(Ledger, TrendGatesAttainmentOnDropsNotRises) {
   auto with_attainment = [](double a) {
     util::Json att = util::Json::object();

@@ -108,6 +108,35 @@ TEST(Refine, FftResidualsGiveSameResult) {
   for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(direct.x[i], fft.x[i], 1e-9);
 }
 
+// FFT-vs-dense agreement across every reflector representation: the
+// residual route must not change the refined answer no matter which
+// factorization produced the solver (documented bound: 1e-9 on a
+// moderately conditioned SPD system, see docs/README.md SOLVERS).
+class RefineFftAcrossReps : public ::testing::TestWithParam<core::Representation> {};
+
+TEST_P(RefineFftAcrossReps, FftResidualsMatchDense) {
+  BlockToeplitz t = toeplitz::kms(96, 0.8).with_block_size(4);
+  SchurOptions sopt;
+  sopt.rep = GetParam();
+  SchurFactor f = block_schur_factor(t, sopt);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  auto solver = [&](const std::vector<double>& rhs, std::vector<double>& out) {
+    out = solve_spd(f, rhs);
+  };
+  RefineResult direct = solve_refined(MatVec(t, toeplitz::MatVecMode::Direct), solver, b);
+  RefineResult fft = solve_refined(MatVec(t, toeplitz::MatVecMode::Fft), solver, b);
+  ASSERT_TRUE(direct.converged);
+  ASSERT_TRUE(fft.converged);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(direct.x[i], fft.x[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRepresentations, RefineFftAcrossReps,
+                         ::testing::Values(core::Representation::AccumulatedU,
+                                           core::Representation::VY1,
+                                           core::Representation::VY2,
+                                           core::Representation::YTY,
+                                           core::Representation::Sequential));
+
 TEST(Refine, RespectsMaxIterations) {
   BlockToeplitz t = toeplitz::paper_example_6x6();
   LdlFactor f = block_schur_indefinite(t);

@@ -349,9 +349,49 @@ TEST(Service, StatsJsonHasAllSections) {
   const std::string json = svc.stats_json().dump_compact();
   for (const char* key : {"\"cache\"", "\"queue\"", "\"batch\"", "\"hits\"", "\"misses\"",
                           "\"evictions\"", "\"hit_rate\"", "\"capacity\"", "\"rejected\"",
-                          "\"rhs_panel\""}) {
+                          "\"rhs_panel\"", "\"refine\"", "\"sweeps\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " missing from " << json;
   }
+}
+
+// ---------------------------------------------------------------- refinement
+
+TEST(Service, RefinementImprovesResidualAndReportsPath) {
+  BlockToeplitz t = toeplitz::kms(96, 0.9);
+  const std::vector<double> b = toeplitz::rhs_for_ones(t);
+  ServiceOptions off = small_opts();
+  Service plain(off);
+  const SolveResult r0 = plain.solve(t, b);
+  EXPECT_EQ(r0.solver_path, "schur");
+  EXPECT_EQ(r0.refine_steps, 0);
+  EXPECT_EQ(plain.stats().refine_sweeps, 0u);
+
+  ServiceOptions on = small_opts();
+  on.refine_steps = 2;
+  Service refined(on);
+  const SolveResult r1 = refined.solve(t, b);
+  EXPECT_EQ(r1.solver_path, "schur+refine");
+  EXPECT_EQ(r1.refine_steps, 2);
+  EXPECT_EQ(refined.stats().refine_sweeps, 2u);
+  // Refinement must not make the answer worse, and on this conditioning it
+  // should land at (or below) the unrefined error.
+  EXPECT_LE(max_err_vs_ones(r1.x), max_err_vs_ones(r0.x) + 1e-14);
+  EXPECT_LT(max_err_vs_ones(r1.x), 1e-10);
+}
+
+TEST(Service, RefinedAsyncMatchesRefinedSyncBitwise) {
+  ServiceOptions opt = small_opts();
+  opt.refine_steps = 1;
+  BlockToeplitz t = toeplitz::kms(32, 0.5);
+  const std::vector<double> b = toeplitz::rhs_for_ones(t);
+  Service sync_svc(opt);
+  const std::vector<double> want = sync_svc.solve(t, b).x;
+  Service async_svc(opt);
+  std::future<SolveResult> fut = async_svc.submit(t, b);
+  const SolveResult res = fut.get();
+  EXPECT_EQ(res.solver_path, "schur+refine");
+  ASSERT_EQ(res.x.size(), want.size());
+  EXPECT_EQ(std::memcmp(res.x.data(), want.data(), want.size() * sizeof(double)), 0);
 }
 
 // ---------------------------------------------------------------- env knobs
@@ -362,21 +402,24 @@ TEST(ServiceOptions, FromEnvOverridesAndClamps) {
   setenv("BST_SERVICE_BATCH", "3", 1);
   setenv("BST_SERVICE_PANEL", "0", 1);  // clamped to 1
   setenv("BST_SERVICE_NOCACHE", "1", 1);
+  setenv("BST_SERVICE_REFINE", "2", 1);
   ServiceOptions o = ServiceOptions::from_env();
   EXPECT_EQ(o.cache_bytes, 1048576u);
   EXPECT_EQ(o.queue_capacity, 7u);
   EXPECT_EQ(o.max_batch, 3);
   EXPECT_EQ(o.rhs_panel, 1);
   EXPECT_FALSE(o.cache_enabled);
+  EXPECT_EQ(o.refine_steps, 2);
   setenv("BST_SERVICE_NOCACHE", "0", 1);
   EXPECT_TRUE(ServiceOptions::from_env().cache_enabled);
   for (const char* v : {"BST_SERVICE_CACHE_BYTES", "BST_SERVICE_QUEUE", "BST_SERVICE_BATCH",
-                        "BST_SERVICE_PANEL", "BST_SERVICE_NOCACHE"}) {
+                        "BST_SERVICE_PANEL", "BST_SERVICE_NOCACHE", "BST_SERVICE_REFINE"}) {
     unsetenv(v);
   }
   ServiceOptions d = ServiceOptions::from_env();
   EXPECT_EQ(d.cache_bytes, ServiceOptions{}.cache_bytes);
   EXPECT_TRUE(d.cache_enabled);
+  EXPECT_EQ(d.refine_steps, 0);
 }
 
 // ---------------------------------------------------------- metric counters

@@ -11,6 +11,8 @@
 #include "toeplitz/generators.h"
 #include "toeplitz/matvec.h"
 #include "util/rng.h"
+#include "util/trace.h"
+#include "util/watchdog.h"
 
 namespace bst {
 namespace {
@@ -80,6 +82,117 @@ TEST(ToeplitzSolve, PathNames) {
   EXPECT_STREQ(core::to_string(SolvePath::Spd), "spd");
   EXPECT_STREQ(core::to_string(SolvePath::Indefinite), "indefinite");
   EXPECT_STREQ(core::to_string(SolvePath::IndefinitePerturbed), "indefinite+perturbed");
+  EXPECT_STREQ(core::to_string(SolvePath::Pcg), "pcg");
+}
+
+TEST(SolverPolicy, SmallSystemsStayOnSchur) {
+  BlockToeplitz t = toeplitz::kms(256, 0.5);
+  core::PolicyDecision dec = core::choose_solver(t, core::SolverPolicy{});
+  EXPECT_EQ(dec.chosen, core::SolverKind::Schur);
+  EXPECT_EQ(dec.reason, "small");
+  EXPECT_EQ(dec.condest, -1.0);       // never probed
+  EXPECT_EQ(dec.precond, nullptr);    // never built
+}
+
+TEST(SolverPolicy, LargeWellConditionedCrossesToPcg) {
+  BlockToeplitz t = toeplitz::kms(512, 0.5);
+  core::SolverPolicy pol;
+  pol.pcg_min_n = 128;
+  core::PolicyDecision dec = core::choose_solver(t, pol);
+  EXPECT_EQ(dec.chosen, core::SolverKind::Pcg);
+  EXPECT_EQ(dec.reason, "crossover");
+  EXPECT_GE(dec.condest, 1.0);
+  ASSERT_NE(dec.precond, nullptr);
+  EXPECT_TRUE(dec.precond->positive_definite());
+}
+
+TEST(SolverPolicy, IndefiniteProbeStaysOnSchur) {
+  BlockToeplitz t = toeplitz::singular_minor_family(256, 9);
+  core::SolverPolicy pol;
+  pol.pcg_min_n = 64;
+  core::PolicyDecision dec = core::choose_solver(t, pol);
+  EXPECT_EQ(dec.chosen, core::SolverKind::Schur);
+  EXPECT_EQ(dec.reason, "not_spd");
+}
+
+TEST(SolverPolicy, IllConditionedProbeStaysOnSchur) {
+  BlockToeplitz t = toeplitz::kms(256, 0.9);
+  core::SolverPolicy pol;
+  pol.pcg_min_n = 64;
+  pol.pcg_max_cond = 2.0;  // anything real fails this on purpose
+  core::PolicyDecision dec = core::choose_solver(t, pol);
+  EXPECT_EQ(dec.chosen, core::SolverKind::Schur);
+  EXPECT_EQ(dec.reason, "ill_conditioned");
+  EXPECT_GT(dec.condest, 2.0);
+}
+
+TEST(SolverPolicy, FromEnvOverrides) {
+  setenv("BST_SOLVER", "pcg", 1);
+  setenv("BST_SOLVER_MIN_N", "123", 1);
+  setenv("BST_SOLVER_MAX_COND", "1e4", 1);
+  core::SolverPolicy pol = core::SolverPolicy::from_env();
+  unsetenv("BST_SOLVER");
+  unsetenv("BST_SOLVER_MIN_N");
+  unsetenv("BST_SOLVER_MAX_COND");
+  EXPECT_EQ(pol.kind, core::SolverKind::Pcg);
+  EXPECT_EQ(pol.pcg_min_n, 123);
+  EXPECT_DOUBLE_EQ(pol.pcg_max_cond, 1e4);
+  EXPECT_THROW(core::parse_solver_kind("bogus"), std::invalid_argument);
+}
+
+TEST(ToeplitzSolve, PcgPathSolvesLargeWellConditioned) {
+  BlockToeplitz t = toeplitz::kms(1024, 0.5);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  core::SolveOptions opt;
+  opt.policy.pcg_min_n = 256;
+  core::SolveReport rep = core::toeplitz_solve(t, b, opt);
+  EXPECT_EQ(rep.path, SolvePath::Pcg);
+  EXPECT_EQ(rep.solver_path, "pcg");
+  EXPECT_EQ(rep.policy_reason, "crossover");
+  EXPECT_GT(rep.pcg_iterations, 0);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GE(rep.final_residual, 0.0);
+  EXPECT_LT(max_err_vs_ones(rep.x), 1e-9);
+}
+
+TEST(ToeplitzSolve, ForcedPcgOnIndefiniteFallsBackToSchur) {
+  // Forcing PCG onto a matrix whose Strang circulant is not SPD must land
+  // on the Schur path with mandatory refinement, flagged as the fallback,
+  // with a watchdog warning explaining why.
+  BlockToeplitz t = toeplitz::singular_minor_family(128, 9);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  core::SolveOptions opt;
+  opt.policy.kind = core::SolverKind::Pcg;
+  util::Tracer::enable();
+  util::Watchdog::reset();
+  core::SolveReport rep = core::toeplitz_solve(t, b, opt);
+  util::Tracer::disable();
+  EXPECT_EQ(rep.solver_path, "pcg+fallback");
+  EXPECT_TRUE(rep.refined);
+  EXPECT_LT(max_err_vs_ones(rep.x), 1e-8);
+  bool warned = false;
+  for (const auto& w : util::Watchdog::snapshot()) {
+    if (w.code == "pcg_precond_not_spd" || w.code == "pcg_no_convergence" ||
+        w.code == "pcg_breakdown") {
+      warned = true;
+    }
+  }
+  util::Watchdog::reset();
+  EXPECT_TRUE(warned);
+}
+
+TEST(ToeplitzSolve, ForcedSchurSkipsProbeOnLargeSystem) {
+  BlockToeplitz t = toeplitz::kms(512, 0.5);
+  std::vector<double> b = toeplitz::rhs_for_ones(t);
+  core::SolveOptions opt;
+  opt.policy.kind = core::SolverKind::Schur;
+  opt.policy.pcg_min_n = 64;  // would cross over under Auto
+  core::SolveReport rep = core::toeplitz_solve(t, b, opt);
+  EXPECT_EQ(rep.path, SolvePath::Spd);
+  EXPECT_EQ(rep.solver_path, "schur");
+  EXPECT_EQ(rep.policy_reason, "forced");
+  EXPECT_EQ(rep.condest, -1.0);
+  EXPECT_LT(max_err_vs_ones(rep.x), 1e-9);
 }
 
 TEST(ToeplitzSolve, ReflectorNormTracking) {

@@ -136,6 +136,31 @@ void print_kv_object(const Json& doc, const char* section, const char* title) {
   }
 }
 
+// One prominent line for the solver-crossover outcome: which family the
+// policy picked, why, and (on the PCG route) how many iterations it took.
+// The raw fields still appear under params/metrics; this line saves the
+// reader from joining the two sections by hand.
+void print_solver_route(const Json& doc) {
+  const Json* params = doc.find("params");
+  const Json* sp = params != nullptr ? params->find("solver_path") : nullptr;
+  if (sp == nullptr || sp->kind() != Json::Kind::String) return;
+  std::cout << "solver: " << sp->as_string();
+  if (const Json* reason = params->find("policy_reason");
+      reason != nullptr && reason->kind() == Json::Kind::String &&
+      !reason->as_string().empty()) {
+    std::cout << " (" << reason->as_string() << ")";
+  }
+  if (const Json* metrics = doc.find("metrics"); metrics != nullptr) {
+    const double iters = field(*metrics, "pcg_iterations", 0.0);
+    if (iters > 0) std::cout << ", " << fmt(iters) << " pcg iterations";
+    if (const Json* ce = metrics->find("condest");
+        ce != nullptr && ce->kind() == Json::Kind::Number) {
+      std::cout << ", condest " << fmt(ce->as_number());
+    }
+  }
+  std::cout << "\n";
+}
+
 // The "service" section (bench_service / bst::service::Service::stats_json)
 // is one level deeper than params/metrics: cache/queue/batch sub-objects.
 void print_service(const Json& doc) {
@@ -509,6 +534,7 @@ int print_report(const std::string& path, bool pe_sections) {
   std::cout << "report: " << path << " (tool "
             << (tool != nullptr ? tool->as_string() : std::string("?")) << ", schema v"
             << fmt(num_or(doc.find("schema_version"), 0)) << ")\n";
+  print_solver_route(doc);
   print_kv_object(doc, "params", "params");
   print_kv_object(doc, "metrics", "metrics");
   print_kv_object(doc, "counters", "counters");
@@ -540,6 +566,11 @@ int trend_report(const std::string& ledger_path, double max_regress, double min_
   if (trend.skipped_machines > 0) {
     std::cout << "  (skipped " << trend.skipped_machines
               << " entries from other machines -- fingerprint mismatch)\n";
+  }
+  if (trend.skipped_paths > 0) {
+    std::cout << "  (skipped " << trend.skipped_paths
+              << " entries recorded on a different solver path -- phase "
+                 "profiles are not comparable across schur/pcg)\n";
   }
   std::printf("  %-28s %4s %12s %12s %12s %9s  %s\n", "series", "n", "min", "median", "last",
               "vs med", "history");

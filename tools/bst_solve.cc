@@ -1,7 +1,8 @@
 // bst_solve: command line solver for symmetric (block) Toeplitz systems.
 //
 //   bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] [--ms=K]
-//             [--rep=vy2|vy1|yty|u|seq] [--refine] [--report]
+//             [--rep=vy2|vy1|yty|u|seq] [--solver=auto|schur|pcg]
+//             [--refine] [--report]
 //             [--profile=out.json] [--trace=out.json] [--ledger=runs.jsonl]
 //             [--calibrate[=prof.json]]
 //
@@ -83,6 +84,7 @@ int help() {
       "algorithm:\n"
       "  --ms=K              working block size m_s of the block Schur step\n"
       "  --rep=vy2           reflector representation: vy1|vy2|yty|u|seq\n"
+      "  --solver=auto       solver family: auto|schur|pcg (auto = crossover policy)\n"
       "  --refine            force one step of iterative refinement\n"
       "  --parallel          thread the factorization (BST_THREADS workers)\n"
       "\n"
@@ -108,7 +110,7 @@ int help() {
 int usage() {
   std::fprintf(stderr,
                "usage: bst_solve --matrix=T.txt [--rhs=b.txt] [--out=x.txt] "
-               "[--ms=K] [--rep=vy2] [--refine] [--parallel] [--report] "
+               "[--ms=K] [--rep=vy2] [--solver=auto|schur|pcg] [--refine] [--parallel] [--report] "
                "[--profile=out.json] [--trace=out.json] [--ledger=runs.jsonl] "
                "[--calibrate[=prof.json]]\n"
                "       bst_solve --np=4 [--layout=v1|v2|v3] [--group=G] [--spread=S] "
@@ -336,6 +338,13 @@ int main(int argc, char** argv) {
     opt.spd.rep = opt.indefinite.rep = parse_rep(cli.get("rep", "vy2"));
     opt.spd.parallel = cli.has("parallel");
     opt.always_refine = cli.has("refine");
+    // Crossover policy: BST_SOLVER / BST_SOLVER_MIN_N / BST_SOLVER_MAX_COND
+    // from the environment, with --solver outranking the env kind.
+    opt.policy = core::SolverPolicy::from_env();
+    if (cli.has("solver")) {
+      opt.policy.kind = core::parse_solver_kind(cli.get("solver", "auto"));
+    }
+    opt.pcg = core::PcgOptions::from_env();
 
     const double t0 = util::wall_seconds();
     core::SolveReport rep = core::toeplitz_solve(t, b, opt);
@@ -361,11 +370,16 @@ int main(int argc, char** argv) {
                              opt.spd.block_size ? opt.spd.block_size : t.block_size()));
       report.param("rep", cli.get("rep", "vy2"));
       report.param("path", core::to_string(rep.path));
+      report.param("solver", core::to_string(opt.policy.kind));
+      report.param("solver_path", rep.solver_path);
+      report.param("policy_reason", rep.policy_reason);
       report.metric("time_s", dt);
       report.metric("factor_flops", static_cast<double>(rep.factor_flops));
       report.metric("refinement_steps", rep.refinement_steps);
       report.metric("interchanges", rep.interchanges);
       report.metric("perturbations", static_cast<double>(rep.perturbations));
+      report.metric("pcg_iterations", rep.pcg_iterations);
+      if (rep.condest >= 0) report.metric("condest", rep.condest);
       // Residual + normwise backward error ||b - Tx|| / (||T||_F ||x|| + ||b||):
       // the accuracy column the attainment section carries next to the
       // efficiency columns (speed gains are only worth reporting at
@@ -389,6 +403,10 @@ int main(int argc, char** argv) {
       const la::index_t ms_eff = opt.spd.block_size ? opt.spd.block_size : t.block_size();
       if (rep.path == core::SolvePath::Spd) {
         models = core::schur_phase_models(opt.spd.rep, t.order(), ms_eff);
+      } else if (rep.solver_path == "pcg") {
+        // A converged PCG run: the iteration count pins the matvec /
+        // preconditioner apply counts, so the models are exact.
+        models = core::pcg_phase_models(t.block_size(), t.num_blocks(), rep.pcg_iterations);
       }
       const util::Json doc = report.build();
       report.set_attainment(
@@ -397,11 +415,13 @@ int main(int argc, char** argv) {
     }
     if (cli.has("report")) {
       std::fprintf(stderr,
-                   "bst_solve: n=%td path=%s time=%.3fms flops=%llu interchanges=%d "
-                   "perturbations=%zu refine_steps=%d residual=%s%.3e\n",
-                   t.order(), core::to_string(rep.path), dt * 1e3,
+                   "bst_solve: n=%td path=%s solver=%s (%s) time=%.3fms flops=%llu "
+                   "interchanges=%d perturbations=%zu refine_steps=%d pcg_iters=%d "
+                   "residual=%s%.3e\n",
+                   t.order(), core::to_string(rep.path), rep.solver_path.c_str(),
+                   rep.policy_reason.c_str(), dt * 1e3,
                    static_cast<unsigned long long>(rep.factor_flops), rep.interchanges,
-                   rep.perturbations, rep.refinement_steps,
+                   rep.perturbations, rep.refinement_steps, rep.pcg_iterations,
                    rep.final_residual < 0 ? "(not computed) " : "",
                    rep.final_residual < 0 ? 0.0 : rep.final_residual);
     }
